@@ -1,0 +1,31 @@
+//! E10: end-to-end sliding-window ingestion (the streaming scenario of
+//! the paper's introduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_bench::replay;
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::UpdateStream;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 12;
+    let mut group = c.benchmark_group("e10_sliding_window");
+    group.sample_size(10);
+    for batch in [256usize, 1024] {
+        let stream = UpdateStream::sliding_window(n, 12, batch, 6, 256, 18);
+        group.throughput(Throughput::Elements(stream.total_ops() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("batch={batch}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut g = BatchDynamicConnectivity::new(n);
+                    replay(&mut g, stream)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

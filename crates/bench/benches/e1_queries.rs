@@ -1,0 +1,27 @@
+//! E1 (Theorem 3): batch connectivity queries cost
+//! `O(k lg(1 + n/k))` expected work — time per query must *fall* as the
+//! batch grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{random_tree, UpdateStream};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut g = BatchDynamicConnectivity::new(n);
+    g.batch_insert(&random_tree(n, 1));
+    let mut group = c.benchmark_group("e1_batch_queries");
+    group.sample_size(10);
+    for kexp in [4usize, 8, 12, 16] {
+        let k = 1 << kexp;
+        let qs = UpdateStream::random_queries(n, k, kexp as u64);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k=2^{kexp}")), &qs, |b, qs| {
+            b.iter(|| g.batch_connected(qs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

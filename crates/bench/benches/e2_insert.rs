@@ -1,0 +1,34 @@
+//! E2 (Theorem 4): batch insertion costs `O(k lg(1 + n/k))` — amortized
+//! time per inserted edge falls as the batch size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::erdos_renyi;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 15;
+    let edges = erdos_renyi(n, n, 2);
+    let mut group = c.benchmark_group("e2_batch_insert");
+    group.sample_size(10);
+    for kexp in [6usize, 10, 14] {
+        let k = 1 << kexp;
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k=2^{kexp}")),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let mut g = BatchDynamicConnectivity::new(n);
+                    for chunk in edges.chunks(k) {
+                        g.batch_insert(chunk);
+                    }
+                    g.num_components()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

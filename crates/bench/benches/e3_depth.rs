@@ -1,0 +1,39 @@
+//! E3 (Theorem 5 vs Theorem 7): wall-clock comparison of the two deletion
+//! searches on structured workloads (the round/phase *counts* appear in
+//! the `experiments` binary's E3 table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::{erdos_renyi, grid2d};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 11;
+    let workloads: Vec<(&str, Vec<(u32, u32)>)> = vec![
+        ("grid", grid2d(n / 64, 64)),
+        ("er", erdos_renyi(n, 2 * n, 3)),
+    ];
+    let mut group = c.benchmark_group("e3_deletion_algorithms");
+    group.sample_size(10);
+    for (name, edges) in &workloads {
+        for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{algo:?}")),
+                edges,
+                |b, edges| {
+                    b.iter(|| {
+                        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+                        g.batch_insert(edges);
+                        for chunk in edges.chunks(256) {
+                            g.batch_delete(chunk);
+                        }
+                        g.num_components()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

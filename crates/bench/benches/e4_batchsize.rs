@@ -1,0 +1,43 @@
+//! E4 (Theorem 9, the headline bound): amortized deletion cost
+//! `O(lg n · lg(1 + n/Δ))` — per-edge deletion time falls as the average
+//! deletion batch size Δ grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{erdos_renyi, Batch, UpdateStream};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 12;
+    let m = 2 * n;
+    let edges = erdos_renyi(n, m, 5);
+    let mut group = c.benchmark_group("e4_deletion_vs_delta");
+    group.sample_size(10);
+    for delta in [16usize, 256, 4096] {
+        let dels: Vec<Batch> = UpdateStream::insert_then_delete(&edges, m, delta, 6)
+            .batches
+            .into_iter()
+            .filter(|b| matches!(b, Batch::Delete(_)))
+            .collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("delta={delta}")),
+            &dels,
+            |b, dels| {
+                b.iter(|| {
+                    let mut g = BatchDynamicConnectivity::new(n);
+                    g.batch_insert(&edges);
+                    for batch in dels {
+                        if let Batch::Delete(v) = batch {
+                            g.batch_delete(v);
+                        }
+                    }
+                    g.num_components()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 (Theorem 6): the same operation stream replayed into the
+//! batch-dynamic structure (batched) and the sequential HDT baseline
+//! (one operation at a time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyncon_bench::{replay, replay_hdt};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{erdos_renyi, UpdateStream};
+use dyncon_hdt::HdtConnectivity;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 11;
+    let m = 2 * n;
+    let edges = erdos_renyi(n, m, 8);
+    let mut group = c.benchmark_group("e5_vs_hdt");
+    group.sample_size(10);
+    group.bench_function("hdt_sequential", |b| {
+        let stream = UpdateStream::insert_then_delete(&edges, m, 1, 9);
+        b.iter(|| {
+            let mut h = HdtConnectivity::new(n);
+            replay_hdt(&mut h, &stream)
+        });
+    });
+    for kexp in [4usize, 12] {
+        let k = 1 << kexp;
+        let stream = UpdateStream::insert_then_delete(&edges, k.max(64), k, 9);
+        group.bench_with_input(
+            BenchmarkId::new("batch_dynamic", format!("k=2^{kexp}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut g = BatchDynamicConnectivity::new(n);
+                    replay(&mut g, stream)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

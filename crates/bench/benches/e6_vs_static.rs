@@ -1,0 +1,43 @@
+//! E6 (§1 motivation): per-batch latency of the dynamic structure vs the
+//! recompute-from-scratch baseline on a churn workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{erdos_renyi, UpdateStream};
+use dyncon_spanning::StaticRecompute;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 14;
+    let m = 16 * n;
+    let base = erdos_renyi(n, m, 10);
+    let k = 64usize;
+    let fresh = erdos_renyi(n, 2 * k, 911);
+    let queries = UpdateStream::random_queries(n, 64, 12);
+
+    let mut group = c.benchmark_group("e6_vs_static");
+    group.sample_size(10);
+
+    let mut g = BatchDynamicConnectivity::new(n);
+    g.batch_insert(&base);
+    group.bench_function(BenchmarkId::new("dynamic", format!("k={k}")), |b| {
+        b.iter(|| {
+            g.batch_delete(&fresh[..k]);
+            g.batch_insert(&fresh[..k]);
+            g.batch_connected(&queries)
+        });
+    });
+
+    let mut s = StaticRecompute::new(n);
+    s.batch_insert(&base);
+    group.bench_function(BenchmarkId::new("static_recompute", format!("k={k}")), |b| {
+        b.iter(|| {
+            s.batch_delete(&fresh[..k]);
+            s.batch_insert(&fresh[..k]);
+            s.batch_connected(&queries)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E7: self-relative thread scaling of the three batch operations
+//! (this machine has 2 cores; the depth bounds predict scalability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{random_tree, UpdateStream};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 15;
+    let tree = random_tree(n, 13);
+    let qs = UpdateStream::random_queries(n, 1 << 14, 14);
+    let mut group = c.benchmark_group("e7_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let mut g = BatchDynamicConnectivity::new(n);
+        pool.install(|| g.batch_insert(&tree));
+        group.bench_with_input(
+            BenchmarkId::new("query_16k", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| pool.install(|| g.batch_connected(&qs)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("insert_tree", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    pool.install(|| {
+                        let mut g2 = BatchDynamicConnectivity::new(n);
+                        g2.batch_insert(&tree);
+                        g2.num_components()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E8 (Theorem 2): raw batch-parallel Euler tour tree primitives — the
+//! Tseng et al. substrate shape (`O(k lg(1 + n/k))` per batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_ett::EulerTourForest;
+use dyncon_graphgen::{random_tree, UpdateStream};
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 15;
+    let tree = random_tree(n, 15);
+    let mut group = c.benchmark_group("e8_ett_primitives");
+    group.sample_size(10);
+    for kexp in [4usize, 8, 12] {
+        let k = 1 << kexp;
+        let victims: Vec<(u32, u32)> = tree.iter().copied().step_by(tree.len() / k).take(k).collect();
+        let vflags = vec![true; victims.len()];
+        group.throughput(Throughput::Elements(victims.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cut_then_link", format!("k=2^{kexp}")),
+            &victims,
+            |b, victims| {
+                let mut f = EulerTourForest::new(n, 16);
+                f.batch_link(&tree, &vec![true; tree.len()]);
+                b.iter(|| {
+                    f.batch_cut(victims);
+                    f.batch_link(victims, &vflags);
+                });
+            },
+        );
+        let qs = UpdateStream::random_queries(n, k, 17);
+        group.bench_with_input(
+            BenchmarkId::new("connected", format!("k=2^{kexp}")),
+            &qs,
+            |b, qs| {
+                let mut f = EulerTourForest::new(n, 18);
+                f.batch_link(&tree, &vec![true; tree.len()]);
+                b.iter(|| f.batch_connected(qs));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

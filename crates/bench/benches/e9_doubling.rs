@@ -1,0 +1,39 @@
+//! E9 (ablation, §3.3): the doubling search vs scanning all non-tree
+//! edges of a component at once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::cycle;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 10;
+    let mut edges = cycle(n);
+    for i in 0..(n as u32 - 2) {
+        edges.push((i, i + 2));
+    }
+    let victims: Vec<(u32, u32)> = (0..n as u32 - 1).step_by(8).map(|i| (i, i + 1)).collect();
+    let mut group = c.benchmark_group("e9_doubling_ablation");
+    group.sample_size(10);
+    for scan_all in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if scan_all { "scan_all" } else { "doubling" }),
+            &scan_all,
+            |b, &scan_all| {
+                b.iter(|| {
+                    let mut g =
+                        BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Simple);
+                    g.scan_all_ablation = scan_all;
+                    g.batch_insert(&edges);
+                    for &e in &victims {
+                        g.batch_delete(&[e]);
+                    }
+                    g.stats().edges_examined
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! # dyncon-bench
+//!
+//! Shared measurement harness for the experiment suite (EXPERIMENTS.md).
+//! Every experiment exists twice: as a Criterion bench target under
+//! `benches/` and as a table printed by the `experiments` binary
+//! (`cargo run --release -p dyncon-bench --bin experiments`).
+
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{Batch, UpdateStream};
+use std::time::{Duration, Instant};
+
+/// Wall-clock a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed(), r)
+}
+
+/// Median of `reps` runs of `f` (each run gets a fresh input from `setup`).
+pub fn median_duration(reps: usize, mut run: impl FnMut() -> Duration) -> Duration {
+    let mut ds: Vec<Duration> = (0..reps.max(1)).map(|_| run()).collect();
+    ds.sort_unstable();
+    ds[ds.len() / 2]
+}
+
+/// Replay a stream into the batch-dynamic structure; returns total time.
+pub fn replay(g: &mut BatchDynamicConnectivity, stream: &UpdateStream) -> Duration {
+    let t = Instant::now();
+    for b in &stream.batches {
+        match b {
+            Batch::Insert(v) => {
+                g.batch_insert(v);
+            }
+            Batch::Delete(v) => {
+                g.batch_delete(v);
+            }
+            Batch::Query(v) => {
+                g.batch_connected(v);
+            }
+        }
+    }
+    t.elapsed()
+}
+
+/// Replay a stream into the sequential HDT baseline (one op at a time, as
+/// the sequential algorithm requires); returns total time.
+pub fn replay_hdt(g: &mut dyncon_hdt::HdtConnectivity, stream: &UpdateStream) -> Duration {
+    let t = Instant::now();
+    for b in &stream.batches {
+        match b {
+            Batch::Insert(v) => {
+                for &(u, w) in v {
+                    g.insert(u, w);
+                }
+            }
+            Batch::Delete(v) => {
+                for &(u, w) in v {
+                    g.delete(u, w);
+                }
+            }
+            Batch::Query(v) => {
+                for &(u, w) in v {
+                    std::hint::black_box(g.connected(u, w));
+                }
+            }
+        }
+    }
+    t.elapsed()
+}
+
+/// Pretty-print a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Format a duration as microseconds with 2 decimals.
+pub fn us(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}
+
+/// Format nanoseconds-per-item.
+pub fn ns_per(d: Duration, items: usize) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e9 / items.max(1) as f64)
+}
+
+/// `lg(1 + n/k)` — the per-item factor every batch bound predicts.
+pub fn lg_factor(n: usize, k: usize) -> f64 {
+    (1.0 + n as f64 / k.max(1) as f64).log2()
+}

@@ -1,0 +1,277 @@
+//! The per-level adjacency structure of Appendix 8.
+//!
+//! For every vertex and level, a resizable array of the *non-tree* edges
+//! (as slots into the [`crate::edges::EdgeIndex`]) with level equal to that
+//! level and incident to that vertex. Supports batch insertion (append),
+//! batch deletion (position-tracked swap-remove compaction) and fetching
+//! the first `ℓ` entries — each `O(1)` amortized work per edge and
+//! `O(lg n)` depth, exactly Lemma 9.
+//!
+//! Most vertices hold edges at very few levels at any time, so each vertex
+//! keeps a short vector of `(level, array)` pairs instead of a dense
+//! `levels × vertices` matrix (which would be `Θ(n lg n)` memory).
+//!
+//! Parallelism contract: mutating entry points take the batch *grouped by
+//! vertex* and process groups in parallel — each group touches exactly one
+//! vertex's lists plus per-edge atomic position fields, so groups are
+//! data-disjoint.
+
+use crate::edges::EdgeIndex;
+use dyncon_primitives::{par_for, SyncSlice};
+
+#[derive(Default)]
+struct VertexAdj {
+    /// `(level index, edge slots)`, unordered, linear-scanned (vertices
+    /// rarely hold more than a couple of active levels).
+    lists: Vec<(u8, Vec<u32>)>,
+}
+
+/// All per-(vertex, level) non-tree adjacency arrays.
+pub struct AdjacencyStore {
+    verts: Vec<VertexAdj>,
+}
+
+/// A batch of adjacency mutations for one vertex at one level.
+pub struct VertexBatch {
+    /// The vertex whose arrays are touched.
+    pub vertex: u32,
+    /// Level index of the arrays.
+    pub level: u8,
+    /// Edge slots to insert or remove.
+    pub slots: Vec<u32>,
+}
+
+impl AdjacencyStore {
+    /// Empty store over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut verts = Vec::with_capacity(n);
+        verts.resize_with(n, VertexAdj::default);
+        Self { verts }
+    }
+
+    /// Length of the `(v, level)` array.
+    pub fn len(&self, v: u32, level: u8) -> usize {
+        self.verts[v as usize]
+            .lists
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map_or(0, |(_, a)| a.len())
+    }
+
+    /// First `take` slots of the `(v, level)` array.
+    pub fn fetch(&self, v: u32, level: u8, take: usize) -> &[u32] {
+        self.verts[v as usize]
+            .lists
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map_or(&[][..], |(_, a)| &a[..take.min(a.len())])
+    }
+
+    /// Append the slots of each group to its `(vertex, level)` array,
+    /// recording positions in the edge index. Groups must have distinct
+    /// `(vertex, level)` pairs per vertex... distinct vertices guarantee
+    /// disjointness; a vertex may appear once per level within one call.
+    pub fn insert_grouped(&mut self, groups: &[VertexBatch], edges: &EdgeIndex) {
+        // Group keys must be vertex-disjoint or level-disjoint; enforce the
+        // simple (sufficient for all call sites) contract: one group per
+        // (vertex, level), grouped upstream.
+        debug_assert!(distinct_keys(groups));
+        let verts = SyncSlice::new(&mut self.verts);
+        par_for(groups.len(), |gi| {
+            let g = &groups[gi];
+            // SAFETY: groups have distinct (vertex, level) keys and only
+            // vertex-`g.vertex` lists at level `g.level` are touched; two
+            // groups with the same vertex but different levels mutate
+            // different inner vectors but the same outer `lists` Vec, so we
+            // additionally require distinct vertices (checked above).
+            let va = unsafe { verts.get_mut(g.vertex as usize) };
+            let arr = ensure_list(va, g.level);
+            for &s in &g.slots {
+                edges.set_pos(s, g.vertex, arr.len() as u32);
+                arr.push(s);
+            }
+        });
+    }
+
+    /// Remove the slots of each group from its `(vertex, level)` array by
+    /// position-tracked swap-removal (Appendix 8's compaction).
+    pub fn remove_grouped(&mut self, groups: &[VertexBatch], edges: &EdgeIndex) {
+        debug_assert!(distinct_keys(groups));
+        let verts = SyncSlice::new(&mut self.verts);
+        par_for(groups.len(), |gi| {
+            let g = &groups[gi];
+            // SAFETY: as in insert_grouped.
+            let va = unsafe { verts.get_mut(g.vertex as usize) };
+            let arr = ensure_list(va, g.level);
+            for &s in &g.slots {
+                let p = edges.pos(s, g.vertex) as usize;
+                debug_assert!(p < arr.len() && arr[p] == s, "stale adjacency position");
+                let last = arr.pop().unwrap();
+                if p < arr.len() {
+                    arr[p] = last;
+                    edges.set_pos(last, g.vertex, p as u32);
+                }
+            }
+            va.lists.retain(|(_, a)| !a.is_empty());
+        });
+    }
+
+    /// Sum of array lengths (diagnostics): each live non-tree edge is
+    /// counted twice.
+    pub fn total_entries(&self) -> usize {
+        self.verts
+            .iter()
+            .map(|v| v.lists.iter().map(|(_, a)| a.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// All `(level, slot)` entries at a vertex (validation use).
+    pub fn entries_of(&self, v: u32) -> Vec<(u8, u32)> {
+        let mut out = Vec::new();
+        for (l, arr) in &self.verts[v as usize].lists {
+            for &s in arr {
+                out.push((*l, s));
+            }
+        }
+        out
+    }
+}
+
+fn ensure_list(va: &mut VertexAdj, level: u8) -> &mut Vec<u32> {
+    if let Some(i) = va.lists.iter().position(|(l, _)| *l == level) {
+        &mut va.lists[i].1
+    } else {
+        va.lists.push((level, Vec::new()));
+        &mut va.lists.last_mut().unwrap().1
+    }
+}
+
+fn distinct_keys(groups: &[VertexBatch]) -> bool {
+    let mut keys: Vec<u32> = groups.iter().map(|g| g.vertex).collect();
+    keys.sort_unstable();
+    keys.windows(2).all(|w| w[0] != w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AdjacencyStore, EdgeIndex, Vec<u32>) {
+        let mut ei = EdgeIndex::new();
+        let edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3)];
+        let slots = ei.insert_batch(&edges, 3, &[false; 5]);
+        (AdjacencyStore::new(4), ei, slots)
+    }
+
+    #[test]
+    fn insert_fetch_len() {
+        let (mut adj, ei, s) = setup();
+        adj.insert_grouped(
+            &[
+                VertexBatch {
+                    vertex: 0,
+                    level: 3,
+                    slots: vec![s[0], s[1], s[2]],
+                },
+                VertexBatch {
+                    vertex: 1,
+                    level: 3,
+                    slots: vec![s[0], s[3], s[4]],
+                },
+            ],
+            &ei,
+        );
+        assert_eq!(adj.len(0, 3), 3);
+        assert_eq!(adj.len(1, 3), 3);
+        assert_eq!(adj.len(0, 2), 0);
+        assert_eq!(adj.fetch(0, 3, 2), &[s[0], s[1]]);
+        assert_eq!(adj.fetch(0, 3, 99), &[s[0], s[1], s[2]]);
+        // Positions recorded per endpoint.
+        assert_eq!(ei.pos(s[0], 0), 0);
+        assert_eq!(ei.pos(s[0], 1), 0);
+        assert_eq!(ei.pos(s[4], 1), 2);
+    }
+
+    #[test]
+    fn swap_remove_updates_positions() {
+        let (mut adj, ei, s) = setup();
+        adj.insert_grouped(
+            &[VertexBatch {
+                vertex: 0,
+                level: 3,
+                slots: vec![s[0], s[1], s[2]],
+            }],
+            &ei,
+        );
+        // Remove the first: the last (s[2]) moves into its place.
+        adj.remove_grouped(
+            &[VertexBatch {
+                vertex: 0,
+                level: 3,
+                slots: vec![s[0]],
+            }],
+            &ei,
+        );
+        assert_eq!(adj.len(0, 3), 2);
+        assert_eq!(adj.fetch(0, 3, 9), &[s[2], s[1]]);
+        assert_eq!(ei.pos(s[2], 0), 0, "moved edge position retargeted");
+        // Remove remaining two at once.
+        adj.remove_grouped(
+            &[VertexBatch {
+                vertex: 0,
+                level: 3,
+                slots: vec![s[1], s[2]],
+            }],
+            &ei,
+        );
+        assert_eq!(adj.len(0, 3), 0);
+        assert_eq!(adj.total_entries(), 0);
+    }
+
+    #[test]
+    fn multiple_levels_per_vertex() {
+        let (mut adj, mut ei, s) = setup();
+        let extra = ei.insert_batch(&[(0, 9)], 1, &[false])[0];
+        adj.insert_grouped(
+            &[VertexBatch {
+                vertex: 0,
+                level: 3,
+                slots: vec![s[0]],
+            }],
+            &ei,
+        );
+        adj.insert_grouped(
+            &[VertexBatch {
+                vertex: 0,
+                level: 1,
+                slots: vec![extra],
+            }],
+            &ei,
+        );
+        assert_eq!(adj.len(0, 3), 1);
+        assert_eq!(adj.len(0, 1), 1);
+        let mut entries = adj.entries_of(0);
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, extra), (3, s[0])]);
+    }
+
+    #[test]
+    fn parallel_disjoint_groups() {
+        let mut ei = EdgeIndex::new();
+        let n = 500u32;
+        let pairs: Vec<(u32, u32)> = (0..n).map(|v| (v, v + n)).collect();
+        let slots = ei.insert_batch(&pairs, 0, &vec![false; n as usize]);
+        let mut adj = AdjacencyStore::new(2 * n as usize);
+        let groups: Vec<VertexBatch> = (0..n)
+            .map(|v| VertexBatch {
+                vertex: v,
+                level: 0,
+                slots: vec![slots[v as usize]],
+            })
+            .collect();
+        adj.insert_grouped(&groups, &ei);
+        assert_eq!(adj.total_entries(), n as usize);
+        adj.remove_grouped(&groups, &ei);
+        assert_eq!(adj.total_entries(), 0);
+    }
+}

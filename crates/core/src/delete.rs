@@ -1,0 +1,227 @@
+//! Algorithm 3: batch deletion, plus the per-level machinery shared by the
+//! two replacement searches (Algorithms 4 and 5).
+
+use crate::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_ett::CompId;
+use dyncon_primitives::par_map_collect;
+
+/// A disconnected piece under consideration at the current level.
+#[derive(Clone, Debug)]
+pub(crate) struct Comp {
+    /// Any vertex of the piece (the cross-level handle).
+    pub handle: u32,
+    /// Its representative in the current level's forest (valid while that
+    /// forest is unmodified).
+    pub rep: CompId,
+    /// Number of vertices in the piece.
+    pub size: u64,
+}
+
+/// Result of the common level prologue.
+pub(crate) struct LevelPrep {
+    /// Pieces small enough to search (`size ≤ 2^li`, the paper's
+    /// `≤ 2^{i-1}`).
+    pub active: Vec<Comp>,
+    /// Pieces deferred to the next level.
+    pub deferred: Vec<u32>,
+}
+
+impl BatchDynamicConnectivity {
+    /// Delete a batch of edges. Self-loops, duplicates and absent edges
+    /// are ignored; returns the number of edges actually deleted.
+    pub fn batch_delete(&mut self, batch: &[(u32, u32)]) -> usize {
+        let mut es = Self::normalize(batch);
+        es.retain(|&(u, v)| self.edges.contains(u, v));
+        if es.is_empty() {
+            return 0;
+        }
+        let k = es.len();
+        let slots: Vec<u32> = es
+            .iter()
+            .map(|&(u, v)| self.edges.slot_of(u, v).unwrap())
+            .collect();
+
+        // Partition into tree and non-tree deletions.
+        let mut nontree_by_level: Vec<Vec<u32>> = vec![Vec::new(); self.num_levels];
+        // (level, endpoints) of each deleted tree edge.
+        let mut tree_dels: Vec<(usize, u32, u32)> = Vec::new();
+        for (&s, &(u, v)) in slots.iter().zip(&es) {
+            let li = self.edges.level(s);
+            if self.edges.is_tree(s) {
+                tree_dels.push((li, u, v));
+            } else {
+                nontree_by_level[li].push(s);
+            }
+        }
+
+        // Line 2: remove non-tree edges from their adjacency structures.
+        for li in 0..self.num_levels {
+            let batch = std::mem::take(&mut nontree_by_level[li]);
+            self.remove_nontree_at(li, &batch);
+        }
+        // Drop all records (tree-edge records die with the ETT nodes).
+        self.edges.remove_batch(&slots);
+
+        self.stats.edges_deleted += k as u64;
+        if tree_dels.is_empty() {
+            return k;
+        }
+        self.stats.tree_edges_deleted += tree_dels.len() as u64;
+
+        // Lines 3-4: a level-j tree edge is present in forests j..L-1; cut
+        // it from each.
+        let min_li = tree_dels.iter().map(|&(li, _, _)| li).min().unwrap();
+        let mut by_level: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.num_levels];
+        for &(li, u, v) in &tree_dels {
+            by_level[li].push((u, v));
+        }
+        let mut acc: Vec<(u32, u32)> = Vec::new();
+        for li in min_li..self.num_levels {
+            acc.extend_from_slice(&by_level[li]);
+            self.levels[li].batch_cut(&acc);
+        }
+
+        // Lines 5-8: the disconnected pieces, as vertex handles (their
+        // representatives are recomputed per level).
+        let mut c_handles: Vec<u32> = Vec::with_capacity(2 * tree_dels.len());
+        for &(_, u, v) in &tree_dels {
+            c_handles.push(u);
+            c_handles.push(v);
+        }
+
+        // Lines 9-11: ascend the levels searching for replacements. `s`
+        // buffers the found tree edges (slots) for insertion into each
+        // higher forest as it is reached.
+        let mut s_slots: Vec<u32> = Vec::new();
+        for li in min_li..self.num_levels {
+            c_handles = match self.algo {
+                DeletionAlgorithm::Simple => self.level_search_simple(li, &c_handles, &mut s_slots),
+                DeletionAlgorithm::Interleaved => {
+                    self.level_search_interleaved(li, &c_handles, &mut s_slots)
+                }
+            };
+        }
+        k
+    }
+
+    /// Common level prologue (Algorithms 4/5, lines 2-5): insert the buffer
+    /// of found tree edges, recompute piece representatives, split by the
+    /// size threshold, and push the active pieces' level-`li` tree edges
+    /// down one level.
+    pub(crate) fn prepare_level(
+        &mut self,
+        li: usize,
+        c_handles: &[u32],
+        s_slots: &[u32],
+    ) -> LevelPrep {
+        self.stats.levels_searched += 1;
+        // Line 2: F_i.BatchInsert(S). None of S is in F_li yet (each found
+        // edge was linked only into forests up to its discovery level).
+        if !s_slots.is_empty() {
+            let s_edges: Vec<(u32, u32)> = s_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
+            let flags: Vec<bool> = s_slots.iter().map(|&s| self.edges.level(s) == li).collect();
+            self.levels[li].batch_link(&s_edges, &flags);
+        }
+
+        // Lines 3-4: representatives, dedup, size partition.
+        let reps = self.levels[li].batch_find_rep(c_handles);
+        let mut pairs: Vec<(CompId, u32)> = reps
+            .iter()
+            .zip(c_handles)
+            .map(|(&r, &h)| (r, h))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let sizes: Vec<u64> =
+            par_map_collect(&pairs, |&(_, h)| self.levels[li].component_size(h));
+        let threshold = 1u64 << li; // 2^{i-1} in 1-indexed paper terms
+        let mut active = Vec::new();
+        let mut deferred = Vec::new();
+        for (i, &(rep, handle)) in pairs.iter().enumerate() {
+            if sizes[i] <= threshold {
+                active.push(Comp {
+                    handle,
+                    rep,
+                    size: sizes[i],
+                });
+            } else {
+                deferred.push(handle);
+            }
+        }
+
+        // Line 5: push the level-`li` tree edges of every active piece.
+        self.push_level_tree_edges(li, &active);
+
+        LevelPrep { active, deferred }
+    }
+
+    /// Push every level-`li` tree edge inside the given (active, hence
+    /// small enough) pieces down to level `li - 1`: the line-5 operation
+    /// of Algorithms 4/5. Besides the level prologue, Algorithm 4 must
+    /// repeat this for pieces that remain active after merging through a
+    /// freshly promoted replacement edge — otherwise a later round could
+    /// push a non-tree edge across the merge to level `li-1` where its
+    /// endpoints are not yet connected, violating Invariant 2. (Algorithm 5
+    /// avoids the issue structurally: it pushes the chosen tree edges
+    /// themselves, lines 24-26.)
+    pub(crate) fn push_level_tree_edges(&mut self, li: usize, comps: &[Comp]) {
+        let fetched: Vec<Vec<(u32, u32)>> =
+            par_map_collect(comps, |c| self.levels[li].fetch_tree_edges(c.handle));
+        let tree_edges: Vec<(u32, u32)> = fetched.into_iter().flatten().collect();
+        if tree_edges.is_empty() {
+            return;
+        }
+        debug_assert!(li > 0, "level-1 active pieces are singletons");
+        for &(u, v) in &tree_edges {
+            let s = self.edges.slot_of(u, v).expect("tree edge recorded");
+            self.edges.set_level(s, li - 1);
+        }
+        self.levels[li].set_tree_flags(&tree_edges, false);
+        let flags = vec![true; tree_edges.len()];
+        self.levels[li - 1].batch_link(&tree_edges, &flags);
+        self.stats.tree_pushes += tree_edges.len() as u64;
+    }
+
+    /// Move non-tree edges from level `li` to `li - 1` (the level-decrease
+    /// charged by every amortization argument in the paper).
+    pub(crate) fn push_nontree_down(&mut self, li: usize, slots: &[u32]) {
+        if slots.is_empty() {
+            return;
+        }
+        debug_assert!(li > 0, "cannot push below the bottom level");
+        self.remove_nontree_at(li, slots);
+        for &s in slots {
+            self.edges.set_level(s, li - 1);
+        }
+        self.add_nontree_at(li - 1, slots);
+        self.stats.nontree_pushes += slots.len() as u64;
+    }
+
+    /// Promote non-tree edges at level `li` to tree edges of `F_li` (their
+    /// level is unchanged) and append them to the `S` buffer.
+    pub(crate) fn promote_to_tree(&mut self, li: usize, slots: &[u32], s_slots: &mut Vec<u32>) {
+        if slots.is_empty() {
+            return;
+        }
+        self.remove_nontree_at(li, slots);
+        let edges: Vec<(u32, u32)> = slots.iter().map(|&s| self.edges.endpoints(s)).collect();
+        for &s in slots {
+            self.edges.set_tree(s, true);
+        }
+        let flags = vec![true; edges.len()];
+        self.levels[li].batch_link(&edges, &flags);
+        s_slots.extend_from_slice(slots);
+        self.stats.replacements += slots.len() as u64;
+    }
+
+    /// The non-tree occurrence list of a piece: the first `take` level-`li`
+    /// non-tree edge slots in tour order.
+    pub(crate) fn fetch_occurrences(&self, li: usize, handle: u32, take: u64) -> Vec<u32> {
+        let picked = self.levels[li].fetch_nontree(handle, take);
+        let mut out = Vec::with_capacity(take as usize);
+        for (vertex, cnt) in picked {
+            out.extend_from_slice(self.adj.fetch(vertex, li as u8, cnt as usize));
+        }
+        out
+    }
+}

@@ -1,0 +1,270 @@
+//! The edge dictionary `ED` (§3, "Data Structures"): every edge of the
+//! graph, its HDT level, tree/non-tree status, and its positions inside the
+//! per-endpoint adjacency arrays of Appendix 8.
+//!
+//! Records live in a structure-of-arrays slab addressed by dense slots; a
+//! phase-concurrent dictionary maps edge keys to slots. All record fields
+//! are atomics because different parallel phases legitimately update
+//! different fields of the *same* edge from different tasks (e.g. the two
+//! endpoints' adjacency compactions move the same edge in two different
+//! arrays).
+
+use dyncon_primitives::{par_for, ConcurrentDict};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Pack an undirected edge into a dictionary key.
+#[inline]
+pub fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Unpack a dictionary key.
+#[inline]
+pub fn key_endpoints(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+const TREE_BIT: u32 = 1;
+
+/// Slab + dictionary of all current edges.
+pub struct EdgeIndex {
+    dict: ConcurrentDict,
+    /// bit 0: is_tree; bits 8..16: level index.
+    info: Vec<AtomicU32>,
+    /// Position within the smaller endpoint's adjacency array.
+    pos_min: Vec<AtomicU32>,
+    /// Position within the larger endpoint's adjacency array.
+    pos_max: Vec<AtomicU32>,
+    /// Reverse map slot → key (`u64::MAX` when free).
+    keys: Vec<AtomicU64>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl EdgeIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self {
+            dict: ConcurrentDict::with_capacity(64),
+            info: Vec::new(),
+            pos_min: Vec::new(),
+            pos_max: Vec::new(),
+            keys: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no edges exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot of an edge, if present.
+    #[inline]
+    pub fn slot_of(&self, u: u32, v: u32) -> Option<u32> {
+        self.dict.get(edge_key(u, v)).map(|s| s as u32)
+    }
+
+    /// True if the edge is present.
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        self.slot_of(u, v).is_some()
+    }
+
+    /// Endpoints of the edge in `slot` (min, max).
+    #[inline]
+    pub fn endpoints(&self, slot: u32) -> (u32, u32) {
+        key_endpoints(self.keys[slot as usize].load(Ordering::Relaxed))
+    }
+
+    /// The endpoint of `slot` that is not `v`.
+    #[inline]
+    pub fn other_endpoint(&self, slot: u32, v: u32) -> u32 {
+        let (a, b) = self.endpoints(slot);
+        if a == v {
+            b
+        } else {
+            debug_assert_eq!(b, v);
+            a
+        }
+    }
+
+    /// Level index of the edge.
+    #[inline]
+    pub fn level(&self, slot: u32) -> usize {
+        ((self.info[slot as usize].load(Ordering::Relaxed) >> 8) & 0xff) as usize
+    }
+
+    /// Set the level index.
+    #[inline]
+    pub fn set_level(&self, slot: u32, level: usize) {
+        debug_assert!(level < 256);
+        let old = self.info[slot as usize].load(Ordering::Relaxed);
+        self.info[slot as usize]
+            .store((old & !0xff00) | ((level as u32) << 8), Ordering::Relaxed);
+    }
+
+    /// Is the edge currently a tree edge?
+    #[inline]
+    pub fn is_tree(&self, slot: u32) -> bool {
+        self.info[slot as usize].load(Ordering::Relaxed) & TREE_BIT != 0
+    }
+
+    /// Set the tree bit.
+    #[inline]
+    pub fn set_tree(&self, slot: u32, tree: bool) {
+        let old = self.info[slot as usize].load(Ordering::Relaxed);
+        let new = if tree { old | TREE_BIT } else { old & !TREE_BIT };
+        self.info[slot as usize].store(new, Ordering::Relaxed);
+    }
+
+    /// Adjacency position of `slot` at endpoint `v`.
+    #[inline]
+    pub fn pos(&self, slot: u32, v: u32) -> u32 {
+        let (a, _) = self.endpoints(slot);
+        if v == a {
+            self.pos_min[slot as usize].load(Ordering::Relaxed)
+        } else {
+            self.pos_max[slot as usize].load(Ordering::Relaxed)
+        }
+    }
+
+    /// Record the adjacency position of `slot` at endpoint `v`.
+    #[inline]
+    pub fn set_pos(&self, slot: u32, v: u32, p: u32) {
+        let (a, _) = self.endpoints(slot);
+        if v == a {
+            self.pos_min[slot as usize].store(p, Ordering::Relaxed);
+        } else {
+            self.pos_max[slot as usize].store(p, Ordering::Relaxed);
+        }
+    }
+
+    /// Insert a batch of *new, distinct, normalized* edges; returns their
+    /// slots. `O(k)` expected work.
+    pub fn insert_batch(&mut self, edges: &[(u32, u32)], level: usize, is_tree: &[bool]) -> Vec<u32> {
+        let k = edges.len();
+        let mut slots = Vec::with_capacity(k);
+        for _ in 0..k {
+            if let Some(s) = self.free.pop() {
+                slots.push(s);
+            } else {
+                let s = self.info.len() as u32;
+                self.info.push(AtomicU32::new(0));
+                self.pos_min.push(AtomicU32::new(0));
+                self.pos_max.push(AtomicU32::new(0));
+                self.keys.push(AtomicU64::new(u64::MAX));
+                slots.push(s);
+            }
+        }
+        par_for(k, |i| {
+            let (u, v) = edges[i];
+            let s = slots[i] as usize;
+            self.keys[s].store(edge_key(u, v), Ordering::Relaxed);
+            let info = ((level as u32) << 8) | (is_tree[i] as u32);
+            self.info[s].store(info, Ordering::Relaxed);
+            self.pos_min[s].store(u32::MAX, Ordering::Relaxed);
+            self.pos_max[s].store(u32::MAX, Ordering::Relaxed);
+        });
+        let entries: Vec<(u64, u64)> = edges
+            .iter()
+            .zip(&slots)
+            .map(|(&(u, v), &s)| (edge_key(u, v), s as u64))
+            .collect();
+        self.dict.insert_batch(&entries);
+        self.len += k;
+        slots
+    }
+
+    /// Remove a batch of slots (must be live and distinct).
+    pub fn remove_batch(&mut self, slots: &[u32]) {
+        let keys: Vec<u64> = slots
+            .iter()
+            .map(|&s| self.keys[s as usize].load(Ordering::Relaxed))
+            .collect();
+        let removed = self.dict.remove_batch(&keys);
+        debug_assert_eq!(removed, slots.len(), "removing absent edge slots");
+        for &s in slots {
+            self.keys[s as usize].store(u64::MAX, Ordering::Relaxed);
+        }
+        self.free.extend_from_slice(slots);
+        self.len -= slots.len();
+    }
+
+    /// All live slots (diagnostic / validation use).
+    pub fn live_slots(&self) -> Vec<u32> {
+        (0..self.keys.len() as u32)
+            .filter(|&s| self.keys[s as usize].load(Ordering::Relaxed) != u64::MAX)
+            .collect()
+    }
+}
+
+impl Default for EdgeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ei = EdgeIndex::new();
+        let slots = ei.insert_batch(&[(1, 2), (5, 3)], 7, &[true, false]);
+        assert_eq!(ei.len(), 2);
+        assert_eq!(ei.slot_of(2, 1), Some(slots[0]));
+        assert_eq!(ei.slot_of(3, 5), Some(slots[1]));
+        assert!(ei.is_tree(slots[0]));
+        assert!(!ei.is_tree(slots[1]));
+        assert_eq!(ei.level(slots[0]), 7);
+        assert_eq!(ei.endpoints(slots[1]), (3, 5));
+        assert_eq!(ei.other_endpoint(slots[1], 3), 5);
+        ei.remove_batch(&[slots[0]]);
+        assert_eq!(ei.len(), 1);
+        assert_eq!(ei.slot_of(1, 2), None);
+        assert!(ei.contains(5, 3));
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let mut ei = EdgeIndex::new();
+        let s1 = ei.insert_batch(&[(0, 1)], 0, &[false])[0];
+        ei.remove_batch(&[s1]);
+        let s2 = ei.insert_batch(&[(2, 3)], 1, &[true])[0];
+        assert_eq!(s1, s2, "slot recycled");
+        assert_eq!(ei.endpoints(s2), (2, 3));
+        assert_eq!(ei.level(s2), 1);
+    }
+
+    #[test]
+    fn level_and_tree_mutations() {
+        let mut ei = EdgeIndex::new();
+        let s = ei.insert_batch(&[(4, 9)], 12, &[false])[0];
+        ei.set_level(s, 11);
+        assert_eq!(ei.level(s), 11);
+        assert!(!ei.is_tree(s));
+        ei.set_tree(s, true);
+        assert!(ei.is_tree(s));
+        assert_eq!(ei.level(s), 11, "tree bit does not clobber level");
+        ei.set_tree(s, false);
+        assert!(!ei.is_tree(s));
+    }
+
+    #[test]
+    fn positions_per_endpoint() {
+        let mut ei = EdgeIndex::new();
+        let s = ei.insert_batch(&[(2, 7)], 0, &[false])[0];
+        ei.set_pos(s, 2, 13);
+        ei.set_pos(s, 7, 99);
+        assert_eq!(ei.pos(s, 2), 13);
+        assert_eq!(ei.pos(s, 7), 99);
+    }
+}

@@ -1,0 +1,128 @@
+//! Bulk read-out APIs: component labellings, members and forest exports.
+//!
+//! These are the interfaces downstream graph-analytics users actually
+//! consume (the clustering primitive of [52] in the paper's motivation):
+//! a full component labelling, the members of one cluster, and the
+//! certifying spanning forest.
+
+use crate::BatchDynamicConnectivity;
+use dyncon_ett::Payload;
+use dyncon_primitives::par_map_collect;
+
+impl BatchDynamicConnectivity {
+    /// A full component labelling: `labels[u] == labels[v]` iff `u` and
+    /// `v` are connected. Labels are opaque (stable only until the next
+    /// mutation). `O(n lg n)` expected work, `O(lg n)` depth.
+    pub fn component_labels(&self) -> Vec<u64> {
+        let top = self.top();
+        let ids: Vec<u32> = (0..self.num_vertices() as u32).collect();
+        par_map_collect(&ids, |&v| self.levels[top].find_rep(v))
+    }
+
+    /// Every vertex in `v`'s component (including `v`), in Euler tour
+    /// order. `O(output)` after an `O(lg n)` locate.
+    pub fn component_members(&self, v: u32) -> Vec<u32> {
+        let top = self.top();
+        self.levels[top]
+            .tour(v)
+            .into_iter()
+            .filter_map(|p| match p {
+                Payload::Loop(w) => Some(w),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The current spanning forest of the whole graph (the tree edges of
+    /// `F_L` — a certificate of the connectivity structure).
+    pub fn spanning_forest_edges(&self) -> Vec<(u32, u32)> {
+        self.edges
+            .live_slots()
+            .into_iter()
+            .filter(|&s| self.edges.is_tree(s))
+            .map(|s| self.edges.endpoints(s))
+            .collect()
+    }
+
+    /// All current edges (normalized, unordered).
+    pub fn edge_list(&self) -> Vec<(u32, u32)> {
+        self.edges
+            .live_slots()
+            .into_iter()
+            .map(|s| self.edges.endpoints(s))
+            .collect()
+    }
+
+    /// Histogram of component sizes, largest first (a cheap clustering
+    /// summary: `[giant, …, 1, 1, 1]`).
+    pub fn component_size_distribution(&self) -> Vec<u64> {
+        let labels = self.component_labels();
+        let mut counts: dyncon_primitives::FxHashMap<u64, u64> = Default::default();
+        for l in labels {
+            *counts.entry(l).or_default() += 1;
+        }
+        let mut sizes: Vec<u64> = counts.into_values().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BatchDynamicConnectivity;
+
+    fn setup() -> BatchDynamicConnectivity {
+        let mut g = BatchDynamicConnectivity::new(8);
+        g.batch_insert(&[(0, 1), (1, 2), (2, 0), (4, 5)]);
+        g
+    }
+
+    #[test]
+    fn labels_partition() {
+        let g = setup();
+        let l = g.component_labels();
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[4], l[5]);
+        assert_ne!(l[0], l[4]);
+        assert_ne!(l[3], l[6]);
+    }
+
+    #[test]
+    fn members_are_exact() {
+        let g = setup();
+        let mut m = g.component_members(1);
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+        assert_eq!(g.component_members(7), vec![7]);
+    }
+
+    #[test]
+    fn forest_certificate() {
+        let g = setup();
+        let f = g.spanning_forest_edges();
+        // Triangle contributes 2 tree edges, pair contributes 1.
+        assert_eq!(f.len(), 3);
+        let mut all = g.edge_list();
+        all.sort_unstable();
+        assert_eq!(all, vec![(0, 1), (0, 2), (1, 2), (4, 5)]);
+    }
+
+    #[test]
+    fn size_distribution() {
+        let g = setup();
+        assert_eq!(g.component_size_distribution(), vec![3, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn labels_track_mutations() {
+        let mut g = setup();
+        g.batch_delete(&[(0, 1), (1, 2), (2, 0)]);
+        let l = g.component_labels();
+        assert_ne!(l[0], l[1]);
+        assert_ne!(l[1], l[2]);
+        g.batch_insert(&[(0, 6)]);
+        let l = g.component_labels();
+        assert_eq!(l[0], l[6]);
+    }
+}

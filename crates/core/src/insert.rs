@@ -1,0 +1,173 @@
+//! Algorithm 2: batch insertion.
+//!
+//! New edges enter at the top level. Treating each current component as a
+//! contracted vertex, a static spanning forest over the batch determines
+//! which edges increase connectivity (they become tree edges of `F_L`);
+//! the rest become level-`L` non-tree edges. `O(k lg(1 + n/k))` expected
+//! work and `O(lg n)` depth w.h.p. (Theorem 4).
+
+use crate::adjacency::VertexBatch;
+use crate::BatchDynamicConnectivity;
+use dyncon_primitives::semisort_pairs;
+use dyncon_spanning::spanning_forest_sparse;
+
+impl BatchDynamicConnectivity {
+    /// Insert a batch of edges. Self-loops, duplicates within the batch,
+    /// and edges already present are ignored. Returns the number of edges
+    /// actually inserted.
+    pub fn batch_insert(&mut self, batch: &[(u32, u32)]) -> usize {
+        let mut es = Self::normalize(batch);
+        es.retain(|&(u, v)| {
+            assert!((v as usize) < self.n, "vertex {v} out of range");
+            !self.edges.contains(u, v)
+        });
+        if es.is_empty() {
+            return 0;
+        }
+        let top = self.top();
+        let k = es.len();
+
+        // Lines 4-5: contracted spanning forest over component reps.
+        let mut flat: Vec<u32> = Vec::with_capacity(2 * k);
+        for &(u, v) in &es {
+            flat.push(u);
+            flat.push(v);
+        }
+        let reps = self.levels[top].batch_find_rep(&flat);
+        let rep_pairs: Vec<(u64, u64)> = (0..k).map(|i| (reps[2 * i], reps[2 * i + 1])).collect();
+        let rf = spanning_forest_sparse(&rep_pairs);
+
+        // Record all edges at the top level with their tree status.
+        let slots = self.edges.insert_batch(&es, top, &rf.chosen);
+
+        // Lines 6-8: promote the forest edges into F_L.
+        let tree_edges: Vec<(u32, u32)> = es
+            .iter()
+            .zip(&rf.chosen)
+            .filter_map(|(&e, &c)| c.then_some(e))
+            .collect();
+        if !tree_edges.is_empty() {
+            let flags = vec![true; tree_edges.len()];
+            self.levels[top].batch_link(&tree_edges, &flags);
+        }
+
+        // Line 3: the rest join the level-L adjacency structure.
+        let nontree_slots: Vec<u32> = slots
+            .iter()
+            .zip(&rf.chosen)
+            .filter_map(|(&s, &c)| (!c).then_some(s))
+            .collect();
+        self.add_nontree_at(top, &nontree_slots);
+
+        self.stats.edges_inserted += k as u64;
+        k
+    }
+
+    /// Insert `slots` into the level-`li` adjacency arrays of both
+    /// endpoints and refresh the forest's non-tree counts.
+    pub(crate) fn add_nontree_at(&mut self, li: usize, slots: &[u32]) {
+        if slots.is_empty() {
+            return;
+        }
+        let groups = self.vertex_groups(li, slots);
+        self.adj.insert_grouped(&groups, &self.edges);
+        self.refresh_counts(li, &groups);
+    }
+
+    /// Remove `slots` from the level-`li` adjacency arrays of both
+    /// endpoints and refresh the forest's non-tree counts.
+    pub(crate) fn remove_nontree_at(&mut self, li: usize, slots: &[u32]) {
+        if slots.is_empty() {
+            return;
+        }
+        let groups = self.vertex_groups(li, slots);
+        self.adj.remove_grouped(&groups, &self.edges);
+        self.refresh_counts(li, &groups);
+    }
+
+    /// Both-endpoint occurrences of `slots` grouped by vertex.
+    fn vertex_groups(&self, li: usize, slots: &[u32]) -> Vec<VertexBatch> {
+        let mut occ: Vec<(u32, u32)> = Vec::with_capacity(slots.len() * 2);
+        for &s in slots {
+            let (u, v) = self.edges.endpoints(s);
+            occ.push((u, s));
+            occ.push((v, s));
+        }
+        let ranges = semisort_pairs(&mut occ);
+        ranges
+            .into_iter()
+            .map(|(vertex, range)| VertexBatch {
+                vertex,
+                level: li as u8,
+                slots: occ[range].iter().map(|&(_, s)| s).collect(),
+            })
+            .collect()
+    }
+
+    /// Push the adjacency lengths of the touched vertices into the
+    /// forest's augmented counts (Appendix 9 / Lemma 11 bookkeeping).
+    fn refresh_counts(&mut self, li: usize, groups: &[VertexBatch]) {
+        let updates: Vec<(u32, u64)> = groups
+            .iter()
+            .map(|g| (g.vertex, self.adj.len(g.vertex, li as u8) as u64))
+            .collect();
+        self.levels[li].set_nontree_counts(&updates);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BatchDynamicConnectivity;
+
+    #[test]
+    fn insert_connects_components() {
+        let mut g = BatchDynamicConnectivity::new(8);
+        assert_eq!(g.batch_insert(&[(0, 1), (2, 3)]), 2);
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(0, 2));
+        assert_eq!(g.num_components(), 6);
+        assert_eq!(g.batch_insert(&[(1, 2)]), 1);
+        assert!(g.connected(0, 3));
+        assert_eq!(g.num_components(), 5);
+    }
+
+    #[test]
+    fn redundant_edges_become_nontree() {
+        let mut g = BatchDynamicConnectivity::new(4);
+        assert_eq!(g.batch_insert(&[(0, 1), (1, 2), (0, 2)]), 3);
+        assert_eq!(g.num_edges(), 3);
+        // Spanning forest keeps exactly 2 of the 3 triangle edges as tree.
+        assert_eq!(g.num_components(), 2);
+        assert!(g.connected(0, 2));
+    }
+
+    #[test]
+    fn duplicates_and_loops_ignored() {
+        let mut g = BatchDynamicConnectivity::new(4);
+        assert_eq!(g.batch_insert(&[(1, 1)]), 0);
+        assert_eq!(g.batch_insert(&[(0, 1), (1, 0), (0, 1)]), 1);
+        assert_eq!(g.batch_insert(&[(0, 1)]), 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn batch_with_chain_in_one_call() {
+        let mut g = BatchDynamicConnectivity::new(64);
+        let chain: Vec<(u32, u32)> = (0..63).map(|i| (i, i + 1)).collect();
+        assert_eq!(g.batch_insert(&chain), 63);
+        assert!(g.connected(0, 63));
+        assert_eq!(g.num_components(), 1);
+        assert_eq!(g.component_size(10), 64);
+    }
+
+    #[test]
+    fn queries_batch() {
+        let mut g = BatchDynamicConnectivity::new(6);
+        g.batch_insert(&[(0, 1), (2, 3)]);
+        assert_eq!(
+            g.batch_connected(&[(0, 1), (1, 2), (3, 2), (4, 4), (4, 5)]),
+            vec![true, false, true, true, false]
+        );
+        assert_eq!(g.stats().queries, 5);
+    }
+}

@@ -1,0 +1,195 @@
+//! # dyncon-core
+//!
+//! **Parallel batch-dynamic graph connectivity** — a faithful implementation
+//! of Acar, Anderson, Blelloch and Dhulipala, *Parallel Batch-Dynamic Graph
+//! Connectivity*, SPAA 2019 (arXiv:1903.08794).
+//!
+//! [`BatchDynamicConnectivity`] maintains an undirected graph over a fixed
+//! vertex set under batches of edge insertions, edge deletions and
+//! connectivity queries:
+//!
+//! * [`BatchDynamicConnectivity::batch_connected`] — Algorithm 1,
+//!   `O(k lg(1 + n/k))` expected work and `O(lg n)` depth w.h.p. (Thm 3);
+//! * [`BatchDynamicConnectivity::batch_insert`] — Algorithm 2, same bounds
+//!   (Thm 4);
+//! * [`BatchDynamicConnectivity::batch_delete`] — Algorithm 3, driving one
+//!   of the two replacement searches per level:
+//!   [`DeletionAlgorithm::Simple`] (Algorithm 4: work-efficient w.r.t. HDT,
+//!   `O(lg⁴ n)` depth, Thms 5–6) or [`DeletionAlgorithm::Interleaved`]
+//!   (Algorithm 5: `O(lg³ n)` depth and the improved
+//!   `O(lg n · lg(1 + n/Δ))` amortized work bound, Thms 7–9).
+//!
+//! ## Structure (§2.2, §3)
+//!
+//! Edges carry levels `1..=L`, `L = ⌈lg n⌉` (level *indices* `0..L` in
+//! code). `G_i` is the subgraph of edges with level ≤ `i`; a spanning
+//! forest `F_i` of every `G_i` is maintained as a batch-parallel Euler tour
+//! forest (`dyncon-ett`), with `F_1 ⊆ F_2 ⊆ … ⊆ F_L`. Two invariants are
+//! maintained (and checked by [`BatchDynamicConnectivity::check_invariants`]):
+//!
+//! 1. components of `G_i` have at most `2^i` vertices;
+//! 2. `F_L` is a minimum spanning forest with respect to edge levels.
+//!
+//! Non-tree edges live in per-(vertex, level) adjacency arrays
+//! (Appendix 8) mirrored into the forests' augmented counts (Appendix 9).
+
+pub mod adjacency;
+pub mod delete;
+pub mod edges;
+pub mod export;
+pub mod insert;
+pub mod search_interleaved;
+pub mod search_simple;
+pub mod stats;
+pub mod validate;
+
+use adjacency::AdjacencyStore;
+use dyncon_ett::EulerTourForest;
+use edges::EdgeIndex;
+pub use stats::Stats;
+
+/// Which replacement-edge search runs per level during deletions.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeletionAlgorithm {
+    /// Algorithm 4, `ParallelLevelSearch`: doubling restarts every round.
+    Simple,
+    /// Algorithm 5, `InterleavedLevelSearch`: one doubling sequence per
+    /// level with deferred tree insertion and deferred pushes (the
+    /// improved work bound of §4.3).
+    Interleaved,
+}
+
+/// The paper's batch-dynamic connectivity structure.
+///
+/// ```
+/// use dyncon_core::BatchDynamicConnectivity;
+///
+/// let mut g = BatchDynamicConnectivity::new(6);
+/// g.batch_insert(&[(0, 1), (1, 2), (2, 0), (4, 5)]);
+/// assert_eq!(g.batch_connected(&[(0, 2), (0, 4)]), vec![true, false]);
+///
+/// // Deleting a cycle edge keeps the component connected: the structure
+/// // finds the replacement edge on its own.
+/// g.batch_delete(&[(1, 2)]);
+/// assert!(g.connected(1, 2));
+/// assert_eq!(g.num_components(), 3); // {0,1,2}, {4,5}, {3}
+/// ```
+pub struct BatchDynamicConnectivity {
+    n: usize,
+    num_levels: usize,
+    /// `levels[li]` is the forest `F_{li+1}` of `G_{li+1}`.
+    pub(crate) levels: Vec<EulerTourForest>,
+    pub(crate) adj: AdjacencyStore,
+    pub(crate) edges: EdgeIndex,
+    pub(crate) algo: DeletionAlgorithm,
+    pub(crate) stats: Stats,
+    /// When true, Algorithm 4 scans all non-tree edges at once instead of
+    /// doubling (the E9 ablation knob; never an asymptotic win).
+    pub scan_all_ablation: bool,
+}
+
+impl BatchDynamicConnectivity {
+    /// Empty graph over `n` vertices using the improved deletion algorithm.
+    pub fn new(n: usize) -> Self {
+        Self::with_algorithm(n, DeletionAlgorithm::Interleaved)
+    }
+
+    /// Empty graph with an explicit deletion algorithm.
+    pub fn with_algorithm(n: usize, algo: DeletionAlgorithm) -> Self {
+        assert!(n >= 1, "need at least one vertex");
+        assert!(n <= u32::MAX as usize / 2, "vertex ids must fit u32");
+        let num_levels = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
+        let levels = (0..num_levels)
+            .map(|li| EulerTourForest::new(n, 0x9e37_79b9 ^ (li as u64) << 32 | n as u64))
+            .collect();
+        Self {
+            n,
+            num_levels,
+            levels,
+            adj: AdjacencyStore::new(n),
+            edges: EdgeIndex::new(),
+            algo,
+            stats: Stats::default(),
+            scan_all_ablation: false,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels `L = max(1, ⌈lg n⌉)`.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// Index of the top level (`L - 1`; level `L` in paper terms).
+    pub(crate) fn top(&self) -> usize {
+        self.num_levels - 1
+    }
+
+    /// Number of edges currently in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of connected components (isolated vertices count).
+    pub fn num_components(&self) -> usize {
+        self.n - self.levels[self.top()].num_edges()
+    }
+
+    /// Size of the component containing `v`.
+    pub fn component_size(&self, v: u32) -> u64 {
+        self.levels[self.top()].component_size(v)
+    }
+
+    /// True if the edge `{u,v}` is currently in the graph.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        u != v && self.edges.contains(u, v)
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reset operation statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Algorithm 1: answer a batch of connectivity queries against `F_L`.
+    pub fn batch_connected(&mut self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        self.stats.queries += pairs.len() as u64;
+        let top = self.top();
+        self.levels[top].batch_connected(pairs)
+    }
+
+    /// Single connectivity query.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.levels[self.top()].connected(u, v)
+    }
+
+    /// Convenience single-edge insert; returns false if it was a duplicate
+    /// or a self-loop.
+    pub fn insert(&mut self, u: u32, v: u32) -> bool {
+        self.batch_insert(&[(u, v)]) == 1
+    }
+
+    /// Convenience single-edge delete; returns false if absent.
+    pub fn delete(&mut self, u: u32, v: u32) -> bool {
+        self.batch_delete(&[(u, v)]) == 1
+    }
+
+    /// Normalize a user batch: order endpoints, drop self loops, dedup.
+    pub(crate) fn normalize(batch: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let mut es: Vec<(u32, u32)> = batch
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        dyncon_primitives::sort_dedup(&mut es);
+        es
+    }
+}

@@ -1,0 +1,295 @@
+//! Algorithm 5: `InterleavedLevelSearch` — the improved replacement search
+//! (§4).
+//!
+//! One single, monotonically doubling search size is maintained across all
+//! rounds of a level (never reset), which caps the rounds per level at
+//! `O(lg n)` and the deletion depth at `O(lg³ n)` (Theorem 7). Two
+//! deferrals make the improved work bound of §4.3 possible:
+//!
+//! * **Tree edges found on this level are not inserted into `F_i` until
+//!   the level ends** (lines 33-34) — the forest stays static during the
+//!   level, so piece representatives stay valid and the work per piece is
+//!   geometrically dominated (Lemma 7);
+//! * **pushed edges are moved onto level `i-1` only at the end**
+//!   (line 35), though they are removed from level `i` immediately so
+//!   subsequent rounds fetch fresh edges.
+//!
+//! Because committed tree edges are invisible to `F_i`, piece merging is
+//! tracked in `M`, a supercomponent union-find over piece representatives
+//! with sizes (lines 7, 16-21); the activity test (line 24) uses the
+//! supercomponent size, which is exactly what keeps every push legal under
+//! Invariant 1.
+
+
+use crate::BatchDynamicConnectivity;
+use dyncon_ett::CompId;
+use dyncon_primitives::{par_map_collect, sort_dedup, FxHashMap, FxHashSet};
+use dyncon_spanning::spanning_forest_sparse;
+
+/// The paper's `M`: map of pieces to supercomponents and their sizes.
+///
+/// A small sequential union-find keyed by piece representative. Each level
+/// touches `O(k)` pieces, so this is never more than a lower-order term;
+/// a parallel dictionary version would match the paper's depth exactly
+/// (see DESIGN.md §3).
+pub(crate) struct SuperComps {
+    parent: FxHashMap<CompId, CompId>,
+    size: FxHashMap<CompId, u64>,
+}
+
+impl SuperComps {
+    pub(crate) fn new() -> Self {
+        Self {
+            parent: FxHashMap::default(),
+            size: FxHashMap::default(),
+        }
+    }
+
+    /// Register a piece with its vertex count (no-op if known).
+    pub(crate) fn add(&mut self, rep: CompId, size: u64) {
+        self.parent.entry(rep).or_insert(rep);
+        self.size.entry(rep).or_insert(size);
+    }
+
+    pub(crate) fn contains(&self, rep: CompId) -> bool {
+        self.parent.contains_key(&rep)
+    }
+
+    /// Supercomponent representative (path halving).
+    pub(crate) fn find(&mut self, rep: CompId) -> CompId {
+        let mut x = rep;
+        loop {
+            let p = self.parent[&x];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[&p];
+            self.parent.insert(x, gp);
+            x = gp;
+        }
+    }
+
+    /// Merge two supercomponents, summing sizes.
+    pub(crate) fn union(&mut self, a: CompId, b: CompId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (sa, sb) = (self.size[&ra], self.size[&rb]);
+        let (big, small) = if sa >= sb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(small, big);
+        self.size.insert(big, sa + sb);
+    }
+
+    /// Size of the supercomponent containing `rep`.
+    pub(crate) fn size_of(&mut self, rep: CompId) -> u64 {
+        let r = self.find(rep);
+        self.size[&r]
+    }
+}
+
+impl BatchDynamicConnectivity {
+    /// One level of Algorithm 5. Returns the handles deferred to the next
+    /// level; found tree edges are appended to `s_slots`.
+    pub(crate) fn level_search_interleaved(
+        &mut self,
+        li: usize,
+        c_handles: &[u32],
+        s_slots: &mut Vec<u32>,
+    ) -> Vec<u32> {
+        let prep = self.prepare_level(li, c_handles, s_slots);
+        let mut deferred = prep.deferred;
+        let mut active = prep.active;
+
+        // Line 7: M maps pieces to supercomponents (initially themselves).
+        let mut superc = SuperComps::new();
+        for c in &active {
+            superc.add(c.rep, c.size);
+        }
+        let mut t_slots: Vec<u32> = Vec::new(); // line 6: T
+        let mut pushed: Vec<u32> = Vec::new(); // line 6: EP (already off level i)
+        let mut r = 0u32; // line 6: round / search size exponent
+        let threshold = 1u64 << li;
+        let mut phases_this_level = 0u64;
+
+        // Line 8: while |C| > 0.
+        while !active.is_empty() {
+            self.stats.rounds += 1;
+            self.stats.phases += 1;
+            phases_this_level += 1;
+            let sz = 1u64 << r.min(62);
+
+            // ---- Lines 10-15: fetch and identify replacement edges. ----
+            // F_li is static for the whole level (tree inserts deferred),
+            // so representatives from any earlier round remain valid.
+            let fetches: Vec<(Vec<u32>, u64, u64)> = par_map_collect(&active, |c| {
+                let cmax = self.levels[li].nontree_total(c.handle);
+                let csz = sz.min(cmax);
+                (self.fetch_occurrences(li, c.handle, csz), cmax, csz)
+            });
+            // Representatives of both endpoints of every candidate.
+            let mut cand_slots: Vec<u32> = Vec::new();
+            for (occs, _, _) in &fetches {
+                cand_slots.extend_from_slice(occs);
+                self.stats.edges_examined += occs.len() as u64;
+            }
+            sort_dedup(&mut cand_slots);
+            let cand_reps: Vec<(CompId, CompId)> = par_map_collect(&cand_slots, |&s| {
+                let (x, y) = self.edges.endpoints(s);
+                (self.levels[li].find_rep(x), self.levels[li].find_rep(y))
+            });
+            // Register pieces seen for the first time (line 17's "components
+            // affected by R") with their current F_i sizes.
+            let mut unknown: Vec<(CompId, u32)> = Vec::new();
+            for (i, &s) in cand_slots.iter().enumerate() {
+                let (x, y) = self.edges.endpoints(s);
+                let (rx, ry) = cand_reps[i];
+                if !superc.contains(rx) {
+                    unknown.push((rx, x));
+                }
+                if !superc.contains(ry) {
+                    unknown.push((ry, y));
+                }
+            }
+            unknown.sort_unstable();
+            unknown.dedup_by_key(|p| p.0);
+            let unknown_sizes: Vec<u64> =
+                par_map_collect(&unknown, |&(_, v)| self.levels[li].component_size(v));
+            for (&(rep, _), &size) in unknown.iter().zip(&unknown_sizes) {
+                superc.add(rep, size);
+            }
+            // Line 14: replacements = candidates crossing supercomponents.
+            let replacement_pairs: Vec<(usize, CompId, CompId)> = cand_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, _)| {
+                    let (rx, ry) = cand_reps[i];
+                    let (sx, sy) = (superc.find(rx), superc.find(ry));
+                    (sx != sy).then_some((i, sx, sy))
+                })
+                .collect();
+
+            // ---- Lines 16-21: spanning forest over R, update M, grow T.
+            let sf_pairs: Vec<(u64, u64)> = replacement_pairs
+                .iter()
+                .map(|&(_, sx, sy)| (sx, sy))
+                .collect();
+            let rf = spanning_forest_sparse(&sf_pairs);
+            let mut chosen_this_round: Vec<u32> = Vec::new();
+            for (j, &(i, sx, sy)) in replacement_pairs.iter().enumerate() {
+                if rf.chosen[j] {
+                    chosen_this_round.push(cand_slots[i]);
+                    superc.union(sx, sy);
+                }
+            }
+            t_slots.extend_from_slice(&chosen_this_round);
+
+            // ---- Lines 22-31: push or deactivate each piece. ----
+            // Size/exhaustion fates need &mut superc: precompute.
+            let mut fates: Vec<(bool, bool)> = Vec::with_capacity(active.len());
+            for (c, (_, cmax, csz)) in active.iter().zip(fetches.iter()) {
+                let size_ok = superc.size_of(c.rep) <= threshold;
+                fates.push((size_ok && *csz < *cmax, size_ok));
+            }
+            let chosen_set: FxHashSet<u32> = chosen_this_round.iter().copied().collect();
+            let mut push_now: Vec<u32> = Vec::new();
+            let mut still_active = Vec::with_capacity(active.len());
+            for ((c, (occs, _, _)), (stays, size_ok)) in active
+                .drain(..)
+                .zip(fetches.into_iter())
+                .zip(fates.into_iter())
+            {
+                if stays {
+                    // Line 24-26: still active; everything fetched this
+                    // round — replacements included — leaves level i.
+                    push_now.extend_from_slice(&occs);
+                    still_active.push(c);
+                } else {
+                    // Line 28: deactivated (too big or exhausted).
+                    //
+                    // Invariant 2 guard for the exhaustion case: tree
+                    // edges chosen *this round* from this piece's fetch
+                    // must still be pushed. A supercomponent sibling that
+                    // remains active may later push a non-tree edge
+                    // crossing this piece to level i-1; the connecting
+                    // tree edge must already live there (the same hole
+                    // class as Algorithm 4's merge case — DESIGN.md §4).
+                    // Pushing them is legal: the supercomponent still
+                    // fits the 2^{i-1} bound. When the piece dies by
+                    // *size*, every sibling shares the oversized
+                    // supercomponent and dies with it this same round, so
+                    // no future cross-piece push exists.
+                    if size_ok {
+                        push_now.extend(occs.iter().filter(|s| chosen_set.contains(s)));
+                    }
+                    deferred.push(c.handle);
+                }
+            }
+            active = still_active;
+            // Remove pushed edges from level i *now* (so later rounds
+            // fetch fresh edges) but defer their insertion at level i-1.
+            sort_dedup(&mut push_now);
+            if !push_now.is_empty() {
+                debug_assert!(li > 0, "level-0 pieces cannot push");
+                self.remove_nontree_at(li, &push_now);
+                for &s in &push_now {
+                    self.edges.set_level(s, li - 1);
+                }
+                pushed.extend_from_slice(&push_now);
+            }
+            r += 1;
+        }
+        self.stats.max_phases_in_level = self.stats.max_phases_in_level.max(phases_this_level);
+
+        // ---- Lines 33-35: end of level. Commit T and land EP. ----
+        sort_dedup(&mut t_slots);
+        let pushed_set: FxHashSet<u32> = pushed.iter().copied().collect();
+        // Chosen tree edges never pushed are still in the level-i
+        // adjacency: remove them (they are tree edges now).
+        let t_unpushed: Vec<u32> = t_slots
+            .iter()
+            .copied()
+            .filter(|s| !pushed_set.contains(s))
+            .collect();
+        self.remove_nontree_at(li, &t_unpushed);
+        for &s in &t_slots {
+            self.edges.set_tree(s, true);
+        }
+        // Line 34: F_i.BatchInsert(T). Pushed members of T carry level
+        // i-1 (flag false here, true below); unpushed carry level i.
+        if !t_slots.is_empty() {
+            let edges: Vec<(u32, u32)> =
+                t_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
+            let flags: Vec<bool> = t_slots.iter().map(|&s| self.edges.level(s) == li).collect();
+            self.levels[li].batch_link(&edges, &flags);
+            self.stats.replacements += t_slots.len() as u64;
+        }
+        // Line 35: land the pushed edges on level i-1.
+        let t_pushed: Vec<u32> = t_slots
+            .iter()
+            .copied()
+            .filter(|s| pushed_set.contains(s))
+            .collect();
+        if !t_pushed.is_empty() {
+            let edges: Vec<(u32, u32)> =
+                t_pushed.iter().map(|&s| self.edges.endpoints(s)).collect();
+            let flags = vec![true; edges.len()];
+            self.levels[li - 1].batch_link(&edges, &flags);
+        }
+        let t_set: FxHashSet<u32> = t_slots.iter().copied().collect();
+        let pushed_nontree: Vec<u32> = pushed
+            .iter()
+            .copied()
+            .filter(|s| !t_set.contains(s))
+            .collect();
+        if !pushed_nontree.is_empty() {
+            self.add_nontree_at(li - 1, &pushed_nontree);
+        }
+        self.stats.nontree_pushes += pushed_nontree.len() as u64;
+        self.stats.tree_pushes += t_pushed.len() as u64;
+
+        // Line 36: S ∪ T.
+        s_slots.extend_from_slice(&t_slots);
+        deferred
+    }
+}

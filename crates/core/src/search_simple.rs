@@ -1,0 +1,177 @@
+//! Algorithm 4: `ParallelLevelSearch` — the simple parallel replacement
+//! search (§3.3).
+//!
+//! Rounds repeat until no active piece remains. Within a round every
+//! active piece runs a doubling search (phases `w = 0, 1, …` examining the
+//! first `2^w` non-tree edge occurrences) until it finds a replacement or
+//! exhausts its edges. We run the per-piece doubling phases globally
+//! synchronized — all pieces at phase `w` together — so that pushes can be
+//! applied as deduplicated batch phases; each piece still performs exactly
+//! the paper's fetch/check/push sequence, so the charging arguments of
+//! Theorem 6 are unchanged. Cross-piece push conflicts cannot occur:
+//! a non-replacement candidate always has both endpoints inside the
+//! fetching piece, so no other piece can fetch it.
+//!
+//! The round ends with the oracle-output processing of lines 22-30:
+//! a spanning forest over the found replacement edges (on the contracted
+//! piece graph) is committed as tree edges, and the piece set is
+//! recomputed.
+
+use crate::delete::Comp;
+use crate::BatchDynamicConnectivity;
+use dyncon_primitives::{par_map_collect, sort_dedup};
+use dyncon_spanning::spanning_forest_sparse;
+
+/// Per-piece state inside one round's doubling search.
+struct Doubling {
+    comp: Comp,
+    /// Total non-tree occurrences of the piece at round start.
+    cmax: u64,
+    /// Current phase exponent.
+    w: u32,
+}
+
+impl BatchDynamicConnectivity {
+    /// One level of Algorithm 4. Returns the handles deferred to the next
+    /// level (the returned `D`); found tree edges are appended to
+    /// `s_slots`.
+    pub(crate) fn level_search_simple(
+        &mut self,
+        li: usize,
+        c_handles: &[u32],
+        s_slots: &mut Vec<u32>,
+    ) -> Vec<u32> {
+        let prep = self.prepare_level(li, c_handles, s_slots);
+        let mut deferred = prep.deferred;
+        let mut active = prep.active;
+        let mut phases_this_level = 0u64;
+
+        // Line 6: while |C| > 0.
+        while !active.is_empty() {
+            self.stats.rounds += 1;
+            // ---- Lines 8-21: synchronized doubling over the pieces. ----
+            let mut searching: Vec<Doubling> = Vec::new();
+            for comp in active.drain(..) {
+                let cmax = self.levels[li].nontree_total(comp.handle);
+                if cmax == 0 {
+                    // Exhausted before starting: straight to D (the paper's
+                    // loop guard `2^w < 2·cmax` never admits it).
+                    deferred.push(comp.handle);
+                } else {
+                    searching.push(Doubling { comp, cmax, w: 0 });
+                }
+            }
+            // Pieces that find a replacement this round (rep, handle, slot).
+            let mut found: Vec<(Comp, u32)> = Vec::new();
+            while !searching.is_empty() {
+                self.stats.phases += 1;
+                phases_this_level += 1;
+                // Fetch and check in parallel (read-only).
+                let results: Vec<(Option<u32>, Vec<u32>, u64)> =
+                    par_map_collect(&searching, |st| {
+                        let csz = if self.scan_all_ablation {
+                            st.cmax
+                        } else {
+                            (1u64 << st.w).min(st.cmax)
+                        };
+                        let occs = self.fetch_occurrences(li, st.comp.handle, csz);
+                        // First replacement occurrence, if any: an edge
+                        // whose endpoint representatives differ.
+                        let mut hit: Option<u32> = None;
+                        let mut prefix_end = occs.len();
+                        for (i, &slot) in occs.iter().enumerate() {
+                            let (x, y) = self.edges.endpoints(slot);
+                            if self.levels[li].find_rep(x) != self.levels[li].find_rep(y) {
+                                hit = Some(slot);
+                                prefix_end = i;
+                                break;
+                            }
+                        }
+                        let examined = occs.len() as u64;
+                        (hit, occs[..prefix_end].to_vec(), examined)
+                    });
+                // Apply phase results at the barrier.
+                let mut push_now: Vec<u32> = Vec::new();
+                let mut still = Vec::with_capacity(searching.len());
+                for (st, (hit, prefix, examined)) in
+                    searching.into_iter().zip(results.into_iter())
+                {
+                    self.stats.edges_examined += examined;
+                    let csz = if self.scan_all_ablation {
+                        st.cmax
+                    } else {
+                        (1u64 << st.w).min(st.cmax)
+                    };
+                    if let Some(slot) = hit {
+                        // Lines 14-16: push the prefix before the first
+                        // replacement; the piece leaves the doubling.
+                        push_now.extend_from_slice(&prefix);
+                        found.push((st.comp, slot));
+                    } else if csz >= st.cmax {
+                        // Lines 17-20: exhausted; push everything and defer.
+                        push_now.extend_from_slice(&prefix);
+                        deferred.push(st.comp.handle);
+                    } else {
+                        still.push(Doubling {
+                            comp: st.comp,
+                            cmax: st.cmax,
+                            w: st.w + 1,
+                        });
+                    }
+                }
+                // Occurrence lists may contain an edge twice (both
+                // endpoints inside the piece): dedup before pushing.
+                sort_dedup(&mut push_now);
+                if li == 0 {
+                    debug_assert!(push_now.is_empty(), "no pushes below the bottom level");
+                } else {
+                    self.push_nontree_down(li, &push_now);
+                }
+                searching = still;
+            }
+
+            if found.is_empty() {
+                break;
+            }
+            // ---- Lines 22-30: commit replacements. ----
+            let mut slots: Vec<u32> = found.iter().map(|&(_, s)| s).collect();
+            sort_dedup(&mut slots);
+            let pairs: Vec<(u64, u64)> = par_map_collect(&slots, |&s| {
+                let (x, y) = self.edges.endpoints(s);
+                (self.levels[li].find_rep(x), self.levels[li].find_rep(y))
+            });
+            let rf = spanning_forest_sparse(&pairs);
+            let chosen: Vec<u32> = slots
+                .iter()
+                .zip(&rf.chosen)
+                .filter_map(|(&s, &c)| c.then_some(s))
+                .collect();
+            self.promote_to_tree(li, &chosen, s_slots);
+
+            // Line 28-30: recompute the surviving pieces' representatives
+            // and re-partition by size.
+            let handles: Vec<u32> = found.iter().map(|(c, _)| c.handle).collect();
+            let reps = self.levels[li].batch_find_rep(&handles);
+            let mut pairs: Vec<(u64, u32)> =
+                reps.into_iter().zip(handles.into_iter()).collect();
+            pairs.sort_unstable();
+            pairs.dedup_by_key(|p| p.0);
+            let threshold = 1u64 << li;
+            for (rep, handle) in pairs {
+                let size = self.levels[li].component_size(handle);
+                if size <= threshold {
+                    active.push(Comp { handle, rep, size });
+                } else {
+                    deferred.push(handle);
+                }
+            }
+            // Pieces that merged through just-promoted level-`li` tree
+            // edges and remain active must have those edges pushed down
+            // before their interior is searched again (see
+            // `push_level_tree_edges`).
+            self.push_level_tree_edges(li, &active);
+        }
+        self.stats.max_phases_in_level = self.stats.max_phases_in_level.max(phases_this_level);
+        deferred
+    }
+}

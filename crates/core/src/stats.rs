@@ -1,0 +1,74 @@
+//! Instrumentation counters.
+//!
+//! The paper's depth bounds (Theorems 5 and 7) are about numbers of
+//! rounds/phases, which wall-clock time on a small machine can't expose
+//! directly. These counters record the round/phase structure of every
+//! deletion so experiment E3 can compare Algorithm 4's `O(lg² n)` phases
+//! per level against Algorithm 5's `O(lg n)` rounds per level.
+
+/// Cumulative operation statistics of a [`crate::BatchDynamicConnectivity`].
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Edges inserted (after dedup/filtering).
+    pub edges_inserted: u64,
+    /// Edges deleted (after dedup/filtering).
+    pub edges_deleted: u64,
+    /// Tree edges deleted (those that trigger replacement searches).
+    pub tree_edges_deleted: u64,
+    /// Connectivity queries answered.
+    pub queries: u64,
+    /// Levels entered by replacement searches.
+    pub levels_searched: u64,
+    /// Search rounds executed (outer loop iterations of Algorithms 4/5).
+    pub rounds: u64,
+    /// Doubling phases executed (inner fetch-and-check steps; for
+    /// Algorithm 5 rounds and phases coincide).
+    pub phases: u64,
+    /// Candidate non-tree edge occurrences fetched and examined.
+    pub edges_examined: u64,
+    /// Edge level decreases (non-tree pushes).
+    pub nontree_pushes: u64,
+    /// Edge level decreases (tree pushes, including the line-5 bulk push).
+    pub tree_pushes: u64,
+    /// Non-tree edges promoted to tree edges (replacements committed).
+    pub replacements: u64,
+    /// Largest number of phases observed within a single level search.
+    pub max_phases_in_level: u64,
+}
+
+impl Stats {
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = Stats::default();
+    }
+
+    /// Total edge level decreases.
+    pub fn total_pushes(&self) -> u64 {
+        self.nontree_pushes + self.tree_pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Stats {
+            rounds: 5,
+            ..Default::default()
+        };
+        s.reset();
+        assert_eq!(s.rounds, 0);
+    }
+
+    #[test]
+    fn total_pushes_sums() {
+        let s = Stats {
+            nontree_pushes: 3,
+            tree_pushes: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.total_pushes(), 7);
+    }
+}

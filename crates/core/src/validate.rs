@@ -1,0 +1,169 @@
+//! The invariant checker: verifies the complete HDT level structure
+//! against ground truth recomputed from the edge records. Heavy —
+//! `O(n · L + m · L)` — and intended for tests, examples and debugging.
+
+use crate::BatchDynamicConnectivity;
+use dyncon_primitives::FxHashMap;
+use dyncon_spanning::UnionFind;
+
+impl BatchDynamicConnectivity {
+    /// Check every structural invariant:
+    ///
+    /// 1. **Invariant 1**: components of `G_i` have ≤ `2^i` vertices;
+    /// 2. **Invariant 2** (equivalent nesting form): every `F_i` spans
+    ///    `G_i`, hence `F_L` is a minimum spanning forest w.r.t. levels;
+    /// 3. tree edges of level `j` are present in exactly the forests
+    ///    `F_j..F_L`; non-tree edges in none;
+    /// 4. non-tree edges sit in both endpoints' adjacency arrays exactly
+    ///    at their level, with consistent position back-pointers;
+    /// 5. each forest's Euler tours, augmented counts and skip lists are
+    ///    internally consistent (full `dyncon-ett` validation).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        let nl = self.num_levels();
+        // Collect live records.
+        let slots = self.edges.live_slots();
+        let mut tree_edges: Vec<(usize, (u32, u32))> = Vec::new();
+        let mut nontree_edges: Vec<(usize, u32, (u32, u32))> = Vec::new();
+        for &s in &slots {
+            let li = self.edges.level(s);
+            if li >= nl {
+                return Err(format!("slot {s}: level {li} out of range"));
+            }
+            let e = self.edges.endpoints(s);
+            if self.edges.is_tree(s) {
+                tree_edges.push((li, e));
+            } else {
+                nontree_edges.push((li, s, e));
+            }
+        }
+
+        // 3. Forest membership per level.
+        for &(li, (u, v)) in &tree_edges {
+            for fi in 0..nl {
+                let present = self.levels[fi].has_edge(u, v);
+                if present != (fi >= li) {
+                    return Err(format!(
+                        "tree edge ({u},{v}) level {li}: presence in F_{fi} is {present}"
+                    ));
+                }
+            }
+        }
+        for &(_, _, (u, v)) in &nontree_edges {
+            for fi in 0..nl {
+                if self.levels[fi].has_edge(u, v) {
+                    return Err(format!("non-tree edge ({u},{v}) linked in F_{fi}"));
+                }
+            }
+        }
+
+        // 4. Adjacency consistency.
+        let mut adj_entries = 0usize;
+        for v in 0..n as u32 {
+            for (lev, s) in self.adj.entries_of(v) {
+                let li = self.edges.level(s);
+                if self.edges.is_tree(s) {
+                    return Err(format!("tree edge slot {s} in adjacency of {v}"));
+                }
+                if li != lev as usize {
+                    return Err(format!(
+                        "slot {s} at adjacency level {lev} but record level {li}"
+                    ));
+                }
+                let (a, b) = self.edges.endpoints(s);
+                if v != a && v != b {
+                    return Err(format!("slot {s} in adjacency of non-endpoint {v}"));
+                }
+                let p = self.edges.pos(s, v) as usize;
+                let arr = self.adj.fetch(v, lev, usize::MAX);
+                if arr.get(p) != Some(&s) {
+                    return Err(format!("slot {s} position {p} stale at vertex {v}"));
+                }
+                adj_entries += 1;
+            }
+        }
+        if adj_entries != nontree_edges.len() * 2 {
+            return Err(format!(
+                "adjacency holds {adj_entries} entries, expected {}",
+                nontree_edges.len() * 2
+            ));
+        }
+
+        // 1 + 2 per level, plus full ETT validation.
+        for fi in 0..nl {
+            // Ground truth G_{fi+1}: all edges with level index ≤ fi.
+            let mut dsu = UnionFind::new(n);
+            for &(li, (u, v)) in &tree_edges {
+                if li <= fi {
+                    dsu.union(u, v);
+                }
+            }
+            for &(li, _, (u, v)) in &nontree_edges {
+                if li <= fi {
+                    dsu.union(u, v);
+                }
+            }
+            // Invariant 1: component sizes ≤ 2^{fi+1}.
+            let bound = 1u64 << (fi + 1).min(63);
+            let mut sizes: FxHashMap<u32, u64> = FxHashMap::default();
+            for v in 0..n as u32 {
+                *sizes.entry(dsu.find(v)).or_default() += 1;
+            }
+            for (&root, &size) in &sizes {
+                if size > bound {
+                    return Err(format!(
+                        "Invariant 1 violated: G_{} component of {root} has {size} > {bound} vertices",
+                        fi + 1
+                    ));
+                }
+            }
+            // Invariant 2 (nesting form): F_{fi+1} spans G_{fi+1} — the
+            // forest partition equals the graph partition.
+            let mut root_to_rep: FxHashMap<u32, u64> = FxHashMap::default();
+            let mut rep_to_root: FxHashMap<u64, u32> = FxHashMap::default();
+            for v in 0..n as u32 {
+                let root = dsu.find(v);
+                let rep = self.levels[fi].find_rep(v);
+                if let Some(&r) = root_to_rep.get(&root) {
+                    if r != rep {
+                        return Err(format!(
+                            "F_{} does not span G_{}: vertex {v} separated from its G-component",
+                            fi + 1,
+                            fi + 1
+                        ));
+                    }
+                } else {
+                    if let Some(&other) = rep_to_root.get(&rep) {
+                        return Err(format!(
+                            "F_{} merges G_{} components {root} and {other}",
+                            fi + 1,
+                            fi + 1
+                        ));
+                    }
+                    root_to_rep.insert(root, rep);
+                    rep_to_root.insert(rep, root);
+                }
+            }
+            // 5. Full ETT validation of this forest.
+            let expected_edges: Vec<(u32, u32)> = tree_edges
+                .iter()
+                .filter_map(|&(li, e)| (li <= fi).then_some(e))
+                .collect();
+            let expected_at_level: Vec<(u32, u32)> = tree_edges
+                .iter()
+                .filter_map(|&(li, e)| (li == fi).then_some(e))
+                .collect();
+            let mut expected_nontree: FxHashMap<u32, u64> = FxHashMap::default();
+            for v in 0..n as u32 {
+                let len = self.adj.len(v, fi as u8);
+                if len > 0 {
+                    expected_nontree.insert(v, len as u64);
+                }
+            }
+            self.levels[fi]
+                .validate(&expected_edges, &expected_at_level, &expected_nontree)
+                .map_err(|e| format!("F_{}: {e}", fi + 1))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,200 @@
+//! Model-based testing of the full batch-dynamic connectivity structure:
+//! random mixed insert/delete/query batches mirrored into the naive
+//! oracle, with the complete invariant checker run after every batch.
+
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_primitives::SplitMix64;
+use dyncon_spanning::NaiveDynamicGraph;
+
+fn random_mixed(seed: u64, n: usize, rounds: usize, max_batch: usize, algo: DeletionAlgorithm) {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+    let mut oracle = NaiveDynamicGraph::new(n);
+
+    for round in 0..rounds {
+        // Insert batch.
+        let bi = 1 + rng.next_below(max_batch as u64) as usize;
+        let ins: Vec<(u32, u32)> = (0..bi)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect();
+        g.batch_insert(&ins);
+        oracle.batch_insert(&ins);
+
+        // Delete batch: mix of existing edges and absent ones.
+        let edges = oracle.edge_list();
+        let mut del: Vec<(u32, u32)> = Vec::new();
+        for &e in &edges {
+            if rng.next_below(4) == 0 {
+                del.push(e);
+            }
+        }
+        del.push((
+            rng.next_below(n as u64) as u32,
+            rng.next_below(n as u64) as u32,
+        )); // probably absent
+        g.batch_delete(&del);
+        oracle.batch_delete(&del);
+
+        assert_eq!(
+            g.num_edges(),
+            oracle.num_edges(),
+            "seed {seed} round {round}: edge counts diverged"
+        );
+
+        // Query batch.
+        let queries: Vec<(u32, u32)> = (0..20)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect();
+        let got = g.batch_connected(&queries);
+        let expect = oracle.batch_connected(&queries);
+        assert_eq!(got, expect, "seed {seed} round {round}: queries diverged");
+        assert_eq!(
+            g.num_components(),
+            oracle.num_components(),
+            "seed {seed} round {round}: component counts diverged"
+        );
+
+        if let Err(e) = g.check_invariants() {
+            panic!("seed {seed} round {round} ({algo:?}): {e}");
+        }
+    }
+}
+
+#[test]
+fn interleaved_small_graphs() {
+    for seed in 0..8 {
+        random_mixed(seed, 10, 20, 8, DeletionAlgorithm::Interleaved);
+    }
+}
+
+#[test]
+fn simple_small_graphs() {
+    for seed in 0..8 {
+        random_mixed(seed, 10, 20, 8, DeletionAlgorithm::Simple);
+    }
+}
+
+#[test]
+fn interleaved_medium_graphs() {
+    for seed in 100..104 {
+        random_mixed(seed, 50, 15, 30, DeletionAlgorithm::Interleaved);
+    }
+}
+
+#[test]
+fn simple_medium_graphs() {
+    for seed in 100..104 {
+        random_mixed(seed, 50, 15, 30, DeletionAlgorithm::Simple);
+    }
+}
+
+#[test]
+fn interleaved_denser() {
+    random_mixed(7, 40, 12, 120, DeletionAlgorithm::Interleaved);
+}
+
+#[test]
+fn simple_denser() {
+    random_mixed(7, 40, 12, 120, DeletionAlgorithm::Simple);
+}
+
+#[test]
+fn delete_every_edge_of_a_path() {
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        let n = 32u32;
+        let mut g = BatchDynamicConnectivity::with_algorithm(n as usize, algo);
+        let path: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        g.batch_insert(&path);
+        assert!(g.connected(0, n - 1));
+        g.batch_delete(&path);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_components(), n as usize);
+        g.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn cycle_deletion_finds_replacement() {
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        let n = 16u32;
+        let mut g = BatchDynamicConnectivity::with_algorithm(n as usize, algo);
+        // A cycle: deleting any one tree edge must find the remaining
+        // non-tree edge as a replacement.
+        let mut cyc: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        cyc.push((n - 1, 0));
+        g.batch_insert(&cyc);
+        g.check_invariants().unwrap();
+        // Delete edges one at a time: connectivity must persist until the
+        // last possible moment (a cycle tolerates any single deletion).
+        g.batch_delete(&[(3, 4)]);
+        assert!(g.connected(0, 8), "{algo:?}: replacement not found");
+        g.check_invariants().unwrap();
+        assert!(g.stats().replacements >= 1);
+    }
+}
+
+#[test]
+fn dense_clique_torture() {
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        let n = 12u32;
+        let mut g = BatchDynamicConnectivity::with_algorithm(n as usize, algo);
+        let mut all = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                all.push((u, v));
+            }
+        }
+        g.batch_insert(&all);
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_components(), 1);
+        // Delete half the clique, then the rest, in two batches.
+        let (half1, half2) = all.split_at(all.len() / 2);
+        g.batch_delete(half1);
+        g.check_invariants().unwrap();
+        g.batch_delete(half2);
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_components(), n as usize);
+    }
+}
+
+#[test]
+fn repeated_insert_delete_same_edge() {
+    let mut g = BatchDynamicConnectivity::new(4);
+    for _ in 0..25 {
+        assert!(g.insert(0, 1));
+        assert!(g.connected(0, 1));
+        assert!(g.delete(0, 1));
+        assert!(!g.connected(0, 1));
+    }
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn delete_absent_and_empty_batches() {
+    let mut g = BatchDynamicConnectivity::new(4);
+    assert_eq!(g.batch_delete(&[(0, 1)]), 0);
+    assert_eq!(g.batch_delete(&[]), 0);
+    assert_eq!(g.batch_insert(&[]), 0);
+    g.insert(0, 1);
+    assert_eq!(g.batch_delete(&[(0, 1), (0, 1), (1, 0)]), 1);
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn single_vertex_graph() {
+    let mut g = BatchDynamicConnectivity::new(1);
+    assert!(g.connected(0, 0));
+    assert_eq!(g.num_components(), 1);
+    assert_eq!(g.batch_insert(&[(0, 0)]), 0);
+    g.check_invariants().unwrap();
+}

@@ -1,0 +1,111 @@
+//! The ETT augmentation: the two counts of §2.2 ("Implementation and
+//! Cost") plus component sizes for Invariant 1.
+
+use dyncon_skiplist::Augmentation;
+
+/// Per-node augmented value of the Euler tour forest.
+///
+/// * `vertices` — 1 on `loop(v)` nodes, 0 on edge nodes. Component
+///   aggregates give tree sizes (the `|component| ≤ 2^i` checks of
+///   Invariant 1).
+/// * `tree_edges` — 1 on the *primary* node of a tree edge whose HDT level
+///   equals this forest's level ("the number of tree-edges whose level is
+///   equal to the level of the tree").
+/// * `nontree_edges` — on `loop(v)` nodes, the number of level-`i` non-tree
+///   edges incident to `v` ("the number of non-tree edges whose level
+///   equals the level of the tree").
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct EttVal {
+    /// Count of vertices (loop nodes) under this value.
+    pub vertices: u32,
+    /// Count of level-`i` tree edges under this value.
+    pub tree_edges: u32,
+    /// Count of level-`i` non-tree edge endpoints under this value.
+    pub nontree_edges: u64,
+}
+
+impl EttVal {
+    /// Base value of a vertex loop node.
+    pub fn vertex(nontree_edges: u64) -> Self {
+        EttVal {
+            vertices: 1,
+            tree_edges: 0,
+            nontree_edges,
+        }
+    }
+
+    /// Base value of a tree-edge node.
+    pub fn edge(at_level: bool) -> Self {
+        EttVal {
+            vertices: 0,
+            tree_edges: at_level as u32,
+            nontree_edges: 0,
+        }
+    }
+}
+
+/// [`Augmentation`] instance: field-wise sums packed into two words.
+pub struct EttAug;
+
+impl Augmentation for EttAug {
+    type Value = EttVal;
+
+    #[inline]
+    fn identity() -> EttVal {
+        EttVal::default()
+    }
+
+    #[inline]
+    fn combine(a: EttVal, b: EttVal) -> EttVal {
+        EttVal {
+            vertices: a.vertices + b.vertices,
+            tree_edges: a.tree_edges + b.tree_edges,
+            nontree_edges: a.nontree_edges + b.nontree_edges,
+        }
+    }
+
+    #[inline]
+    fn pack(v: EttVal) -> [u64; 2] {
+        [((v.vertices as u64) << 32) | v.tree_edges as u64, v.nontree_edges]
+    }
+
+    #[inline]
+    fn unpack(w: [u64; 2]) -> EttVal {
+        EttVal {
+            vertices: (w[0] >> 32) as u32,
+            tree_edges: w[0] as u32,
+            nontree_edges: w[1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let v = EttVal {
+            vertices: 3,
+            tree_edges: 7,
+            nontree_edges: u64::MAX / 2,
+        };
+        assert_eq!(EttAug::unpack(EttAug::pack(v)), v);
+    }
+
+    #[test]
+    fn combine_adds_fields() {
+        let a = EttVal::vertex(5);
+        let b = EttVal::edge(true);
+        let c = EttAug::combine(a, b);
+        assert_eq!(c.vertices, 1);
+        assert_eq!(c.tree_edges, 1);
+        assert_eq!(c.nontree_edges, 5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = EttVal::vertex(9);
+        assert_eq!(EttAug::combine(EttAug::identity(), v), v);
+    }
+}

@@ -1,0 +1,229 @@
+//! Batch link and cut: Euler-tour splicing.
+//!
+//! ## Batch link
+//!
+//! For a cycle-free batch of new edges, group the `2k` directed copies by
+//! source vertex. Every involved vertex `u` with batch departures
+//! `d_1 … d_j` contributes one bottom-level cut (after `loop(u)`) and the
+//! links
+//!
+//! ```text
+//!   loop(u)        → (u→d_1)
+//!   (d_i→u)        → (u→d_{i+1})        for i < j
+//!   (d_j→u)        → old successor of loop(u)
+//! ```
+//!
+//! Every directed edge node `(a→b)` receives its in-link from `a`'s rule
+//! list and its out-link from `b`'s, so the rules are complete and the
+//! spliced sequences are valid Euler tours (consecutive elements always
+//! share a vertex). This is the batch construction of Tseng et al.
+//!
+//! ## Batch cut
+//!
+//! Removing edge `{u,v}` removes nodes `(u→v)` and `(v→u)`; the tour
+//! "skips over" a removed node `r` to `exit(r) = succ(partner(r))`.
+//! Adjacent removals chain; chains are resolved by parallel pointer
+//! doubling ([`dyncon_primitives::resolve_chains`] — chains terminate
+//! because loop nodes are never removed). One cut + link per maximal
+//! removed run restores all tours.
+
+use crate::aug::EttVal;
+use crate::forest::{edge_key, EulerTourForest, Payload};
+use dyncon_primitives::{par_for, resolve_chains, semisort_pairs, FxHashMap, SyncSlice};
+use dyncon_skiplist::{NodeId, NIL};
+
+impl EulerTourForest {
+    /// Insert a batch of edges (`BatchLink`, §2.1). The edges must be
+    /// distinct, non-loop, absent from the forest and — as the interface
+    /// requires — must not close a cycle (the connectivity core guarantees
+    /// this by construction; debug builds verify it).
+    ///
+    /// `tree_at_level[i]` sets the `tree_edges` augmentation bit of edge
+    /// `i` (true iff the edge's HDT level equals this forest's level).
+    ///
+    /// `O(k lg(1 + n/k))` expected work, `O(lg n)` depth w.h.p.
+    pub fn batch_link(&mut self, edges: &[(u32, u32)], tree_at_level: &[bool]) {
+        assert_eq!(edges.len(), tree_at_level.len());
+        if edges.is_empty() {
+            return;
+        }
+        debug_assert!(self.link_batch_is_acyclic(edges), "batch_link would close a cycle");
+
+        let k = edges.len();
+        // Allocate the 2k directed-edge nodes (arena needs &mut: sequential,
+        // but O(k) with small constants).
+        let mut fwd_nodes = Vec::with_capacity(k);
+        let mut rev_nodes = Vec::with_capacity(k);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            assert_ne!(u, v, "self loop in batch_link");
+            debug_assert!(!self.has_edge(u, v), "duplicate edge in batch_link");
+            let fwd = self.sl.create_detached(EttVal::edge(tree_at_level[i]));
+            let rev = self.sl.create_detached(EttVal::edge(false));
+            self.set_payload(fwd, Payload::Edge { from: u, to: v });
+            self.set_payload(rev, Payload::Edge { from: v, to: u });
+            self.ensure_vertex(u);
+            self.ensure_vertex(v);
+            fwd_nodes.push(fwd);
+            rev_nodes.push(rev);
+        }
+
+        // Directed copies grouped by source vertex: (source, (dep, ret)).
+        let mut directed: Vec<(u32, (NodeId, NodeId))> = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            let (u, v) = edges[i];
+            directed.push((u, (fwd_nodes[i], rev_nodes[i])));
+            directed.push((v, (rev_nodes[i], fwd_nodes[i])));
+        }
+        let groups = semisort_pairs(&mut directed);
+
+        // One cut per touched vertex; `range.len() + 1` links per group laid
+        // out at disjoint offsets `range.start + group_index`.
+        let n_groups = groups.len();
+        let mut cuts: Vec<NodeId> = vec![NIL; n_groups];
+        let mut links: Vec<(NodeId, NodeId)> = vec![(NIL, NIL); 2 * k + n_groups];
+        {
+            let cuts_out = SyncSlice::new(&mut cuts);
+            let links_out = SyncSlice::new(&mut links);
+            let vert_node = &self.vert_node;
+            let sl = &self.sl;
+            let directed = &directed;
+            let groups = &groups;
+            par_for(n_groups, |gi| {
+                let (u, ref range) = groups[gi];
+                let loop_u = vert_node[u as usize];
+                debug_assert!(loop_u != NIL);
+                let succ_u = sl.successor(loop_u);
+                let base = range.start + gi;
+                // SAFETY: group gi exclusively owns cuts[gi] and
+                // links[base .. base + range.len() + 1].
+                unsafe {
+                    cuts_out.write(gi, loop_u);
+                    let mut prev = loop_u;
+                    for (j, idx) in range.clone().enumerate() {
+                        let (dep, ret) = directed[idx].1;
+                        links_out.write(base + j, (prev, dep));
+                        prev = ret;
+                    }
+                    links_out.write(base + range.len(), (prev, succ_u));
+                }
+            });
+        }
+
+        self.sl.batch_reconnect(&cuts, &links);
+
+        // Record the edge → node mapping.
+        let mut dict_entries = Vec::with_capacity(k);
+        for i in 0..k {
+            let (u, v) = edges[i];
+            let (fwd, rev) = if u < v {
+                (fwd_nodes[i], rev_nodes[i])
+            } else {
+                (rev_nodes[i], fwd_nodes[i])
+            };
+            dict_entries.push((edge_key(u, v), ((fwd as u64) << 32) | rev as u64));
+        }
+        self.edge_nodes.insert_batch(&dict_entries);
+        self.add_edge_count(k as isize);
+    }
+
+    /// Remove a batch of distinct, present tree edges (`BatchCut`, §2.1).
+    /// `O(k lg(1 + n/k) + k lg k)` expected work, `O(lg n)` depth w.h.p.
+    /// (the `k lg k` term is the pointer-doubling stitch; see DESIGN.md §3).
+    pub fn batch_cut(&mut self, edges: &[(u32, u32)]) {
+        if edges.is_empty() {
+            return;
+        }
+        let k = edges.len();
+        // Removed nodes: 2 per edge, fwd at 2i, rev at 2i+1.
+        let mut removed: Vec<NodeId> = Vec::with_capacity(2 * k);
+        let mut keys: Vec<u64> = Vec::with_capacity(k);
+        for &(u, v) in edges {
+            let key = edge_key(u, v);
+            let packed = self
+                .edge_nodes
+                .get(key)
+                .unwrap_or_else(|| panic!("batch_cut: edge ({u},{v}) not in forest"));
+            removed.push((packed >> 32) as NodeId);
+            removed.push(packed as NodeId);
+            keys.push(key);
+        }
+        let member: FxHashMap<NodeId, usize> = removed
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+        debug_assert_eq!(member.len(), 2 * k, "duplicate edge in batch_cut");
+
+        // exit(r) = successor of r's partner node; resolve through chains of
+        // removed nodes to the first live node.
+        let mut exits: Vec<u64> = vec![0; 2 * k];
+        {
+            let sl = &self.sl;
+            let removed = &removed;
+            let out = SyncSlice::new(&mut exits);
+            par_for(2 * k, |i| {
+                let partner = removed[i ^ 1];
+                // SAFETY: slot i written only by iteration i.
+                unsafe { out.write(i, sl.successor(partner) as u64) };
+            });
+        }
+        resolve_chains(&mut exits, |id| member.get(&(id as NodeId)).copied());
+
+        // Cuts: after every removed node, plus after each live predecessor.
+        // Links: (live predecessor of a removed run) → (resolved exit).
+        let mut cuts: Vec<NodeId> = Vec::with_capacity(4 * k);
+        let mut links: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * k);
+        for (i, &r) in removed.iter().enumerate() {
+            cuts.push(r);
+            let pred = self.sl.predecessor(r);
+            if !member.contains_key(&pred) {
+                cuts.push(pred);
+                links.push((pred, exits[i] as NodeId));
+            }
+        }
+
+        self.sl.batch_reconnect(&cuts, &links);
+        for &r in &removed {
+            self.set_payload(r, Payload::Free);
+        }
+        self.sl.free_nodes(&removed);
+        self.edge_nodes.remove_batch(&keys);
+        self.add_edge_count(-(k as isize));
+    }
+
+    /// Single-edge conveniences (used by tests and the HDT-style drivers).
+    pub fn link(&mut self, u: u32, v: u32, tree_at_level: bool) {
+        self.batch_link(&[(u, v)], &[tree_at_level]);
+    }
+
+    /// Remove one tree edge.
+    pub fn cut(&mut self, u: u32, v: u32) {
+        self.batch_cut(&[(u, v)]);
+    }
+
+    /// Debug-build acyclicity check for link batches: union endpoints'
+    /// current components; a failed union means the batch closes a cycle.
+    fn link_batch_is_acyclic(&self, edges: &[(u32, u32)]) -> bool {
+        let mut parent: FxHashMap<u64, u64> = FxHashMap::default();
+        fn find(parent: &mut FxHashMap<u64, u64>, mut x: u64) -> u64 {
+            loop {
+                let p = *parent.entry(x).or_insert(x);
+                if p == x {
+                    return x;
+                }
+                let gp = *parent.entry(p).or_insert(p);
+                parent.insert(x, gp);
+                x = gp;
+            }
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (self.find_rep(u), self.find_rep(v));
+            let (a, b) = (find(&mut parent, ru), find(&mut parent, rv));
+            if a == b {
+                return false;
+            }
+            parent.insert(a, b);
+        }
+        true
+    }
+}

@@ -1,0 +1,147 @@
+//! Appendix 9 primitives: augmented-count maintenance and guided fetches.
+
+use crate::aug::EttVal;
+use crate::forest::{edge_key, EulerTourForest, Payload};
+use dyncon_skiplist::NodeId;
+
+impl EulerTourForest {
+    /// Set the per-vertex non-tree-edge counts (level-`i` adjacency list
+    /// lengths) for a batch of vertices. `O(k lg(1+n/k))` expected work
+    /// (Lemma 9 / Lemma 11 cost of updating augmented values).
+    pub fn set_nontree_counts(&mut self, updates: &[(u32, u64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        let mut node_updates: Vec<(NodeId, EttVal)> = Vec::with_capacity(updates.len());
+        for &(v, count) in updates {
+            let node = self.ensure_vertex(v);
+            node_updates.push((node, EttVal::vertex(count)));
+        }
+        self.sl.batch_update_values(&node_updates);
+    }
+
+    /// Flip the `tree_edges` augmentation bit of existing tree edges
+    /// (true iff the edge's HDT level equals this forest's level — used
+    /// when tree edges are pushed down a level).
+    pub fn set_tree_flags(&mut self, edges: &[(u32, u32)], flag: bool) {
+        if edges.is_empty() {
+            return;
+        }
+        let mut node_updates: Vec<(NodeId, EttVal)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            let packed = self
+                .edge_nodes
+                .get(edge_key(u, v))
+                .unwrap_or_else(|| panic!("set_tree_flags: edge ({u},{v}) not in forest"));
+            let fwd = (packed >> 32) as NodeId;
+            node_updates.push((fwd, EttVal::edge(flag)));
+        }
+        self.sl.batch_update_values(&node_updates);
+    }
+
+    /// Total number of level-`i` non-tree edge endpoints in `v`'s component.
+    pub fn nontree_total(&self, v: u32) -> u64 {
+        self.component_value(v).nontree_edges
+    }
+
+    /// Fetch the first `limit` non-tree edge slots of `v`'s component in
+    /// tour order: returns `(vertex, take)` pairs meaning "take the first
+    /// `take` entries of the level-`i` non-tree adjacency list of
+    /// `vertex`". Lemma 10: `O(ℓ lg(1 + n_c/ℓ))` work.
+    pub fn fetch_nontree(&self, v: u32, limit: u64) -> Vec<(u32, u64)> {
+        let Some(node) = self.vertex_node(v) else {
+            return Vec::new();
+        };
+        let picked = self.sl.collect_prefix(node, limit, &|val: EttVal| val.nontree_edges);
+        picked
+            .into_iter()
+            .map(|(id, take)| match self.node_payload(id) {
+                Payload::Loop(w) => (w, take),
+                p => unreachable!("non-tree weight on non-loop node: {p:?}"),
+            })
+            .collect()
+    }
+
+    /// Fetch every tree edge whose level equals this forest's level within
+    /// `v`'s component (the "push tree edges of active components down"
+    /// fetch of Algorithms 4/5, line 5).
+    pub fn fetch_tree_edges(&self, v: u32) -> Vec<(u32, u32)> {
+        let Some(node) = self.vertex_node(v) else {
+            return Vec::new();
+        };
+        let picked = self
+            .sl
+            .collect_all(node, &|val: EttVal| val.tree_edges as u64);
+        picked
+            .into_iter()
+            .map(|(id, take)| {
+                debug_assert_eq!(take, 1);
+                match self.node_payload(id) {
+                    Payload::Edge { from, to } => (from, to),
+                    p => unreachable!("tree weight on non-edge node: {p:?}"),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::forest::EulerTourForest;
+
+    #[test]
+    fn nontree_counts_aggregate() {
+        let mut f = EulerTourForest::new(6, 3);
+        f.batch_link(&[(0, 1), (1, 2), (3, 4)], &[true, true, true]);
+        f.set_nontree_counts(&[(0, 2), (2, 3), (4, 1)]);
+        assert_eq!(f.nontree_total(1), 5);
+        assert_eq!(f.nontree_total(3), 1);
+        assert_eq!(f.nontree_total(5), 0);
+    }
+
+    #[test]
+    fn fetch_nontree_respects_limit_and_order() {
+        let mut f = EulerTourForest::new(5, 4);
+        f.batch_link(&[(0, 1), (1, 2), (2, 3)], &[true; 3]);
+        f.set_nontree_counts(&[(0, 4), (2, 2), (3, 1)]);
+        let got = f.fetch_nontree(1, 5);
+        let total: u64 = got.iter().map(|&(_, t)| t).sum();
+        assert_eq!(total, 5);
+        // All slots from a vertex are consumed before moving on.
+        for &(v, take) in &got[..got.len() - 1] {
+            let full = match v {
+                0 => 4,
+                2 => 2,
+                3 => 1,
+                _ => panic!("unexpected vertex {v}"),
+            };
+            assert_eq!(take, full);
+        }
+        // Fetch everything.
+        let all = f.fetch_nontree(1, 100);
+        assert_eq!(all.iter().map(|&(_, t)| t).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn fetch_tree_edges_returns_level_edges_only() {
+        let mut f = EulerTourForest::new(6, 5);
+        f.batch_link(&[(0, 1), (1, 2)], &[true, false]);
+        f.batch_link(&[(2, 3)], &[true]);
+        let mut got = f.fetch_tree_edges(0);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (2, 3)]);
+        // Flip flags and refetch.
+        f.set_tree_flags(&[(0, 1)], false);
+        f.set_tree_flags(&[(1, 2)], true);
+        let mut got = f.fetch_tree_edges(3);
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn fetch_on_isolated_vertex_is_empty() {
+        let f = EulerTourForest::new(3, 6);
+        assert!(f.fetch_nontree(1, 10).is_empty());
+        assert!(f.fetch_tree_edges(1).is_empty());
+    }
+}

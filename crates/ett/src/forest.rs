@@ -1,0 +1,226 @@
+//! The forest container: vertices, payload mapping, queries.
+
+use crate::aug::{EttAug, EttVal};
+use dyncon_primitives::{par_map_collect, ConcurrentDict};
+use dyncon_skiplist::{NodeId, SkipList, NIL};
+
+/// What a skip-list node represents in the Euler tour.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Payload {
+    /// Recycled / never assigned.
+    Free,
+    /// The canonical occurrence of a vertex.
+    Loop(u32),
+    /// The directed traversal `from → to` of a tree edge.
+    Edge { from: u32, to: u32 },
+}
+
+/// Opaque component identifier.
+///
+/// Equal ids ⇔ same tree, valid until the next mutating batch ("Note that
+/// representatives are invalidated after the sequences are modified",
+/// §2.1). Isolated (never-materialized) vertices get tagged ids disjoint
+/// from skip-list representatives.
+pub type CompId = u64;
+
+const ISOLATED_TAG: u64 = 1 << 63;
+
+/// A batch-parallel Euler tour forest over vertices `0..n`.
+pub struct EulerTourForest {
+    pub(crate) sl: SkipList<EttAug>,
+    /// Loop node per vertex; `NIL` until materialized.
+    pub(crate) vert_node: Vec<NodeId>,
+    /// Payload per arena slot (kept in lockstep with the arena).
+    pub(crate) payload: Vec<Payload>,
+    /// Edge `{u,v}` (key `min<<32|max`) → packed `(fwd, rev)` node pair,
+    /// where `fwd` is the `min→max` traversal (the *primary* node).
+    pub(crate) edge_nodes: ConcurrentDict,
+    n: usize,
+    n_edges: usize,
+}
+
+#[inline]
+pub(crate) fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+impl EulerTourForest {
+    /// An edgeless forest over `n` vertices. Loop nodes are materialized
+    /// lazily, so construction is `O(n)` but cheap.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            sl: SkipList::new(seed),
+            vert_node: vec![NIL; n],
+            payload: Vec::new(),
+            edge_nodes: ConcurrentDict::with_capacity(64),
+            n,
+            n_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tree edges currently linked.
+    pub fn num_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    pub(crate) fn add_edge_count(&mut self, d: isize) {
+        self.n_edges = (self.n_edges as isize + d) as usize;
+    }
+
+    /// True if the edge `{u,v}` is in the forest.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_nodes.contains(edge_key(u, v))
+    }
+
+    /// The loop node of `v`, creating a singleton cycle on first touch.
+    pub(crate) fn ensure_vertex(&mut self, v: u32) -> NodeId {
+        let cur = self.vert_node[v as usize];
+        if cur != NIL {
+            return cur;
+        }
+        let id = self.sl.create_singleton(EttVal::vertex(0));
+        self.set_payload(id, Payload::Loop(v));
+        self.vert_node[v as usize] = id;
+        id
+    }
+
+    pub(crate) fn set_payload(&mut self, id: NodeId, p: Payload) {
+        let idx = id as usize;
+        if idx >= self.payload.len() {
+            self.payload.resize(idx + 1, Payload::Free);
+        }
+        self.payload[idx] = p;
+    }
+
+    /// Payload of an arena node.
+    pub fn node_payload(&self, id: NodeId) -> Payload {
+        self.payload[id as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Component identifier of vertex `v`.
+    pub fn find_rep(&self, v: u32) -> CompId {
+        let node = self.vert_node[v as usize];
+        if node == NIL {
+            ISOLATED_TAG | v as u64
+        } else {
+            self.sl.find_rep(node) as u64
+        }
+    }
+
+    /// Batch of representative queries (`BatchFindRep`, §2.1).
+    pub fn batch_find_rep(&self, vs: &[u32]) -> Vec<CompId> {
+        par_map_collect(vs, |&v| self.find_rep(v))
+    }
+
+    /// Are `u` and `v` in the same tree?
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        let (nu, nv) = (self.vert_node[u as usize], self.vert_node[v as usize]);
+        if nu == NIL || nv == NIL {
+            return false;
+        }
+        self.sl.same_cycle(nu, nv)
+    }
+
+    /// Batch connectivity queries (`BatchConnected`, §2.1): `O(k lg(1+n/k))`
+    /// expected work, `O(lg n)` depth w.h.p. (Theorem 2).
+    pub fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        par_map_collect(pairs, |&(u, v)| self.connected(u, v))
+    }
+
+    /// Aggregated augmented value of `v`'s component.
+    pub fn component_value(&self, v: u32) -> EttVal {
+        let node = self.vert_node[v as usize];
+        if node == NIL {
+            EttVal::vertex(0)
+        } else {
+            self.sl.aggregate(node)
+        }
+    }
+
+    /// Number of vertices in `v`'s tree (≥ 1).
+    pub fn component_size(&self, v: u32) -> u64 {
+        self.component_value(v).vertices as u64
+    }
+
+    /// A vertex of the component with representative handle `rep`
+    /// (the handle must have come from [`EulerTourForest::find_rep`] since
+    /// the last mutation).
+    pub fn rep_vertex(&self, rep: CompId) -> u32 {
+        if rep & ISOLATED_TAG != 0 {
+            (rep & !ISOLATED_TAG) as u32
+        } else {
+            match self.payload[rep as usize] {
+                Payload::Loop(v) => v,
+                Payload::Edge { from, .. } => from,
+                Payload::Free => unreachable!("rep_vertex on freed node"),
+            }
+        }
+    }
+
+    /// The Euler tour of `v`'s component, for tests and debugging.
+    pub fn tour(&self, v: u32) -> Vec<Payload> {
+        let node = self.vert_node[v as usize];
+        if node == NIL {
+            return vec![Payload::Loop(v)];
+        }
+        let mut out = vec![self.payload[node as usize]];
+        let mut cur = self.sl.successor(node);
+        while cur != node {
+            out.push(self.payload[cur as usize]);
+            cur = self.sl.successor(cur);
+        }
+        out
+    }
+
+    /// Direct access to the underlying skip list (read-only; used by the
+    /// validators of dependent crates).
+    pub fn skiplist(&self) -> &SkipList<EttAug> {
+        &self.sl
+    }
+
+    /// Loop node of `v`, if materialized.
+    pub fn vertex_node(&self, v: u32) -> Option<NodeId> {
+        let id = self.vert_node[v as usize];
+        (id != NIL).then_some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_forest_is_disconnected() {
+        let f = EulerTourForest::new(10, 42);
+        assert!(!f.connected(0, 1));
+        assert!(f.connected(3, 3));
+        assert_eq!(f.component_size(5), 1);
+        assert_ne!(f.find_rep(0), f.find_rep(1));
+        assert_eq!(f.num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_key_symmetric() {
+        assert_eq!(edge_key(3, 9), edge_key(9, 3));
+        assert_ne!(edge_key(3, 9), edge_key(3, 8));
+    }
+
+    #[test]
+    fn tour_of_isolated_vertex() {
+        let f = EulerTourForest::new(4, 1);
+        assert_eq!(f.tour(2), vec![Payload::Loop(2)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dyncon-ett
+//!
+//! Batch-parallel **Euler tour trees** (Tseng, Dhulipala, Blelloch —
+//! ALENEX 2019): the dynamic-trees substrate of the SPAA 2019 parallel
+//! batch-dynamic connectivity structure (§2.1 of the paper).
+//!
+//! A forest over vertices `0..n` is represented by one **cyclic Euler tour
+//! per tree**, stored in a shared phase-concurrent skip list
+//! (`dyncon-skiplist`). The tour of a tree contains
+//!
+//! * one `loop(v)` node per vertex `v`, and
+//! * two nodes per tree edge `{u, v}` — the directed traversals `(u→v)` and
+//!   `(v→u)`,
+//!
+//! arranged so that consecutive tour elements always share a vertex (arrive
+//! at `x` ⇒ depart from `x`). Links and cuts are pure splices of these
+//! cycles, so a batch of `k` of them costs `O(k lg(1 + n/k))` expected work
+//! and `O(lg n)` depth w.h.p. (Theorem 2).
+//!
+//! ## Augmentation (Appendix 9)
+//!
+//! Every node carries an [`EttVal`]: `(vertices, tree_edges,
+//! nontree_edges)`. Loop nodes hold `vertices = 1` and the number of
+//! non-tree edges *at this forest's level* incident to the vertex; the
+//! primary node of each edge holds `tree_edges = 1` exactly when the edge's
+//! HDT level equals the forest's level. The connectivity algorithm uses
+//! these to fetch the first `ℓ` non-tree edges of a component
+//! ([`EulerTourForest::fetch_nontree`], Lemma 10) and all level-`i` tree
+//! edges ([`EulerTourForest::fetch_tree_edges`]) in time proportional to
+//! the output.
+//!
+//! ## Interface (§2.1 "Batch-Dynamic Trees")
+//!
+//! [`EulerTourForest::batch_link`], [`EulerTourForest::batch_cut`],
+//! [`EulerTourForest::batch_connected`] and
+//! [`EulerTourForest::batch_find_rep`] implement the paper's interface with
+//! the stated bounds; representatives ([`CompId`]) are invalidated by
+//! mutations, exactly as specified.
+
+pub mod aug;
+pub mod batch;
+pub mod fetch;
+pub mod forest;
+pub mod validate;
+
+pub use aug::EttVal;
+pub use forest::{CompId, EulerTourForest, Payload};

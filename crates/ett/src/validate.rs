@@ -1,0 +1,213 @@
+//! Whole-forest consistency checking against an expected edge set.
+
+use crate::forest::{EulerTourForest, Payload};
+use dyncon_primitives::FxHashMap;
+
+impl EulerTourForest {
+    /// Verify the forest against ground truth:
+    ///
+    /// * `expected_edges` — exactly the tree edges that should be linked;
+    /// * `expected_at_level` — the subset whose `tree_edges` flag is set;
+    /// * `expected_nontree` — per-vertex non-tree counts (absent = 0).
+    ///
+    /// Checks connectivity partition, Euler tour validity (closed walks
+    /// with each tree edge traversed exactly once per direction and each
+    /// vertex's loop node appearing exactly once), augmented aggregates,
+    /// and full skip-list structural integrity.
+    pub fn validate(
+        &self,
+        expected_edges: &[(u32, u32)],
+        expected_at_level: &[(u32, u32)],
+        expected_nontree: &FxHashMap<u32, u64>,
+    ) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.num_edges() != expected_edges.len() {
+            return Err(format!(
+                "edge count {} != expected {}",
+                self.num_edges(),
+                expected_edges.len()
+            ));
+        }
+        for &(u, v) in expected_edges {
+            if !self.has_edge(u, v) {
+                return Err(format!("missing edge ({u},{v})"));
+            }
+        }
+        // Ground-truth components via a tiny DSU.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &(u, v) in expected_edges {
+            let (a, b) = (find(&mut parent, u), find(&mut parent, v));
+            if a == b {
+                return Err(format!("expected edges contain a cycle at ({u},{v})"));
+            }
+            parent[a as usize] = b;
+        }
+        // Partition agreement.
+        let mut root_to_rep: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut rep_seen: FxHashMap<u64, u32> = FxHashMap::default();
+        for v in 0..n as u32 {
+            let root = find(&mut parent, v);
+            let rep = self.find_rep(v);
+            match root_to_rep.entry(root) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if let Some(&other_root) = rep_seen.get(&rep) {
+                        return Err(format!(
+                            "components {root} and {other_root} share rep {rep}"
+                        ));
+                    }
+                    rep_seen.insert(rep, root);
+                    e.insert(rep);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != rep {
+                        return Err(format!(
+                            "vertex {v}: rep {rep} != component rep {}",
+                            e.get()
+                        ));
+                    }
+                }
+            }
+        }
+        // Per-component tour validity + aggregates + skip list integrity.
+        let mut comp_members: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for v in 0..n as u32 {
+            comp_members.entry(find(&mut parent, v)).or_default().push(v);
+        }
+        let mut at_level: std::collections::HashSet<(u32, u32)> = expected_at_level
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        let mut comp_of = |v: u32| find(&mut parent, v);
+        let mut cycles_for_sl: Vec<Vec<u32>> = Vec::new();
+        for (&root, members) in &comp_members {
+            let v0 = members[0];
+            if self.vertex_node(v0).is_none() {
+                if members.len() > 1 {
+                    return Err(format!("component {root} has >1 member but no nodes"));
+                }
+                continue;
+            }
+            self.validate_tour(v0, members, &mut at_level, &mut comp_of, expected_nontree)?;
+            // Record the actual node cycle for skip-list validation.
+            let start = self.vertex_node(v0).unwrap();
+            let mut ids = vec![start];
+            let mut cur = self.skiplist().successor(start);
+            while cur != start {
+                ids.push(cur);
+                cur = self.skiplist().successor(cur);
+            }
+            cycles_for_sl.push(ids);
+        }
+        self.skiplist()
+            .validate(&cycles_for_sl)
+            .map_err(|e| format!("skip list: {e}"))?;
+        Ok(())
+    }
+
+    fn validate_tour(
+        &self,
+        v0: u32,
+        members: &[u32],
+        at_level: &mut std::collections::HashSet<(u32, u32)>,
+        comp_of: &mut impl FnMut(u32) -> u32,
+        expected_nontree: &FxHashMap<u32, u64>,
+    ) -> Result<(), String> {
+        let tour = self.tour(v0);
+        let root = comp_of(v0);
+        // Closed-walk property: consecutive elements share a vertex.
+        let end_vertex = |p: &Payload| match *p {
+            Payload::Loop(v) => v,
+            Payload::Edge { to, .. } => to,
+            Payload::Free => u32::MAX,
+        };
+        let start_vertex = |p: &Payload| match *p {
+            Payload::Loop(v) => v,
+            Payload::Edge { from, .. } => from,
+            Payload::Free => u32::MAX,
+        };
+        for i in 0..tour.len() {
+            let a = &tour[i];
+            let b = &tour[(i + 1) % tour.len()];
+            if end_vertex(a) != start_vertex(b) {
+                return Err(format!(
+                    "component {root}: tour discontinuity {a:?} -> {b:?}"
+                ));
+            }
+        }
+        // Each member loop exactly once; each edge direction exactly once.
+        let mut loops_seen = std::collections::HashSet::new();
+        let mut dirs_seen = std::collections::HashSet::new();
+        let mut tree_flag_count = 0u64;
+        for p in &tour {
+            match *p {
+                Payload::Loop(v) => {
+                    if comp_of(v) != root {
+                        return Err(format!("component {root}: foreign vertex {v} in tour"));
+                    }
+                    if !loops_seen.insert(v) {
+                        return Err(format!("component {root}: vertex {v} loop twice"));
+                    }
+                }
+                Payload::Edge { from, to } => {
+                    if !dirs_seen.insert((from, to)) {
+                        return Err(format!(
+                            "component {root}: direction ({from},{to}) twice"
+                        ));
+                    }
+                    if from < to && at_level.contains(&(from, to)) {
+                        tree_flag_count += 1;
+                    }
+                }
+                Payload::Free => return Err(format!("component {root}: freed node in tour")),
+            }
+        }
+        if loops_seen.len() != members.len() {
+            return Err(format!(
+                "component {root}: {} loops != {} members",
+                loops_seen.len(),
+                members.len()
+            ));
+        }
+        for &(a, b) in &dirs_seen {
+            if !dirs_seen.contains(&(b, a)) {
+                return Err(format!("component {root}: direction ({a},{b}) unpaired"));
+            }
+            if a < b && !self.has_edge(a, b) {
+                return Err(format!("component {root}: phantom edge ({a},{b})"));
+            }
+        }
+        // Aggregates.
+        let agg = self.component_value(v0);
+        if agg.vertices as usize != members.len() {
+            return Err(format!(
+                "component {root}: size {} != {}",
+                agg.vertices,
+                members.len()
+            ));
+        }
+        if agg.tree_edges as u64 != tree_flag_count {
+            return Err(format!(
+                "component {root}: tree_edges {} != expected {tree_flag_count}",
+                agg.tree_edges
+            ));
+        }
+        let expected_nt: u64 = members
+            .iter()
+            .map(|v| expected_nontree.get(v).copied().unwrap_or(0))
+            .sum();
+        if agg.nontree_edges != expected_nt {
+            return Err(format!(
+                "component {root}: nontree {} != expected {expected_nt}",
+                agg.nontree_edges
+            ));
+        }
+        Ok(())
+    }
+}

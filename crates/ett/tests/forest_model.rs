@@ -1,0 +1,230 @@
+//! Randomized model testing of the Euler tour forest: batches of links and
+//! cuts mirrored into a reference edge set, full validation every round.
+
+use dyncon_ett::EulerTourForest;
+use dyncon_primitives::{FxHashMap, SplitMix64};
+
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra as usize] = rb;
+        true
+    }
+}
+
+struct Model {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    at_level: Vec<(u32, u32)>,
+    nontree: FxHashMap<u32, u64>,
+}
+
+impl Model {
+    fn dsu(&self) -> Dsu {
+        let mut d = Dsu::new(self.n);
+        for &(u, v) in &self.edges {
+            d.union(u, v);
+        }
+        d
+    }
+}
+
+fn norm(u: u32, v: u32) -> (u32, u32) {
+    (u.min(v), u.max(v))
+}
+
+/// A random cycle-free batch of new edges.
+fn gen_links(model: &Model, rng: &mut SplitMix64, max_k: usize) -> Vec<(u32, u32)> {
+    let mut dsu = model.dsu();
+    let mut batch = Vec::new();
+    let attempts = 1 + rng.next_below(max_k as u64) as usize * 2;
+    for _ in 0..attempts {
+        if batch.len() >= max_k {
+            break;
+        }
+        let u = rng.next_below(model.n as u64) as u32;
+        let v = rng.next_below(model.n as u64) as u32;
+        if u != v && dsu.union(u, v) {
+            batch.push(norm(u, v));
+        }
+    }
+    batch
+}
+
+fn gen_cuts(model: &Model, rng: &mut SplitMix64, max_k: usize) -> Vec<(u32, u32)> {
+    let mut picked = Vec::new();
+    for &e in &model.edges {
+        if picked.len() < max_k && rng.next_below(3) == 0 {
+            picked.push(e);
+        }
+    }
+    picked
+}
+
+fn run_model(seed: u64, n: usize, rounds: usize, max_k: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut f = EulerTourForest::new(n, seed ^ 0x5A5A);
+    let mut model = Model {
+        n,
+        edges: Vec::new(),
+        at_level: Vec::new(),
+        nontree: FxHashMap::default(),
+    };
+
+    for round in 0..rounds {
+        // Links.
+        let links = gen_links(&model, &mut rng, max_k);
+        if !links.is_empty() {
+            let flags: Vec<bool> = links.iter().map(|_| rng.next_below(2) == 0).collect();
+            f.batch_link(&links, &flags);
+            for (i, &e) in links.iter().enumerate() {
+                model.edges.push(e);
+                if flags[i] {
+                    model.at_level.push(e);
+                }
+            }
+        }
+        // Non-tree count updates.
+        if round % 2 == 0 {
+            let mut ups = Vec::new();
+            for _ in 0..1 + rng.next_below(6) {
+                let v = rng.next_below(n as u64) as u32;
+                let c = rng.next_below(5);
+                ups.push((v, c));
+            }
+            ups.sort_unstable_by_key(|p| p.0);
+            ups.dedup_by_key(|p| p.0);
+            for &(v, c) in &ups {
+                model.nontree.insert(v, c);
+            }
+            f.set_nontree_counts(&ups);
+        }
+        // Tree flag flips.
+        if round % 3 == 2 && !model.edges.is_empty() {
+            let e = model.edges[rng.next_below(model.edges.len() as u64) as usize];
+            let now_set = model.at_level.contains(&e);
+            f.set_tree_flags(&[e], !now_set);
+            if now_set {
+                model.at_level.retain(|&x| x != e);
+            } else {
+                model.at_level.push(e);
+            }
+        }
+        // Cuts.
+        let cuts = gen_cuts(&model, &mut rng, max_k);
+        if !cuts.is_empty() {
+            f.batch_cut(&cuts);
+            model.edges.retain(|e| !cuts.contains(e));
+            model.at_level.retain(|e| !cuts.contains(e));
+        }
+        // Validate everything.
+        if let Err(e) = f.validate(&model.edges, &model.at_level, &model.nontree) {
+            panic!("seed {seed} round {round}: {e}");
+        }
+        // Spot-check queries against the DSU.
+        let mut dsu = model.dsu();
+        for _ in 0..10 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            assert_eq!(
+                f.connected(u, v),
+                dsu.find(u) == dsu.find(v),
+                "seed {seed} round {round}: connected({u},{v})"
+            );
+        }
+        // Component sizes.
+        let mut sizes: FxHashMap<u32, u64> = FxHashMap::default();
+        for v in 0..n as u32 {
+            *sizes.entry(dsu.find(v)).or_default() += 1;
+        }
+        for _ in 0..5 {
+            let v = rng.next_below(n as u64) as u32;
+            assert_eq!(f.component_size(v), sizes[&dsu.find(v)]);
+        }
+    }
+}
+
+#[test]
+fn model_small_graphs() {
+    for seed in 0..6 {
+        run_model(seed, 12, 25, 4);
+    }
+}
+
+#[test]
+fn model_medium_graph() {
+    run_model(100, 120, 20, 24);
+}
+
+#[test]
+fn model_larger_batches() {
+    run_model(200, 600, 10, 200);
+}
+
+#[test]
+fn star_and_path_stress() {
+    // Deterministic worst cases for the batch construction: all edges share
+    // one endpoint (star), then a long chain in one batch, then cut all.
+    let n = 64u32;
+    let mut f = EulerTourForest::new(n as usize, 9);
+    let star: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+    f.batch_link(&star, &vec![true; star.len()]);
+    assert_eq!(f.component_size(0), n as u64);
+    let nontree: FxHashMap<u32, u64> = FxHashMap::default();
+    f.validate(&star, &star, &nontree).unwrap();
+    f.batch_cut(&star);
+    f.validate(&[], &[], &nontree).unwrap();
+    for v in 1..n {
+        assert!(!f.connected(0, v));
+    }
+
+    let path: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+    f.batch_link(&path, &vec![false; path.len()]);
+    assert!(f.connected(0, n - 1));
+    f.validate(&path, &[], &nontree).unwrap();
+    // Cut every other edge: components of size 2.
+    let half: Vec<(u32, u32)> = path.iter().copied().step_by(2).collect();
+    let rest: Vec<(u32, u32)> = path
+        .iter()
+        .copied()
+        .filter(|e| !half.contains(e))
+        .collect();
+    f.batch_cut(&rest);
+    f.validate(&half, &[], &nontree).unwrap();
+    assert!(f.connected(0, 1));
+    assert!(!f.connected(1, 2));
+}
+
+#[test]
+fn relink_after_cut_reuses_arena() {
+    let mut f = EulerTourForest::new(8, 11);
+    for _ in 0..30 {
+        f.batch_link(&[(0, 1), (1, 2), (2, 3)], &[true; 3]);
+        assert!(f.connected(0, 3));
+        f.batch_cut(&[(1, 2)]);
+        assert!(!f.connected(0, 3));
+        assert!(f.connected(0, 1));
+        f.batch_cut(&[(0, 1), (2, 3)]);
+    }
+    // Arena stayed bounded thanks to the free list.
+    assert!(f.skiplist().arena_len() < 64);
+}

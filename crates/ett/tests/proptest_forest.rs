@@ -1,0 +1,123 @@
+//! Property-based testing of the Euler tour forest: arbitrary link/cut
+//! scripts (filtered to be legal) against a DSU model.
+
+use dyncon_ett::EulerTourForest;
+use dyncon_primitives::FxHashMap;
+use proptest::prelude::*;
+
+const N: u32 = 16;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Link(Vec<(u32, u32)>),
+    Cut(Vec<u8>), // indices into the current edge list (mod len)
+    Counts(Vec<(u32, u64)>),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        prop::collection::vec((0..N, 0..N), 1..6).prop_map(Step::Link),
+        prop::collection::vec(any::<u8>(), 1..6).prop_map(Step::Cut),
+        prop::collection::vec((0..N, 0u64..4), 1..5).prop_map(Step::Counts),
+    ]
+}
+
+struct Dsu {
+    p: Vec<u32>,
+}
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            p: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.p[x as usize] != x {
+            self.p[x as usize] = self.p[self.p[x as usize] as usize];
+            x = self.p[x as usize];
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.p[ra as usize] = rb;
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scripted_forest_operations(steps in prop::collection::vec(step_strategy(), 1..20)) {
+        let mut f = EulerTourForest::new(N as usize, 5);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+        for step in &steps {
+            match step {
+                Step::Link(candidates) => {
+                    // Keep only edges that stay a forest (batch-internal too).
+                    let mut dsu = Dsu::new(N as usize);
+                    for &(u, v) in &edges {
+                        dsu.union(u, v);
+                    }
+                    let mut batch = Vec::new();
+                    for &(u, v) in candidates {
+                        let (u, v) = (u.min(v), u.max(v));
+                        if u != v && dsu.union(u, v) {
+                            batch.push((u, v));
+                        }
+                    }
+                    if !batch.is_empty() {
+                        let flags: Vec<bool> = batch.iter().map(|&(u, _)| u % 2 == 0).collect();
+                        f.batch_link(&batch, &flags);
+                        edges.extend_from_slice(&batch);
+                    }
+                }
+                Step::Cut(picks) => {
+                    let mut batch: Vec<(u32, u32)> = Vec::new();
+                    for &p in picks {
+                        if edges.is_empty() {
+                            break;
+                        }
+                        let e = edges[p as usize % edges.len()];
+                        if !batch.contains(&e) {
+                            batch.push(e);
+                        }
+                    }
+                    if !batch.is_empty() {
+                        f.batch_cut(&batch);
+                        edges.retain(|e| !batch.contains(e));
+                    }
+                }
+                Step::Counts(ups) => {
+                    let mut batch: Vec<(u32, u64)> = Vec::new();
+                    for &(v, c) in ups {
+                        if !batch.iter().any(|&(w, _)| w == v) {
+                            batch.push((v, c));
+                            counts.insert(v, c);
+                        }
+                    }
+                    f.set_nontree_counts(&batch);
+                }
+            }
+            // Full validation against ground truth every step.
+            let at_level: Vec<(u32, u32)> =
+                edges.iter().copied().filter(|&(u, _)| u % 2 == 0).collect();
+            f.validate(&edges, &at_level, &counts).map_err(TestCaseError::fail)?;
+            // Connectivity agrees with a DSU.
+            let mut dsu = Dsu::new(N as usize);
+            for &(u, v) in &edges {
+                dsu.union(u, v);
+            }
+            for u in 0..N {
+                for v in (u + 1)..N {
+                    prop_assert_eq!(f.connected(u, v), dsu.find(u) == dsu.find(v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Static graph generators. All return deduplicated, normalized
+//! (`u < v`), self-loop-free edge lists.
+
+use dyncon_primitives::{sort_dedup, SplitMix64};
+
+fn norm(u: u32, v: u32) -> (u32, u32) {
+    (u.min(v), u.max(v))
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n >= 2);
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m + m / 4);
+    while {
+        sort_dedup(&mut edges);
+        edges.len() < m
+    } {
+        for _ in 0..(m - edges.len()) * 5 / 4 + 4 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            if u != v {
+                edges.push(norm(u, v));
+            }
+        }
+    }
+    edges.truncate(m);
+    edges
+}
+
+/// R-MAT power-law generator (Chakrabarti–Zhan–Faloutsos) with the classic
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` parameters: the skewed,
+/// social-network-like workload motivating the paper's introduction.
+/// `n` is rounded up to a power of two internally; edges are produced over
+/// `0..n`.
+pub fn rmat(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n >= 2);
+    let bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m + m / 4);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < 80 {
+        attempts += 1;
+        let need = m - edges.len();
+        for _ in 0..need * 5 / 4 + 4 {
+            let (mut u, mut v) = (0u32, 0u32);
+            for _ in 0..bits {
+                u <<= 1;
+                v <<= 1;
+                let p = rng.next_f64();
+                if p < 0.57 {
+                    // quadrant a: (0,0)
+                } else if p < 0.76 {
+                    v |= 1; // b
+                } else if p < 0.95 {
+                    u |= 1; // c
+                } else {
+                    u |= 1;
+                    v |= 1; // d
+                }
+            }
+            if u != v && (u as usize) < n && (v as usize) < n {
+                edges.push(norm(u, v));
+            }
+        }
+        sort_dedup(&mut edges);
+    }
+    edges.truncate(m);
+    edges
+}
+
+/// Path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Vec<(u32, u32)> {
+    (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect()
+}
+
+/// Cycle over `0..n`.
+pub fn cycle(n: usize) -> Vec<(u32, u32)> {
+    assert!(n >= 3);
+    let mut e = path(n);
+    e.push((0, n as u32 - 1));
+    e
+}
+
+/// Star centered at 0.
+pub fn star(n: usize) -> Vec<(u32, u32)> {
+    (1..n as u32).map(|v| (0, v)).collect()
+}
+
+/// 2-D grid `rows × cols` (4-neighbourhood), vertices row-major.
+pub fn grid2d(rows: usize, cols: usize) -> Vec<(u32, u32)> {
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    edges
+}
+
+/// Uniform random spanning tree over `0..n` (random attachment order:
+/// every node links to a uniform predecessor in a random permutation).
+pub fn random_tree(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        perm.swap(i, j);
+    }
+    (1..n)
+        .map(|i| {
+            let j = rng.next_below(i as u64) as usize;
+            norm(perm[i], perm[j])
+        })
+        .collect()
+}
+
+/// Complete graph over `0..n`.
+pub fn complete(n: usize) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in u + 1..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_normalized(edges: &[(u32, u32)], n: usize) {
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in edges {
+            assert!(u < v, "({u},{v}) not normalized");
+            assert!((v as usize) < n, "vertex {v} out of range {n}");
+            assert!(seen.insert((u, v)), "duplicate ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn er_counts_and_dedup() {
+        let e = erdos_renyi(100, 300, 1);
+        assert_eq!(e.len(), 300);
+        check_normalized(&e, 100);
+        // Determinism.
+        assert_eq!(e, erdos_renyi(100, 300, 1));
+        assert_ne!(e, erdos_renyi(100, 300, 2));
+    }
+
+    #[test]
+    fn er_caps_at_complete() {
+        let e = erdos_renyi(5, 1000, 3);
+        assert_eq!(e.len(), 10);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let n = 1 << 10;
+        let e = rmat(n, 4000, 7);
+        assert!(e.len() >= 3500, "rmat produced {}", e.len());
+        check_normalized(&e, n);
+        // Degree skew: the max degree should far exceed the average.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &e {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = 2.0 * e.len() as f64 / n as f64;
+        assert!(max as f64 > 4.0 * avg, "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn structured_generators() {
+        assert_eq!(path(4), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(star(3), vec![(0, 1), (0, 2)]);
+        assert_eq!(cycle(3).len(), 3);
+        assert_eq!(grid2d(2, 3).len(), 7);
+        assert_eq!(complete(5).len(), 10);
+    }
+
+    #[test]
+    fn random_tree_spans() {
+        let n = 200;
+        let e = random_tree(n, 11);
+        assert_eq!(e.len(), n - 1);
+        check_normalized(&e, n);
+        // Must be a single connected acyclic component.
+        let mut p: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                p[x as usize] = p[p[x as usize] as usize];
+                x = p[x as usize];
+            }
+            x
+        }
+        for &(u, v) in &e {
+            let (a, b) = (find(&mut p, u), find(&mut p, v));
+            assert_ne!(a, b, "cycle in random_tree");
+            p[a as usize] = b;
+        }
+    }
+}

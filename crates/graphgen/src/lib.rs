@@ -1,0 +1,12 @@
+//! # dyncon-graphgen
+//!
+//! Deterministic graph and update-stream generators for the experiment
+//! suite (EXPERIMENTS.md). All generators are seeded and reproducible.
+
+pub mod graphs;
+pub mod stream;
+
+pub use graphs::{
+    complete, cycle, erdos_renyi, grid2d, path, random_tree, rmat, star,
+};
+pub use stream::{Batch, UpdateStream};

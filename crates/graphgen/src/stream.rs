@@ -1,0 +1,204 @@
+//! Batch update-stream builders: the workloads of the experiment suite.
+
+use dyncon_primitives::SplitMix64;
+
+/// One batch of operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Batch {
+    /// Insert these edges.
+    Insert(Vec<(u32, u32)>),
+    /// Delete these edges.
+    Delete(Vec<(u32, u32)>),
+    /// Ask these connectivity queries.
+    Query(Vec<(u32, u32)>),
+}
+
+/// A replayable sequence of batches.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateStream {
+    /// The batches, in order.
+    pub batches: Vec<Batch>,
+}
+
+impl UpdateStream {
+    /// Insert `edges` in batches of `batch_size`, then delete all of them
+    /// in batches of `delta` (uniformly shuffled): the workload of
+    /// experiment E4, where `delta` is exactly the paper's average
+    /// deletion batch size Δ.
+    pub fn insert_then_delete(
+        edges: &[(u32, u32)],
+        batch_size: usize,
+        delta: usize,
+        seed: u64,
+    ) -> Self {
+        let mut s = UpdateStream::default();
+        for chunk in edges.chunks(batch_size.max(1)) {
+            s.batches.push(Batch::Insert(chunk.to_vec()));
+        }
+        let mut order: Vec<(u32, u32)> = edges.to_vec();
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.next_below((i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(delta.max(1)) {
+            s.batches.push(Batch::Delete(chunk.to_vec()));
+        }
+        s
+    }
+
+    /// Sliding-window ingestion (the streaming scenario of §1): keep a
+    /// window of `window` batches alive; each round inserts a fresh batch
+    /// of `batch_size` edges from the generator, deletes the batch that
+    /// fell out of the window, and issues `queries` random queries.
+    pub fn sliding_window(
+        n: usize,
+        rounds: usize,
+        batch_size: usize,
+        window: usize,
+        queries: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut s = UpdateStream::default();
+        let mut live: Vec<Vec<(u32, u32)>> = Vec::new();
+        let mut present = std::collections::HashSet::new();
+        for _ in 0..rounds {
+            let mut batch = Vec::with_capacity(batch_size);
+            while batch.len() < batch_size {
+                let u = rng.next_below(n as u64) as u32;
+                let v = rng.next_below(n as u64) as u32;
+                if u == v {
+                    continue;
+                }
+                let e = (u.min(v), u.max(v));
+                if present.insert(e) {
+                    batch.push(e);
+                }
+            }
+            s.batches.push(Batch::Insert(batch.clone()));
+            live.push(batch);
+            if live.len() > window {
+                let old = live.remove(0);
+                for e in &old {
+                    present.remove(e);
+                }
+                s.batches.push(Batch::Delete(old));
+            }
+            if queries > 0 {
+                let qs: Vec<(u32, u32)> = (0..queries)
+                    .map(|_| {
+                        (
+                            rng.next_below(n as u64) as u32,
+                            rng.next_below(n as u64) as u32,
+                        )
+                    })
+                    .collect();
+                s.batches.push(Batch::Query(qs));
+            }
+        }
+        s
+    }
+
+    /// Uniform random query pairs.
+    pub fn random_queries(n: usize, k: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..k)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect()
+    }
+
+    /// Total number of operations across all batches.
+    pub fn total_ops(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| match b {
+                Batch::Insert(v) | Batch::Delete(v) | Batch::Query(v) => v.len(),
+            })
+            .sum()
+    }
+
+    /// Number of deletion batches and their average size (the paper's Δ).
+    pub fn deletion_delta(&self) -> (usize, f64) {
+        let (mut batches, mut total) = (0usize, 0usize);
+        for b in &self.batches {
+            if let Batch::Delete(v) = b {
+                batches += 1;
+                total += v.len();
+            }
+        }
+        let delta = if batches == 0 {
+            0.0
+        } else {
+            total as f64 / batches as f64
+        };
+        (batches, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::erdos_renyi;
+
+    #[test]
+    fn insert_then_delete_covers_everything() {
+        let edges = erdos_renyi(50, 120, 1);
+        let s = UpdateStream::insert_then_delete(&edges, 40, 16, 2);
+        let mut inserted = 0;
+        let mut deleted = Vec::new();
+        for b in &s.batches {
+            match b {
+                Batch::Insert(v) => inserted += v.len(),
+                Batch::Delete(v) => deleted.extend(v.iter().copied()),
+                Batch::Query(_) => {}
+            }
+        }
+        assert_eq!(inserted, 120);
+        assert_eq!(deleted.len(), 120);
+        let mut d = deleted.clone();
+        d.sort_unstable();
+        let mut e = edges.clone();
+        e.sort_unstable();
+        assert_eq!(d, e, "every inserted edge is deleted exactly once");
+        let (batches, delta) = s.deletion_delta();
+        assert_eq!(batches, 120usize.div_ceil(16));
+        assert!((delta - 120.0 / batches as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_window_deletes_old_batches() {
+        let s = UpdateStream::sliding_window(100, 10, 8, 3, 4, 5);
+        let mut live: std::collections::HashSet<(u32, u32)> = Default::default();
+        for b in &s.batches {
+            match b {
+                Batch::Insert(v) => {
+                    for &e in v {
+                        assert!(live.insert(e), "inserted edge already live");
+                    }
+                }
+                Batch::Delete(v) => {
+                    for e in v {
+                        assert!(live.remove(e), "deleted edge not live");
+                    }
+                }
+                Batch::Query(v) => assert_eq!(v.len(), 4),
+            }
+        }
+        // Window of 3 batches × 8 edges stays live at the end.
+        assert_eq!(live.len(), 3 * 8);
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let a = UpdateStream::sliding_window(64, 6, 5, 2, 3, 9);
+        let b = UpdateStream::sliding_window(64, 6, 5, 2, 3, 9);
+        assert_eq!(a.batches, b.batches);
+        assert!(a.total_ops() > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # dyncon-hdt
+//!
+//! The classic **sequential** dynamic connectivity algorithm of Holm, de
+//! Lichtenberg and Thorup (§2.2 of the SPAA 2019 paper): `O(lg² n)`
+//! amortized time per edge insertion or deletion and `O(lg n)` per query.
+//!
+//! This is the baseline the parallel batch-dynamic algorithm is
+//! work-efficient against (Theorem 6) and asymptotically faster than for
+//! large batches (Theorem 9); experiment E5 replays identical operation
+//! streams into both structures.
+//!
+//! The implementation follows the paper's description exactly: `⌈lg n⌉`
+//! levels of spanning forests represented as sequential Euler tour trees
+//! over randomized treaps ([`treap`]), augmented with per-level non-tree
+//! edge counts and tree-edge-at-level counts for the replacement search.
+
+pub mod ett;
+pub mod hdt;
+pub mod treap;
+
+pub use hdt::HdtConnectivity;

@@ -1,0 +1,366 @@
+//! Arena-allocated sequence treap with parent pointers and ETT
+//! augmentation — the sequential counterpart of the concurrent skip list.
+//!
+//! Nodes are ordered implicitly (by tree position); splits are *by node*
+//! (using parent pointers to walk the spine) rather than by rank, which is
+//! exactly what Euler tour maintenance needs. Expected `O(lg n)` per
+//! split/merge via uniformly random priorities.
+
+use dyncon_primitives::SplitMix64;
+
+/// Arena index.
+pub type NodeId = u32;
+/// Null node.
+pub const NIL: NodeId = u32::MAX;
+
+/// Augmented value: identical roles to the parallel `EttVal`.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct Val {
+    /// 1 on vertex loop nodes.
+    pub verts: u32,
+    /// 1 on tree-edge nodes whose edge level equals the forest level.
+    pub tree: u32,
+    /// Per-vertex count of level-`i` non-tree edges (loop nodes only).
+    pub nontree: u64,
+}
+
+impl Val {
+    fn add(self, o: Val) -> Val {
+        Val {
+            verts: self.verts + o.verts,
+            tree: self.tree + o.tree,
+            nontree: self.nontree + o.nontree,
+        }
+    }
+}
+
+struct Node {
+    pri: u64,
+    l: NodeId,
+    r: NodeId,
+    p: NodeId,
+    base: Val,
+    sum: Val,
+}
+
+/// A forest of sequence treaps sharing one arena.
+pub struct Treap {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    rng: SplitMix64,
+}
+
+impl Treap {
+    /// Empty arena with deterministic priorities from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Allocate a singleton sequence.
+    pub fn alloc(&mut self, base: Val) -> NodeId {
+        let pri = self.rng.next_u64();
+        if let Some(id) = self.free.pop() {
+            let n = &mut self.nodes[id as usize];
+            n.pri = pri;
+            n.l = NIL;
+            n.r = NIL;
+            n.p = NIL;
+            n.base = base;
+            n.sum = base;
+            id
+        } else {
+            let id = self.nodes.len() as NodeId;
+            self.nodes.push(Node {
+                pri,
+                l: NIL,
+                r: NIL,
+                p: NIL,
+                base,
+                sum: base,
+            });
+            id
+        }
+    }
+
+    /// Return a detached singleton to the free list.
+    pub fn release(&mut self, id: NodeId) {
+        debug_assert_eq!(self.nodes[id as usize].l, NIL);
+        debug_assert_eq!(self.nodes[id as usize].r, NIL);
+        debug_assert_eq!(self.nodes[id as usize].p, NIL);
+        self.free.push(id);
+    }
+
+    /// Base value of a node.
+    pub fn base(&self, x: NodeId) -> Val {
+        self.nodes[x as usize].base
+    }
+
+    /// Subtree aggregate of a node.
+    pub fn sum(&self, x: NodeId) -> Val {
+        self.nodes[x as usize].sum
+    }
+
+    /// Set a node's base value and refresh ancestors. `O(lg n)` expected.
+    pub fn set_base(&mut self, x: NodeId, base: Val) {
+        self.nodes[x as usize].base = base;
+        let mut cur = x;
+        while cur != NIL {
+            self.update(cur);
+            cur = self.nodes[cur as usize].p;
+        }
+    }
+
+    fn update(&mut self, x: NodeId) {
+        let n = &self.nodes[x as usize];
+        let mut s = n.base;
+        if n.l != NIL {
+            s = s.add(self.nodes[n.l as usize].sum);
+        }
+        if n.r != NIL {
+            s = s.add(self.nodes[n.r as usize].sum);
+        }
+        self.nodes[x as usize].sum = s;
+    }
+
+    /// Root of the sequence containing `x`. `O(lg n)` expected.
+    pub fn root(&self, x: NodeId) -> NodeId {
+        let mut cur = x;
+        while self.nodes[cur as usize].p != NIL {
+            cur = self.nodes[cur as usize].p;
+        }
+        cur
+    }
+
+    /// Concatenate two sequences. Either may be `NIL`.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        debug_assert_eq!(self.nodes[a as usize].p, NIL);
+        debug_assert_eq!(self.nodes[b as usize].p, NIL);
+        if self.nodes[a as usize].pri > self.nodes[b as usize].pri {
+            let ar = self.nodes[a as usize].r;
+            if ar != NIL {
+                self.nodes[ar as usize].p = NIL;
+            }
+            let nr = self.merge(ar, b);
+            self.nodes[a as usize].r = nr;
+            self.nodes[nr as usize].p = a;
+            self.update(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].l;
+            if bl != NIL {
+                self.nodes[bl as usize].p = NIL;
+            }
+            let nl = self.merge(a, bl);
+            self.nodes[b as usize].l = nl;
+            self.nodes[nl as usize].p = b;
+            self.update(b);
+            b
+        }
+    }
+
+    /// Split the sequence containing `x` into `(prefix, suffix)`. When
+    /// `x_goes_left`, `x` ends the prefix; otherwise it starts the suffix.
+    fn split_at(&mut self, x: NodeId, x_goes_left: bool) -> (NodeId, NodeId) {
+        let (mut l, mut r);
+        if x_goes_left {
+            let xr = self.nodes[x as usize].r;
+            if xr != NIL {
+                self.nodes[xr as usize].p = NIL;
+            }
+            self.nodes[x as usize].r = NIL;
+            self.update(x);
+            l = x;
+            r = xr;
+        } else {
+            let xl = self.nodes[x as usize].l;
+            if xl != NIL {
+                self.nodes[xl as usize].p = NIL;
+            }
+            self.nodes[x as usize].l = NIL;
+            self.update(x);
+            l = xl;
+            r = x;
+        }
+        // Walk the spine upward, distributing ancestors.
+        let mut cur = x;
+        let mut par = self.nodes[x as usize].p;
+        self.nodes[x as usize].p = NIL;
+        while par != NIL {
+            let next = self.nodes[par as usize].p;
+            self.nodes[par as usize].p = NIL;
+            if self.nodes[par as usize].l == cur {
+                // par and its right subtree come after x.
+                self.nodes[par as usize].l = NIL;
+                self.update(par);
+                r = self.merge(r, par);
+            } else {
+                debug_assert_eq!(self.nodes[par as usize].r, cur);
+                // par and its left subtree come before x.
+                self.nodes[par as usize].r = NIL;
+                self.update(par);
+                l = self.merge(par, l);
+            }
+            cur = par;
+            par = next;
+        }
+        (l, r)
+    }
+
+    /// Split after `x`: `x` ends the left part.
+    pub fn split_after(&mut self, x: NodeId) -> (NodeId, NodeId) {
+        self.split_at(x, true)
+    }
+
+    /// Split before `x`: `x` starts the right part.
+    pub fn split_before(&mut self, x: NodeId) -> (NodeId, NodeId) {
+        self.split_at(x, false)
+    }
+
+    /// Leftmost descendant that satisfies a positive-weight descent on
+    /// `w`: finds a node whose *base* has `w(base) > 0` inside the subtree
+    /// of `root`, or `None`.
+    pub fn find_positive(&self, root: NodeId, w: impl Fn(Val) -> u64 + Copy) -> Option<NodeId> {
+        if root == NIL || w(self.nodes[root as usize].sum) == 0 {
+            return None;
+        }
+        let mut cur = root;
+        loop {
+            let n = &self.nodes[cur as usize];
+            if n.l != NIL && w(self.nodes[n.l as usize].sum) > 0 {
+                cur = n.l;
+            } else if w(n.base) > 0 {
+                return Some(cur);
+            } else {
+                debug_assert!(n.r != NIL && w(self.nodes[n.r as usize].sum) > 0);
+                cur = n.r;
+            }
+        }
+    }
+
+    /// In-order node sequence of the tree rooted at `root` (test use).
+    pub fn inorder(&self, root: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![(root, false)];
+        while let Some((x, expanded)) = stack.pop() {
+            if x == NIL {
+                continue;
+            }
+            if expanded {
+                out.push(x);
+            } else {
+                stack.push((self.nodes[x as usize].r, false));
+                stack.push((x, true));
+                stack.push((self.nodes[x as usize].l, false));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: u64) -> Val {
+        Val {
+            verts: 1,
+            tree: 0,
+            nontree: n,
+        }
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut t = Treap::new(1);
+        let ids: Vec<NodeId> = (0..50).map(|i| t.alloc(val(i))).collect();
+        let mut root = ids[0];
+        for &id in &ids[1..] {
+            root = t.merge(root, id);
+        }
+        assert_eq!(t.inorder(root), ids);
+        assert_eq!(t.sum(root).verts, 50);
+        assert_eq!(t.sum(root).nontree, (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn split_after_every_position() {
+        for seed in 0..5 {
+            let mut t = Treap::new(seed);
+            let ids: Vec<NodeId> = (0..20).map(|i| t.alloc(val(i))).collect();
+            let mut root = ids[0];
+            for &id in &ids[1..] {
+                root = t.merge(root, id);
+            }
+            for cut in 0..20 {
+                let (l, r) = t.split_after(ids[cut]);
+                assert_eq!(t.inorder(l), ids[..=cut].to_vec());
+                if cut + 1 < 20 {
+                    assert_eq!(t.inorder(r), ids[cut + 1..].to_vec());
+                } else {
+                    assert_eq!(r, NIL);
+                }
+                root = t.merge(l, r);
+                assert_eq!(t.inorder(root), ids);
+            }
+        }
+    }
+
+    #[test]
+    fn split_before_matches() {
+        let mut t = Treap::new(9);
+        let ids: Vec<NodeId> = (0..10).map(|i| t.alloc(val(i))).collect();
+        let mut root = ids[0];
+        for &id in &ids[1..] {
+            root = t.merge(root, id);
+        }
+        let (l, r) = t.split_before(ids[4]);
+        assert_eq!(t.inorder(l), ids[..4].to_vec());
+        assert_eq!(t.inorder(r), ids[4..].to_vec());
+        let _ = (l, r);
+    }
+
+    #[test]
+    fn set_base_refreshes_sums() {
+        let mut t = Treap::new(3);
+        let ids: Vec<NodeId> = (0..30).map(|_| t.alloc(val(0))).collect();
+        let mut root = ids[0];
+        for &id in &ids[1..] {
+            root = t.merge(root, id);
+        }
+        t.set_base(ids[17], val(9));
+        let root = t.root(ids[0]);
+        assert_eq!(t.sum(root).nontree, 9);
+        let hit = t.find_positive(root, |v| v.nontree).unwrap();
+        assert_eq!(hit, ids[17]);
+    }
+
+    #[test]
+    fn find_positive_none_when_zero() {
+        let mut t = Treap::new(4);
+        let a = t.alloc(val(0));
+        assert_eq!(t.find_positive(a, |v| v.nontree), None);
+        assert_eq!(t.find_positive(a, |v| v.verts as u64), Some(a));
+    }
+
+    #[test]
+    fn roots_track_membership() {
+        let mut t = Treap::new(5);
+        let a = t.alloc(val(1));
+        let b = t.alloc(val(2));
+        let c = t.alloc(val(3));
+        let ab = t.merge(a, b);
+        assert_eq!(t.root(a), ab);
+        assert_eq!(t.root(b), ab);
+        assert_ne!(t.root(c), ab);
+    }
+}

@@ -1,0 +1,102 @@
+//! Randomized model testing of the sequential HDT baseline against the
+//! naive oracle.
+
+use dyncon_hdt::HdtConnectivity;
+use dyncon_primitives::SplitMix64;
+use dyncon_spanning::NaiveDynamicGraph;
+
+fn run(seed: u64, n: usize, steps: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = HdtConnectivity::new(n);
+    let mut oracle = NaiveDynamicGraph::new(n);
+    for step in 0..steps {
+        let u = rng.next_below(n as u64) as u32;
+        let v = rng.next_below(n as u64) as u32;
+        match rng.next_below(3) {
+            0 => {
+                assert_eq!(g.insert(u, v), oracle.insert(u, v), "step {step} insert");
+            }
+            1 => {
+                // Delete a random existing edge when possible.
+                let edges = oracle.edge_list();
+                if !edges.is_empty() {
+                    let (a, b) = edges[rng.next_below(edges.len() as u64) as usize];
+                    assert!(g.delete(a, b));
+                    assert!(oracle.delete(a, b));
+                } else {
+                    assert!(!g.delete(u, v));
+                }
+            }
+            _ => {
+                assert_eq!(
+                    g.connected(u, v),
+                    oracle.connected(u, v),
+                    "seed {seed} step {step}: connected({u},{v})"
+                );
+            }
+        }
+        if step % 16 == 0 {
+            assert_eq!(g.num_edges(), oracle.num_edges());
+            assert_eq!(g.num_components(), oracle.num_components());
+        }
+    }
+}
+
+#[test]
+fn small_graphs_many_seeds() {
+    for seed in 0..10 {
+        run(seed, 9, 400);
+    }
+}
+
+#[test]
+fn medium_graphs() {
+    for seed in 20..24 {
+        run(seed, 60, 600);
+    }
+}
+
+#[test]
+fn larger_graph() {
+    run(99, 300, 800);
+}
+
+#[test]
+fn adversarial_path_rebuild() {
+    // Delete the middle of a path repeatedly: forces replacement searches
+    // that fail (no replacement exists) and full level descents.
+    let n = 64u32;
+    let mut g = HdtConnectivity::new(n as usize);
+    for i in 0..n - 1 {
+        g.insert(i, i + 1);
+    }
+    for round in 0..6 {
+        let mid = 31 + (round % 3) as u32;
+        assert!(g.delete(mid, mid + 1));
+        assert!(!g.connected(0, n - 1), "path must split");
+        assert!(g.insert(mid, mid + 1));
+        assert!(g.connected(0, n - 1), "path must rejoin");
+    }
+}
+
+#[test]
+fn dense_small_world() {
+    // Clique insert, then delete everything in random order.
+    let n = 10u32;
+    let mut g = HdtConnectivity::new(n as usize);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            g.insert(u, v);
+            edges.push((u, v));
+        }
+    }
+    let mut rng = SplitMix64::new(5);
+    while !edges.is_empty() {
+        let i = rng.next_below(edges.len() as u64) as usize;
+        let (u, v) = edges.swap_remove(i);
+        assert!(g.delete(u, v));
+    }
+    assert_eq!(g.num_components(), n as usize);
+    assert_eq!(g.num_edges(), 0);
+}

@@ -1,0 +1,314 @@
+//! Phase-concurrent parallel dictionary (the paper's Gil–Matias–Vishkin
+//! dictionary role, §2).
+//!
+//! Open-addressing table over `u64` keys and `u64` values with linear
+//! probing and CAS slot claiming, in the style of Shun–Blelloch
+//! phase-concurrent hash tables [55]: within one *phase* only one kind of
+//! operation runs (a batch of inserts, a batch of deletes, or a batch of
+//! lookups), which is exactly how the connectivity algorithms use it.
+//!
+//! A batch of `k` operations costs `O(k)` expected work and `O(lg k)` depth
+//! w.h.p. (probe sequences are `O(1)` expected at our ≤ 50% load factor).
+//!
+//! Two key values are reserved as sentinels; callers must not use them
+//! (`dyncon` edge keys pack two `u32` vertex ids and can never collide with
+//! them).
+
+use crate::hash::hash64;
+use crate::par_for;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel: never-used slot.
+const EMPTY: u64 = u64::MAX;
+/// Sentinel: deleted slot (skipped by probes, cleared on rebuild).
+const TOMB: u64 = u64::MAX - 1;
+
+/// A phase-concurrent hash table from `u64` keys to `u64` values.
+pub struct ConcurrentDict {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+    mask: usize,
+    live: AtomicUsize,
+    tombs: AtomicUsize,
+}
+
+impl ConcurrentDict {
+    /// Create a dictionary with room for at least `capacity` live keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = (capacity.max(8) * 2).next_power_of_two();
+        Self {
+            keys: (0..cap).map(|_| AtomicU64::new(EMPTY)).collect(),
+            vals: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+            live: AtomicUsize::new(0),
+            tombs: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// True when no live entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (hash64(key) as usize) & self.mask
+    }
+
+    /// Ensure capacity for `extra` more inserts, rebuilding if the table
+    /// would exceed 50% occupancy (live + tombstones).
+    pub fn reserve(&mut self, extra: usize) {
+        let needed = self.live.load(Ordering::Relaxed) + self.tombs.load(Ordering::Relaxed) + extra;
+        if needed * 2 <= self.keys.len() {
+            return;
+        }
+        let pairs = self.iter_pairs();
+        let mut bigger = ConcurrentDict::with_capacity((pairs.len() + extra).max(8) * 2);
+        bigger.insert_batch(&pairs);
+        *self = bigger;
+    }
+
+    /// Snapshot all live `(key, value)` pairs (parallel scan; no concurrent
+    /// mutation allowed — this is its own phase).
+    pub fn iter_pairs(&self) -> Vec<(u64, u64)> {
+        (0..self.keys.len())
+            .into_par_iter()
+            .filter_map(|i| {
+                let k = self.keys[i].load(Ordering::Relaxed);
+                (k != EMPTY && k != TOMB).then(|| (k, self.vals[i].load(Ordering::Relaxed)))
+            })
+            .collect()
+    }
+
+    /// Insert a batch of `(key, value)` pairs. Existing keys are
+    /// overwritten. Duplicate keys *within one batch* resolve to one of the
+    /// supplied values (callers dedup when they care).
+    pub fn insert_batch(&mut self, pairs: &[(u64, u64)]) {
+        self.reserve(pairs.len());
+        let inserted = AtomicUsize::new(0);
+        par_for(pairs.len(), |i| {
+            let (key, val) = pairs[i];
+            debug_assert!(key != EMPTY && key != TOMB, "reserved key");
+            if self.insert_one(key, val) {
+                inserted.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        self.live.fetch_add(inserted.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// CAS-claim a slot for `key`; returns true if the key was new.
+    fn insert_one(&self, key: u64, val: u64) -> bool {
+        let mut i = self.slot_of(key);
+        loop {
+            let cur = self.keys[i].load(Ordering::Relaxed);
+            if cur == key {
+                self.vals[i].store(val, Ordering::Relaxed);
+                return false;
+            }
+            if cur == EMPTY {
+                match self.keys[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.vals[i].store(val, Ordering::Release);
+                        return true;
+                    }
+                    Err(now) => {
+                        if now == key {
+                            self.vals[i].store(val, Ordering::Relaxed);
+                            return false;
+                        }
+                        // Someone else claimed it for another key: continue
+                        // probing from the same slot.
+                        continue;
+                    }
+                }
+            }
+            // Occupied by another key or tombstone: linear probe.
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Look up a single key.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut i = self.slot_of(key);
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return Some(self.vals[i].load(Ordering::Acquire));
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Batch lookup: `out[i] = get(keys[i])`.
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        crate::scan::par_map_collect(keys, |&k| self.get(k))
+    }
+
+    /// Remove a batch of keys (present keys become tombstones). Returns the
+    /// number actually removed. Keys absent from the table are ignored.
+    pub fn remove_batch(&mut self, keys: &[u64]) -> usize {
+        let removed = AtomicUsize::new(0);
+        par_for(keys.len(), |qi| {
+            let key = keys[qi];
+            let mut i = self.slot_of(key);
+            loop {
+                let cur = self.keys[i].load(Ordering::Relaxed);
+                if cur == key {
+                    self.keys[i].store(TOMB, Ordering::Relaxed);
+                    removed.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if cur == EMPTY {
+                    break;
+                }
+                i = (i + 1) & self.mask;
+            }
+        });
+        let r = removed.load(Ordering::Relaxed);
+        self.live.fetch_sub(r, Ordering::Relaxed);
+        self.tombs.fetch_add(r, Ordering::Relaxed);
+        r
+    }
+
+    /// Update the value of an existing key (single-threaded convenience).
+    pub fn set(&mut self, key: u64, val: u64) {
+        self.insert_batch(&[(key, val)]);
+    }
+}
+
+impl std::fmt::Debug for ConcurrentDict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentDict")
+            .field("len", &self.len())
+            .field("capacity", &self.keys.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut d = ConcurrentDict::with_capacity(16);
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i * 7 + 1, i)).collect();
+        d.insert_batch(&pairs);
+        assert_eq!(d.len(), 1000);
+        for (k, v) in pairs {
+            assert_eq!(d.get(k), Some(v));
+        }
+        assert_eq!(d.get(123_456_789), None);
+    }
+
+    #[test]
+    fn overwrite_existing() {
+        let mut d = ConcurrentDict::with_capacity(4);
+        d.insert_batch(&[(5, 1)]);
+        d.insert_batch(&[(5, 2)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(5), Some(2));
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut d = ConcurrentDict::with_capacity(16);
+        d.insert_batch(&[(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(d.remove_batch(&[2, 99]), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(2), None);
+        assert_eq!(d.get(1), Some(10));
+        d.insert_batch(&[(2, 21)]);
+        assert_eq!(d.get(2), Some(21));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn grows_under_pressure() {
+        let mut d = ConcurrentDict::with_capacity(4);
+        let pairs: Vec<(u64, u64)> = (0..50_000).map(|i| (i + 1, i)).collect();
+        d.insert_batch(&pairs);
+        assert_eq!(d.len(), 50_000);
+        assert_eq!(d.get(40_000), Some(39_999));
+    }
+
+    #[test]
+    fn tombstone_rebuild_does_not_lose_entries() {
+        let mut d = ConcurrentDict::with_capacity(8);
+        let mut r = SplitMix64::new(17);
+        let mut model = std::collections::HashMap::new();
+        for round in 0..50 {
+            let ins: Vec<(u64, u64)> = (0..100)
+                .map(|_| (r.next_below(5000) + 1, round))
+                .collect();
+            for &(k, v) in &ins {
+                model.insert(k, v);
+            }
+            // Dedup keys so batch semantics are deterministic.
+            let mut ins = ins;
+            ins.sort_unstable_by_key(|p| p.0);
+            ins.dedup_by_key(|p| p.0);
+            d.insert_batch(&ins);
+            let del: Vec<u64> = (0..30).map(|_| r.next_below(5000) + 1).collect();
+            let mut del = del;
+            crate::group::sort_dedup(&mut del);
+            for k in &del {
+                model.remove(k);
+            }
+            d.remove_batch(&del);
+        }
+        assert_eq!(d.len(), model.len());
+        for (&k, &v) in &model {
+            assert_eq!(d.get(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn batch_get_matches() {
+        let mut d = ConcurrentDict::with_capacity(16);
+        d.insert_batch(&[(1, 10), (3, 30)]);
+        assert_eq!(d.get_batch(&[1, 2, 3]), vec![Some(10), None, Some(30)]);
+    }
+
+    #[test]
+    fn iter_pairs_snapshot() {
+        let mut d = ConcurrentDict::with_capacity(16);
+        d.insert_batch(&[(1, 10), (2, 20)]);
+        let mut pairs = d.iter_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn parallel_insert_race_single_key_space() {
+        // Hammer a small key space from many parallel inserts.
+        let mut d = ConcurrentDict::with_capacity(16);
+        let pairs: Vec<(u64, u64)> = (0..20_000).map(|i| (i % 97 + 1, i)).collect();
+        d.insert_batch(&pairs);
+        assert_eq!(d.len(), 97);
+        for k in 1..=97u64 {
+            let v = d.get(k).unwrap();
+            assert_eq!(v % 97 + 1, k);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Grouping by key — the role of the paper's *semisort* (§2).
+//!
+//! The algorithms only ever use semisort to bring equal keys together
+//! (e.g. "collect all edges incident on u", Algorithm 2 line 3). We realize
+//! it with rayon's parallel unstable sort: `O(k lg k)` work instead of the
+//! theoretical `O(k)` expected — see DESIGN.md §3 for why this never changes
+//! an experiment's shape — followed by a boundary scan.
+
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Sort `pairs` by key and return one `(key, range)` per distinct key, where
+/// `range` indexes the now-contiguous group inside `pairs`.
+///
+/// Postcondition: concatenating the ranges covers `0..pairs.len()` in order.
+pub fn group_pairs_by_key<K, V>(pairs: &mut [(K, V)]) -> Vec<(K, Range<usize>)>
+where
+    K: Ord + Copy + Send + Sync,
+    V: Send + Sync + Copy,
+{
+    if pairs.len() < crate::SEQ_THRESHOLD {
+        pairs.sort_unstable_by_key(|p| p.0);
+    } else {
+        pairs.par_sort_unstable_by_key(|p| p.0);
+    }
+    group_ranges_of_sorted(pairs)
+}
+
+/// Boundary detection over an already-sorted slice.
+fn group_ranges_of_sorted<K, V>(pairs: &[(K, V)]) -> Vec<(K, Range<usize>)>
+where
+    K: Ord + Copy + Send + Sync,
+    V: Send + Sync,
+{
+    let n = pairs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Flag positions that start a new group, then pack.
+    let flags: Vec<bool> = if n < crate::SEQ_THRESHOLD {
+        (0..n).map(|i| i == 0 || pairs[i - 1].0 != pairs[i].0).collect()
+    } else {
+        (0..n)
+            .into_par_iter()
+            .map(|i| i == 0 || pairs[i - 1].0 != pairs[i].0)
+            .collect()
+    };
+    let starts = crate::scan::pack_index(&flags);
+    let mut out = Vec::with_capacity(starts.len());
+    for (gi, &s) in starts.iter().enumerate() {
+        let e = if gi + 1 < starts.len() { starts[gi + 1] } else { n };
+        out.push((pairs[s].0, s..e));
+    }
+    out
+}
+
+/// Sort and deduplicate in place (parallel sort, sequential dedup).
+pub fn sort_dedup<T: Ord + Copy + Send>(items: &mut Vec<T>) {
+    if items.len() < crate::SEQ_THRESHOLD {
+        items.sort_unstable();
+    } else {
+        items.par_sort_unstable();
+    }
+    items.dedup();
+}
+
+/// Deduplicate an already-sorted vector.
+pub fn dedup_sorted<T: PartialEq>(items: &mut Vec<T>) {
+    items.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn groups_simple() {
+        let mut pairs = vec![(2u32, 'a'), (1, 'b'), (2, 'c'), (1, 'd'), (3, 'e')];
+        let groups = group_pairs_by_key(&mut pairs);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, 2);
+        assert_eq!(groups[1].1.len(), 2);
+        assert_eq!(groups[2].0, 3);
+        assert_eq!(groups[2].1.len(), 1);
+        // Ranges tile the slice.
+        let total: usize = groups.iter().map(|g| g.1.len()).sum();
+        assert_eq!(total, pairs.len());
+    }
+
+    #[test]
+    fn groups_empty() {
+        let mut pairs: Vec<(u32, u32)> = vec![];
+        assert!(group_pairs_by_key(&mut pairs).is_empty());
+    }
+
+    #[test]
+    fn groups_single_key() {
+        let mut pairs: Vec<(u8, u32)> = (0..100).map(|i| (7, i)).collect();
+        let groups = group_pairs_by_key(&mut pairs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1, 0..100);
+    }
+
+    #[test]
+    fn groups_large_random() {
+        let mut r = SplitMix64::new(5);
+        let mut pairs: Vec<(u32, u64)> = (0..40_000)
+            .map(|i| (r.next_below(500) as u32, i))
+            .collect();
+        let mut expected = std::collections::HashMap::<u32, usize>::new();
+        for (k, _) in &pairs {
+            *expected.entry(*k).or_default() += 1;
+        }
+        let groups = group_pairs_by_key(&mut pairs);
+        assert_eq!(groups.len(), expected.len());
+        for (k, range) in &groups {
+            assert_eq!(range.len(), expected[k], "key {k}");
+            for i in range.clone() {
+                assert_eq!(pairs[i].0, *k);
+            }
+        }
+        // Keys strictly increasing across groups.
+        for w in groups.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates() {
+        let mut v = vec![5u32, 1, 5, 2, 1, 9];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn sort_dedup_large() {
+        let mut r = SplitMix64::new(6);
+        let mut v: Vec<u64> = (0..30_000).map(|_| r.next_below(1000)).collect();
+        sort_dedup(&mut v);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), 1000); // all values hit w.h.p. at this density
+    }
+}

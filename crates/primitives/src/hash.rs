@@ -1,0 +1,132 @@
+//! Deterministic 64-bit mixing and a fast non-cryptographic hasher.
+//!
+//! The paper's randomized primitives (semisort [24], dictionaries [23],
+//! skip-list heights [47]) all assume access to a uniformly random hash
+//! function into `[1, n^O(1)]`. We use the SplitMix64 finalizer, whose output
+//! passes avalanche tests and is cheap enough for hot loops, and an
+//! Fx-style multiply hasher for std `HashMap`s in non-critical paths.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64 finalizer: a bijective mixer with full avalanche.
+///
+/// Used for dictionary probing, semisort bucketing and skip-list tower
+/// heights. Being bijective means no two keys collide at the 64-bit level,
+/// so collision behaviour is governed purely by table sizes.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Mix two words into one hash (order sensitive).
+#[inline]
+pub fn hash64_pair(a: u64, b: u64) -> u64 {
+    hash64(a ^ hash64(b))
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style hasher: a single multiply-rotate per word. Quality is low but
+/// more than sufficient for the integer keys we feed it, and it is the
+/// fastest option for `u32`/`u64` keys (see the Rust Performance Book,
+/// "Hashing").
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// `HashMap` keyed with [`FxHasher`]. Use for integer-keyed maps on
+/// sequential paths (the batch-parallel paths use [`crate::ConcurrentDict`]).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` counterpart of [`FxHashMap`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_is_injective_on_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(hash64(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn hash64_avalanche_flips_many_bits() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let mut total = 0u32;
+        let samples = 1000;
+        for x in 0..samples {
+            let h0 = hash64(x);
+            let h1 = hash64(x ^ 1);
+            total += (h0 ^ h1).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((24.0..40.0).contains(&avg), "weak avalanche: {avg}");
+    }
+
+    #[test]
+    fn fx_hashmap_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&37], 74);
+    }
+
+    #[test]
+    fn hash_pair_is_order_sensitive() {
+        assert_ne!(hash64_pair(1, 2), hash64_pair(2, 1));
+    }
+}

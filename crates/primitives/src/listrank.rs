@@ -1,0 +1,122 @@
+//! Chain resolution by parallel pointer doubling.
+//!
+//! Used by the ETT batch-cut to "stitch over" removed Euler-tour nodes:
+//! every removed node knows a *candidate* successor which may itself be
+//! removed; we need the first successor *outside* the removed set. Chains
+//! are guaranteed acyclic by the caller (every Euler tour retains at least
+//! one live node, and candidate targets strictly advance along the tour).
+//!
+//! Cost: `O(k lg c)` work and `O(lg c)` depth for `k` chain elements with
+//! maximum chain length `c` (Tseng et al. achieve `O(k)`; the gap is
+//! dominated elsewhere — see DESIGN.md §3).
+
+use crate::par_for;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Resolve every chain element to its first target outside the member set.
+///
+/// `next[i]` holds the candidate target (an arbitrary `u64` id) of member
+/// `i`. `member(id)` returns `Some(j)` when `id` is itself the `j`-th member
+/// of the set, `None` when it is "live" (a terminal). On return, every
+/// `next[i]` is a terminal id.
+///
+/// # Panics
+/// Debug-asserts termination within `lg(k) + 2` doubling rounds, which holds
+/// whenever the chains are acyclic.
+pub fn resolve_chains(next: &mut [u64], member: impl Fn(u64) -> Option<usize> + Sync) {
+    let k = next.len();
+    if k == 0 {
+        return;
+    }
+    // Copy into atomics so each doubling round can read the previous
+    // round's values concurrently with (idempotent, converging) writes.
+    let cur: Vec<AtomicU64> = next.iter().map(|&x| AtomicU64::new(x)).collect();
+    let rounds = usize::BITS - (k - 1).leading_zeros() + 2;
+    for _ in 0..rounds {
+        let mut any = false;
+        // Jump pass: next[i] <- next[member(next[i])] where applicable.
+        let changed = std::sync::atomic::AtomicBool::new(false);
+        par_for(k, |i| {
+            let t = cur[i].load(Ordering::Relaxed);
+            if let Some(j) = member(t) {
+                let t2 = cur[j].load(Ordering::Relaxed);
+                if t2 != t {
+                    cur[i].store(t2, Ordering::Relaxed);
+                    changed.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        any |= changed.load(Ordering::Relaxed);
+        if !any {
+            break;
+        }
+    }
+    for (i, slot) in next.iter_mut().enumerate() {
+        *slot = cur[i].load(Ordering::Relaxed);
+        debug_assert!(
+            member(*slot).is_none(),
+            "resolve_chains: unresolved chain (cycle?) at element {i}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Members are ids 0..k; terminals are ids >= k.
+    fn run(next: Vec<u64>, k: usize) -> Vec<u64> {
+        let mut next = next;
+        resolve_chains(&mut next, |id| {
+            if (id as usize) < k {
+                Some(id as usize)
+            } else {
+                None
+            }
+        });
+        next
+    }
+
+    #[test]
+    fn already_terminal() {
+        assert_eq!(run(vec![100, 200], 2), vec![100, 200]);
+    }
+
+    #[test]
+    fn single_hop() {
+        // 0 -> 1 -> 100
+        assert_eq!(run(vec![1, 100], 2), vec![100, 100]);
+    }
+
+    #[test]
+    fn long_chain() {
+        // i -> i+1, last -> 999
+        let k = 1000;
+        let mut next: Vec<u64> = (1..=k as u64).collect();
+        next[k - 1] = 100_000;
+        assert_eq!(run(next, k), vec![100_000; k]);
+    }
+
+    #[test]
+    fn many_chains() {
+        // Chains of length 3: (3i)->(3i+1)->(3i+2)->terminal(1000+i)
+        let k = 300;
+        let mut next = vec![0u64; k];
+        for c in 0..100 {
+            next[3 * c] = (3 * c + 1) as u64;
+            next[3 * c + 1] = (3 * c + 2) as u64;
+            next[3 * c + 2] = 1000 + c as u64;
+        }
+        let out = run(next, k);
+        for c in 0..100 {
+            for j in 0..3 {
+                assert_eq!(out[3 * c + j], 1000 + c as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert!(run(vec![], 0).is_empty());
+    }
+}

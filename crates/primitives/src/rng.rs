@@ -1,0 +1,140 @@
+//! Deterministic splittable RNG.
+//!
+//! Batch algorithms need per-item randomness that is (a) reproducible under
+//! any parallel schedule and (b) cheap. `SplitMix64` provides a sequential
+//! stream; [`SplitMix64::at`] provides a *stateless indexed* stream so a
+//! parallel loop can draw the i-th variate without coordination.
+
+use crate::hash::hash64;
+
+/// SplitMix64 pseudo random generator.
+///
+/// Not cryptographic. Passes BigCrush per the original publication; entirely
+/// sufficient for skip-list heights, workload generation and sampling.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x243f6a8885a308d3,
+        }
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        hash64(self.state)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift: negligible bias for bound << 2^64.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Stateless draw: the variate at index `i` of the stream with this
+    /// generator's seed. Safe to call from any thread with no ordering.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        hash64(self.state ^ hash64(i))
+    }
+
+    /// Fork an independent child generator (for nested components that need
+    /// their own streams without sharing state).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Geometric(1/2) height in `[1, max_h]`: counts trailing ones of a
+    /// uniform word. This is the skip-list tower height distribution of
+    /// Pugh [47] used by the batch-parallel ETT.
+    #[inline]
+    pub fn geometric_height(bits: u64, max_h: u8) -> u8 {
+        let h = (bits.trailing_ones() as u8) + 1;
+        h.min(max_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn next_below_roughly_uniform() {
+        let mut r = SplitMix64::new(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.next_below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9000..11000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn indexed_matches_itself() {
+        let r = SplitMix64::new(9);
+        assert_eq!(r.at(5), r.at(5));
+        assert_ne!(r.at(5), r.at(6));
+    }
+
+    #[test]
+    fn geometric_heights_distribution() {
+        let r = SplitMix64::new(11);
+        let mut counts = [0u32; 33];
+        let n = 1 << 18;
+        for i in 0..n {
+            counts[SplitMix64::geometric_height(r.at(i), 32) as usize] += 1;
+        }
+        // About half the towers have height 1, a quarter height 2, ...
+        assert!((counts[1] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!(counts[0] == 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(13);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

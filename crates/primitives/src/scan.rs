@@ -1,0 +1,178 @@
+//! Prefix sums and packing (the paper's `pack` primitive, §2).
+//!
+//! `pack` takes a sequence `A` and booleans `B` and returns the elements of
+//! `A` whose flag is true, preserving order — `O(n)` work, `O(lg n)` depth
+//! [34]. We implement it with a chunked two-pass scan: per-chunk counts,
+//! a (short) sequential scan over chunk totals, then a parallel scatter.
+
+use rayon::prelude::*;
+
+/// Chunk size for two-pass scan algorithms.
+const CHUNK: usize = 1 << 13;
+
+/// Exclusive prefix sum of `xs`; returns the offsets vector and the total.
+///
+/// `out[i] = xs[0] + … + xs[i-1]`, `out[0] = 0`.
+pub fn exclusive_scan_usize(xs: &[usize]) -> (Vec<usize>, usize) {
+    let n = xs.len();
+    if n <= CHUNK {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    let nchunks = n.div_ceil(CHUNK);
+    let mut chunk_sums: Vec<usize> = xs.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    // Sequential scan over ~n/CHUNK entries: cheap.
+    let mut acc = 0usize;
+    for s in chunk_sums.iter_mut() {
+        let v = *s;
+        *s = acc;
+        acc += v;
+    }
+    let mut out = vec![0usize; n];
+    out.par_chunks_mut(CHUNK)
+        .zip(xs.par_chunks(CHUNK))
+        .enumerate()
+        .for_each(|(ci, (oc, xc))| {
+            let mut a = chunk_sums[ci];
+            for (o, &x) in oc.iter_mut().zip(xc) {
+                *o = a;
+                a += x;
+            }
+        });
+    debug_assert_eq!(nchunks, chunk_sums.len());
+    (out, acc)
+}
+
+/// The paper's `pack`: keep `items[i]` where `flags[i]`, preserving order.
+pub fn pack<T: Copy + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), flags.len());
+    let n = items.len();
+    if n <= CHUNK {
+        return items
+            .iter()
+            .zip(flags)
+            .filter_map(|(x, &f)| f.then_some(*x))
+            .collect();
+    }
+    let counts: Vec<usize> = flags
+        .par_chunks(CHUNK)
+        .map(|c| c.iter().filter(|&&f| f).count())
+        .collect();
+    let (offsets, total) = exclusive_scan_usize(&counts);
+    let mut out = vec![items[0]; total];
+    // Each chunk writes a disjoint range of `out`.
+    let out_ptr = crate::sync_cell::SyncSlice::new(&mut out);
+    items
+        .par_chunks(CHUNK)
+        .zip(flags.par_chunks(CHUNK))
+        .enumerate()
+        .for_each(|(ci, (ic, fc))| {
+            let mut pos = offsets[ci];
+            for (x, &f) in ic.iter().zip(fc) {
+                if f {
+                    // SAFETY: ranges [offsets[ci], offsets[ci+1]) are disjoint
+                    // across chunks by construction of the exclusive scan.
+                    unsafe { out_ptr.write(pos, *x) };
+                    pos += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Indices `i` with `flags[i]` true, in increasing order.
+pub fn pack_index(flags: &[bool]) -> Vec<usize> {
+    let idx: Vec<usize> = (0..flags.len()).collect();
+    pack(&idx, flags)
+}
+
+/// Parallel map of a slice into a `Vec` (stable order).
+pub fn par_map_collect<T: Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync + Send,
+) -> Vec<U> {
+    if items.len() < crate::SEQ_THRESHOLD {
+        items.iter().map(f).collect()
+    } else {
+        items.par_iter().map(|x| f(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn scan_small() {
+        let xs = [3usize, 1, 4, 1, 5];
+        let (offs, total) = exclusive_scan_usize(&xs);
+        assert_eq!(offs, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let (offs, total) = exclusive_scan_usize(&[]);
+        assert!(offs.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn scan_large_matches_sequential() {
+        let mut r = SplitMix64::new(1);
+        let xs: Vec<usize> = (0..100_000).map(|_| r.next_below(10) as usize).collect();
+        let (offs, total) = exclusive_scan_usize(&xs);
+        let mut acc = 0usize;
+        for i in 0..xs.len() {
+            assert_eq!(offs[i], acc);
+            acc += xs[i];
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn pack_small() {
+        let items = [10, 20, 30, 40];
+        let flags = [true, false, true, false];
+        assert_eq!(pack(&items, &flags), vec![10, 30]);
+    }
+
+    #[test]
+    fn pack_large_matches_filter() {
+        let mut r = SplitMix64::new(2);
+        let items: Vec<u64> = (0..50_000).collect();
+        let flags: Vec<bool> = (0..50_000).map(|_| r.next_below(3) == 0).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .zip(&flags)
+            .filter_map(|(x, &f)| f.then_some(*x))
+            .collect();
+        assert_eq!(pack(&items, &flags), expected);
+    }
+
+    #[test]
+    fn pack_all_false_and_all_true() {
+        let items: Vec<u32> = (0..20_000).collect();
+        assert!(pack(&items, &vec![false; items.len()]).is_empty());
+        assert_eq!(pack(&items, &vec![true; items.len()]), items);
+    }
+
+    #[test]
+    fn pack_index_basic() {
+        let flags = [false, true, true, false, true];
+        assert_eq!(pack_index(&flags), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn par_map_collect_matches_map() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map_collect(&items, |x| x * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 3 * i as u64));
+    }
+}

@@ -1,0 +1,115 @@
+//! Augmentation interface for the skip list.
+//!
+//! The SPAA 2019 algorithms need the ETT augmented with an associative,
+//! commutative function over values attached to vertices and edges (§2.1).
+//! The skip list is generic over that function through [`Augmentation`].
+//!
+//! Values are persisted inside the towers as **two packed `u64` words per
+//! level**, stored in `AtomicU64`s. Atomic word storage is what makes
+//! duplicate recomputation during seam repair benign: two seams that
+//! recompute the same tower write byte-identical words. Any value that fits
+//! 128 bits can participate; the ETT's `(vertices, tree edges, non-tree
+//! edges)` triple fits comfortably.
+
+/// An associative, commutative aggregation over copyable values that pack
+/// into two `u64` words.
+pub trait Augmentation: Send + Sync + 'static {
+    /// The aggregated value type.
+    type Value: Copy + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// Identity element: `combine(identity(), v) == v`.
+    fn identity() -> Self::Value;
+
+    /// The associative, commutative combination.
+    fn combine(a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Serialize into two words.
+    fn pack(v: Self::Value) -> [u64; 2];
+
+    /// Inverse of [`Augmentation::pack`].
+    fn unpack(w: [u64; 2]) -> Self::Value;
+}
+
+/// No augmentation (zero-sized bookkeeping; still burns the word slots).
+pub struct UnitAug;
+
+impl Augmentation for UnitAug {
+    type Value = ();
+    #[inline]
+    fn identity() -> () {}
+    #[inline]
+    fn combine(_: (), _: ()) {}
+    #[inline]
+    fn pack(_: ()) -> [u64; 2] {
+        [0, 0]
+    }
+    #[inline]
+    fn unpack(_: [u64; 2]) -> () {}
+}
+
+/// A single `u64` counter (used heavily in tests and simple clients).
+pub struct CountAug;
+
+impl Augmentation for CountAug {
+    type Value = u64;
+    #[inline]
+    fn identity() -> u64 {
+        0
+    }
+    #[inline]
+    fn combine(a: u64, b: u64) -> u64 {
+        a + b
+    }
+    #[inline]
+    fn pack(v: u64) -> [u64; 2] {
+        [v, 0]
+    }
+    #[inline]
+    fn unpack(w: [u64; 2]) -> u64 {
+        w[0]
+    }
+}
+
+/// A pair of independent `u64` counters.
+pub struct PairAug;
+
+impl Augmentation for PairAug {
+    type Value = (u64, u64);
+    #[inline]
+    fn identity() -> (u64, u64) {
+        (0, 0)
+    }
+    #[inline]
+    fn combine(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+    #[inline]
+    fn pack(v: (u64, u64)) -> [u64; 2] {
+        [v.0, v.1]
+    }
+    #[inline]
+    fn unpack(w: [u64; 2]) -> (u64, u64) {
+        (w[0], w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(CountAug::unpack(CountAug::pack(v)), v);
+        }
+        assert_eq!(CountAug::combine(2, 3), 5);
+        assert_eq!(CountAug::combine(CountAug::identity(), 7), 7);
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let v = (3u64, 9u64);
+        assert_eq!(PairAug::unpack(PairAug::pack(v)), v);
+        assert_eq!(PairAug::combine((1, 2), (3, 4)), (4, 6));
+    }
+}

@@ -1,0 +1,48 @@
+//! # dyncon-skiplist
+//!
+//! A phase-concurrent, augmented, **cyclic** skip list — the substrate of the
+//! batch-parallel Euler tour trees of Tseng, Dhulipala and Blelloch
+//! (ALENEX 2019), which in turn underlie the SPAA 2019 parallel
+//! batch-dynamic connectivity structure reproduced by this workspace.
+//!
+//! ## Structure
+//!
+//! Every element is a *tower* with a height drawn geometrically
+//! (`P[h ≥ k+1 | h ≥ k] = 1/2`, Pugh-style). A tower of height `h`
+//! participates in doubly linked **cyclic** lists at levels `0..h`. The
+//! elements of the structure are partitioned into disjoint cycles — one per
+//! Euler tour. There is no global head: any member identifies its cycle, and
+//! [`SkipList::find_rep`] returns a canonical member (deterministic while the
+//! cycle is unchanged).
+//!
+//! ## Augmentation
+//!
+//! Each tower stores one augmented value per level, where
+//! `value[0]` is the element's base value and `value[l]` aggregates
+//! `value[l-1]` over the tower's *covering segment*: the run of level-`(l-1)`
+//! towers from itself (inclusive) to the next tower of height `> l`
+//! (exclusive). The cycle-wide aggregate is the combination of the top-level
+//! values ([`SkipList::aggregate`]), and a weighted prefix of the cycle can
+//! be located in `O(lg n + output)` time ([`SkipList::collect_prefix`]).
+//!
+//! ## Batch operations and phase concurrency
+//!
+//! [`SkipList::batch_reconnect`] applies a batch of bottom-level cuts and
+//! links in `O(k lg(1 + n/k))` expected work and `O(lg n)` depth w.h.p.,
+//! matching Theorem 2 of the paper. It is structured as barrier-separated
+//! parallel phases, one per level: at level `l` every *seam* (position whose
+//! bottom neighbourhood changed) locates its anchors — the nearest towers of
+//! height `> l` on each side, using the already-repaired level `l-1`
+//! pointers — links them, and recomputes the left anchor's level-`l` value.
+//! Distinct seams may discover the *same* anchor pair; they then write
+//! byte-identical words, so the races are benign (values are stored as
+//! atomic `u64` words).
+
+pub mod aug;
+pub mod list;
+pub mod reconnect;
+pub mod search;
+pub mod validate;
+
+pub use aug::{Augmentation, CountAug, PairAug, UnitAug};
+pub use list::{NodeId, SkipList, NIL};

@@ -1,0 +1,348 @@
+//! Core skip-list arena: towers, links, walks, representatives, aggregates.
+//!
+//! Nodes live in a flat arena and are addressed by dense `u32` ids — the
+//! idiomatic Rust answer to pointer-heavy concurrent trees (no aliasing
+//! fights, free-list recycling, cache-friendly layout). All links are
+//! `AtomicU32`; all augmented values are packed `AtomicU64` words (see
+//! [`crate::aug`]). Mutating batch operations take `&mut self` and are
+//! internally parallel, so the borrow checker enforces phase discipline at
+//! the API boundary; read-only operations take `&self` and may run
+//! concurrently with each other.
+
+use crate::aug::Augmentation;
+use dyncon_primitives::SplitMix64;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Index of a tower in the arena.
+pub type NodeId = u32;
+
+/// Null link / absent node.
+pub const NIL: NodeId = u32::MAX;
+
+/// Maximum tower height. 40 levels comfortably cover arenas of 2^38 nodes;
+/// heights are geometric so the expected per-node overhead is ~2 levels.
+pub const MAX_HEIGHT: u8 = 40;
+
+pub(crate) struct Tower {
+    /// `ptrs[2*l]` = right neighbour at level `l`, `ptrs[2*l + 1]` = left.
+    pub(crate) ptrs: Box<[AtomicU32]>,
+    /// Two packed value words per level: `vals[2*l]`, `vals[2*l + 1]`.
+    pub(crate) vals: Box<[AtomicU64]>,
+    pub(crate) height: u8,
+}
+
+/// A set of disjoint cyclic augmented skip lists sharing one arena.
+pub struct SkipList<A: Augmentation> {
+    pub(crate) towers: Vec<Tower>,
+    free: Vec<NodeId>,
+    rng: SplitMix64,
+    _aug: PhantomData<A>,
+}
+
+impl<A: Augmentation> SkipList<A> {
+    /// Create an empty structure whose tower heights are drawn from the
+    /// stream seeded by `seed` (deterministic across runs).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            towers: Vec::new(),
+            free: Vec::new(),
+            rng: SplitMix64::new(seed),
+            _aug: PhantomData,
+        }
+    }
+
+    /// Pre-allocate arena capacity.
+    pub fn with_capacity(seed: u64, cap: usize) -> Self {
+        let mut s = Self::new(seed);
+        s.towers.reserve(cap);
+        s
+    }
+
+    /// Number of towers ever allocated (live + free-listed).
+    pub fn arena_len(&self) -> usize {
+        self.towers.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, base: A::Value, self_cycle: bool) -> NodeId {
+        let words = A::pack(base);
+        if let Some(id) = self.free.pop() {
+            let h = self.towers[id as usize].height as usize;
+            let t = &self.towers[id as usize];
+            for l in 0..h {
+                let p = if self_cycle { id } else { NIL };
+                t.ptrs[2 * l].store(p, Ordering::Relaxed);
+                t.ptrs[2 * l + 1].store(p, Ordering::Relaxed);
+                t.vals[2 * l].store(words[0], Ordering::Relaxed);
+                t.vals[2 * l + 1].store(words[1], Ordering::Relaxed);
+            }
+            return id;
+        }
+        let id = self.towers.len() as NodeId;
+        assert!(id != NIL, "skip list arena exhausted u32 ids");
+        let h = SplitMix64::geometric_height(self.rng.next_u64(), MAX_HEIGHT) as usize;
+        let p = if self_cycle { id } else { NIL };
+        let ptrs: Box<[AtomicU32]> = (0..2 * h).map(|_| AtomicU32::new(p)).collect();
+        let vals: Box<[AtomicU64]> = (0..2 * h)
+            .map(|i| AtomicU64::new(words[i & 1]))
+            .collect();
+        self.towers.push(Tower {
+            ptrs,
+            vals,
+            height: h as u8,
+        });
+        id
+    }
+
+    /// Allocate a node forming its own singleton cycle (self-linked at every
+    /// level; every level's value equals `base`).
+    pub fn create_singleton(&mut self, base: A::Value) -> NodeId {
+        self.alloc(base, true)
+    }
+
+    /// Allocate a detached node (`NIL` links). It must be spliced into a
+    /// cycle by a subsequent [`SkipList::batch_reconnect`] before any other
+    /// operation touches it.
+    pub fn create_detached(&mut self, base: A::Value) -> NodeId {
+        self.alloc(base, false)
+    }
+
+    /// Return nodes to the free list. Their links/values become garbage;
+    /// callers must have spliced them out of every cycle first.
+    pub fn free_nodes(&mut self, ids: &[NodeId]) {
+        self.free.extend_from_slice(ids);
+    }
+
+    // ------------------------------------------------------------------
+    // Raw accessors
+    // ------------------------------------------------------------------
+
+    /// Tower height of `id` (levels `0..height`).
+    #[inline]
+    pub fn height(&self, id: NodeId) -> u8 {
+        self.towers[id as usize].height
+    }
+
+    /// Right (successor) link at `level`.
+    #[inline]
+    pub fn right(&self, id: NodeId, level: usize) -> NodeId {
+        self.towers[id as usize].ptrs[2 * level].load(Ordering::Relaxed)
+    }
+
+    /// Left (predecessor) link at `level`.
+    #[inline]
+    pub fn left(&self, id: NodeId, level: usize) -> NodeId {
+        self.towers[id as usize].ptrs[2 * level + 1].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn set_right(&self, id: NodeId, level: usize, to: NodeId) {
+        self.towers[id as usize].ptrs[2 * level].store(to, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn set_left(&self, id: NodeId, level: usize, to: NodeId) {
+        self.towers[id as usize].ptrs[2 * level + 1].store(to, Ordering::Relaxed);
+    }
+
+    /// Successor in tour order (level-0 right link).
+    #[inline]
+    pub fn successor(&self, id: NodeId) -> NodeId {
+        self.right(id, 0)
+    }
+
+    /// Predecessor in tour order (level-0 left link).
+    #[inline]
+    pub fn predecessor(&self, id: NodeId) -> NodeId {
+        self.left(id, 0)
+    }
+
+    /// Augmented value of `id` at `level`.
+    #[inline]
+    pub fn value_at(&self, id: NodeId, level: usize) -> A::Value {
+        let t = &self.towers[id as usize];
+        A::unpack([
+            t.vals[2 * level].load(Ordering::Relaxed),
+            t.vals[2 * level + 1].load(Ordering::Relaxed),
+        ])
+    }
+
+    #[inline]
+    pub(crate) fn store_value_at(&self, id: NodeId, level: usize, v: A::Value) {
+        let w = A::pack(v);
+        let t = &self.towers[id as usize];
+        t.vals[2 * level].store(w[0], Ordering::Relaxed);
+        t.vals[2 * level + 1].store(w[1], Ordering::Relaxed);
+    }
+
+    /// Base (level-0) value of `id`.
+    #[inline]
+    pub fn value(&self, id: NodeId) -> A::Value {
+        self.value_at(id, 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Walks
+    // ------------------------------------------------------------------
+
+    /// Walking left at `level` from `start` (inclusive), return the first
+    /// tower of height ≥ `min_h`, or `None` after wrapping the full cycle.
+    #[inline]
+    pub(crate) fn scan_left_tall(&self, start: NodeId, level: usize, min_h: u8) -> Option<NodeId> {
+        let mut cur = start;
+        loop {
+            if self.height(cur) >= min_h {
+                return Some(cur);
+            }
+            cur = self.left(cur, level);
+            debug_assert!(cur != NIL, "scan_left_tall hit NIL: broken cycle");
+            if cur == start {
+                return None;
+            }
+        }
+    }
+
+    /// Mirror of [`SkipList::scan_left_tall`].
+    #[inline]
+    pub(crate) fn scan_right_tall(&self, start: NodeId, level: usize, min_h: u8) -> Option<NodeId> {
+        let mut cur = start;
+        loop {
+            if self.height(cur) >= min_h {
+                return Some(cur);
+            }
+            cur = self.right(cur, level);
+            debug_assert!(cur != NIL, "scan_right_tall hit NIL: broken cycle");
+            if cur == start {
+                return None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Representatives and aggregates
+    // ------------------------------------------------------------------
+
+    /// Canonical representative of the cycle containing `id`: the minimum
+    /// node id among the towers of maximal height in the cycle.
+    /// `O(lg n)` expected; deterministic while the cycle is unchanged.
+    /// Invalidated by any batch mutation of the cycle.
+    pub fn find_rep(&self, id: NodeId) -> NodeId {
+        let mut cur = id;
+        loop {
+            let h = self.height(cur);
+            let l = (h - 1) as usize;
+            // Scan the level-l cycle leftwards for a strictly taller tower,
+            // remembering the minimum id in case this is already the top.
+            let mut min_id = cur;
+            let mut node = self.left(cur, l);
+            let mut taller = NIL;
+            while node != cur {
+                debug_assert!(node != NIL, "find_rep hit NIL: broken cycle");
+                if self.height(node) > h {
+                    taller = node;
+                    break;
+                }
+                min_id = min_id.min(node);
+                node = self.left(node, l);
+            }
+            if taller == NIL {
+                return min_id;
+            }
+            cur = taller;
+        }
+    }
+
+    /// True when `a` and `b` belong to the same cycle.
+    pub fn same_cycle(&self, a: NodeId, b: NodeId) -> bool {
+        self.find_rep(a) == self.find_rep(b)
+    }
+
+    /// Aggregate of all base values in the cycle containing `id`.
+    /// `O(lg n)` expected.
+    pub fn aggregate(&self, id: NodeId) -> A::Value {
+        let rep = self.find_rep(id);
+        let l = (self.height(rep) - 1) as usize;
+        let mut sum = self.value_at(rep, l);
+        let mut cur = self.right(rep, l);
+        while cur != rep {
+            debug_assert!(cur != NIL);
+            sum = A::combine(sum, self.value_at(cur, l));
+            cur = self.right(cur, l);
+        }
+        sum
+    }
+
+    /// Number of bottom-level elements in the cycle containing `id`
+    /// (walks the whole cycle: test/diagnostic use only).
+    pub fn cycle_len(&self, id: NodeId) -> usize {
+        let mut n = 1;
+        let mut cur = self.successor(id);
+        while cur != id {
+            debug_assert!(cur != NIL);
+            n += 1;
+            cur = self.successor(cur);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aug::CountAug;
+
+    #[test]
+    fn singleton_is_self_cycle() {
+        let mut sl = SkipList::<CountAug>::new(1);
+        let a = sl.create_singleton(5);
+        for l in 0..sl.height(a) as usize {
+            assert_eq!(sl.right(a, l), a);
+            assert_eq!(sl.left(a, l), a);
+            assert_eq!(sl.value_at(a, l), 5);
+        }
+        assert_eq!(sl.find_rep(a), a);
+        assert_eq!(sl.aggregate(a), 5);
+        assert_eq!(sl.cycle_len(a), 1);
+    }
+
+    #[test]
+    fn detached_has_nil_links() {
+        let mut sl = SkipList::<CountAug>::new(2);
+        let a = sl.create_detached(3);
+        assert_eq!(sl.right(a, 0), NIL);
+        assert_eq!(sl.left(a, 0), NIL);
+        assert_eq!(sl.value(a), 3);
+    }
+
+    #[test]
+    fn free_list_recycles_ids() {
+        let mut sl = SkipList::<CountAug>::new(3);
+        let a = sl.create_singleton(1);
+        let h = sl.height(a);
+        sl.free_nodes(&[a]);
+        let b = sl.create_singleton(9);
+        assert_eq!(a, b, "free list should hand back the same id");
+        assert_eq!(sl.height(b), h, "height is retained on reuse");
+        assert_eq!(sl.aggregate(b), 9, "values fully reset");
+        assert_eq!(sl.cycle_len(b), 1);
+    }
+
+    #[test]
+    fn heights_are_geometricish() {
+        let mut sl = SkipList::<CountAug>::new(4);
+        let n = 1 << 14;
+        let mut ones = 0;
+        for _ in 0..n {
+            let id = sl.create_singleton(0);
+            if sl.height(id) == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "height-1 fraction {frac}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Batch splice: the phase-concurrent cut + link + repair operation.
+//!
+//! This is the engine behind every batch ETT operation. A *splice batch*
+//! consists of bottom-level `cuts` (sever the tour link after a node) and
+//! bottom-level `links` (connect a dangling tail to a dangling head). The
+//! caller must supply a batch whose net effect leaves every touched list a
+//! proper cycle again — the ETT construction guarantees this (every cut's
+//! dangling ends are consumed by exactly one link).
+//!
+//! ## Level-synchronous seam repair
+//!
+//! After the bottom level is rearranged, each *link position* is a **seam**:
+//! the only places where the level ≥ 1 structure can be stale. Seams are
+//! repaired one level per phase:
+//!
+//! * at level `l`, a seam with frontier `(fl, fr)` (its flanking towers in
+//!   the level-`l-1` list) scans outwards along the — already repaired —
+//!   level-`l-1` cycle for the nearest towers of height `> l` on each side
+//!   (its *anchors* `L`, `R`);
+//! * if no such tower exists the cycle's top is below `l` and the seam
+//!   retires;
+//! * otherwise `L.right[l] = R` / `R.left[l] = L` are stored and `L`'s
+//!   level-`l` augmented value is recomputed from its (new) covering
+//!   segment.
+//!
+//! Multiple seams in the same neighbourhood may discover identical anchor
+//! pairs; their writes are byte-identical and therefore benign (atomic
+//! words). Every stale link at level `l` spans at least one seam and its
+//! endpoints are exactly the anchors discovered by the seams it spans, so
+//! all stale pointers are overwritten; every tower whose covering segment
+//! changed is some seam's left anchor at that level, so all stale values are
+//! recomputed. Expected `O(1)` scan steps per seam per level, `O(lg n)`
+//! levels, giving the Theorem 2 cost of `O(k lg(1 + n/k))` expected work and
+//! `O(lg n)` depth w.h.p.
+
+use crate::aug::Augmentation;
+use crate::list::{NodeId, SkipList, NIL};
+use dyncon_primitives::{par_for, SyncSlice};
+
+impl<A: Augmentation> SkipList<A> {
+    /// Apply a batch of bottom-level `cuts` ("sever the link after node x")
+    /// and `links` ("tail a's successor becomes head b"), then repair all
+    /// upper levels and augmented values.
+    ///
+    /// Contract (checked by debug assertions):
+    /// * cut nodes are distinct;
+    /// * every link `(a, b)` connects a tail whose right link is dangling
+    ///   after the cut phase to a head whose left link is dangling;
+    /// * the net rearrangement leaves every touched component a cycle
+    ///   (nodes spliced out of all cycles may be left fully detached and
+    ///   should then be freed by the caller).
+    pub fn batch_reconnect(&mut self, cuts: &[NodeId], links: &[(NodeId, NodeId)]) {
+        // Phase A: sever bottom links after every cut node.
+        par_for(cuts.len(), |i| {
+            let x = cuts[i];
+            let y = self.right(x, 0);
+            debug_assert!(y != NIL, "cut after a node with dangling right link");
+            self.set_right(x, 0, NIL);
+            // When x is its own successor (singleton) the two stores target
+            // the same slot pair; ordering within the iteration handles it.
+            self.set_left(y, 0, NIL);
+        });
+
+        // Phase B: stitch bottom links.
+        par_for(links.len(), |i| {
+            let (a, b) = links[i];
+            debug_assert_eq!(self.right(a, 0), NIL, "link source not dangling");
+            debug_assert_eq!(self.left(b, 0), NIL, "link target not dangling");
+            self.set_right(a, 0, b);
+            self.set_left(b, 0, a);
+        });
+
+        self.repair_seams(links);
+    }
+
+    /// Level-synchronous repair of pointers and values around `seams`
+    /// (pairs flanking each changed bottom position).
+    fn repair_seams(&mut self, seams: &[(NodeId, NodeId)]) {
+        // Frontier of each still-active seam at the current level - 1.
+        let mut frontier: Vec<(NodeId, NodeId)> = seams.to_vec();
+        let mut level = 1usize;
+        while !frontier.is_empty() && level < crate::list::MAX_HEIGHT as usize {
+            let min_h = (level + 1) as u8;
+            // Sub-phase 1 (read-only): locate anchors along level-1 cycles.
+            let mut anchors: Vec<(NodeId, NodeId)> = vec![(NIL, NIL); frontier.len()];
+            {
+                let out = SyncSlice::new(&mut anchors);
+                let front = &frontier;
+                par_for(front.len(), |i| {
+                    let (fl, fr) = front[i];
+                    let l = self.scan_left_tall(fl, level - 1, min_h);
+                    let r = self.scan_right_tall(fr, level - 1, min_h);
+                    debug_assert_eq!(
+                        l.is_some(),
+                        r.is_some(),
+                        "anchor scans disagree: cycle integrity broken"
+                    );
+                    if let (Some(l), Some(r)) = (l, r) {
+                        // SAFETY: slot i written only by iteration i.
+                        unsafe { out.write(i, (l, r)) };
+                    }
+                });
+            }
+            // Sub-phase 2: link anchors at `level`. Identical duplicate
+            // writes may race benignly.
+            par_for(anchors.len(), |i| {
+                let (l, r) = anchors[i];
+                if l != NIL {
+                    self.set_right(l, level, r);
+                    self.set_left(r, level, l);
+                }
+            });
+            // Sub-phase 3: recompute level-`level` values at left anchors.
+            // Reads only level-1 pointers/values (already final), writes
+            // only level-`level` value words (identical across duplicates).
+            par_for(anchors.len(), |i| {
+                let (l, _) = anchors[i];
+                if l != NIL {
+                    self.recompute_value(l, level);
+                }
+            });
+            // Advance frontiers; retire seams whose cycles topped out.
+            frontier = anchors.into_iter().filter(|&(l, _)| l != NIL).collect();
+            level += 1;
+        }
+    }
+
+    /// Recompute `value[level]` of tower `t` (height > `level`) as the
+    /// combination of `value[level-1]` over its covering segment.
+    #[inline]
+    pub(crate) fn recompute_value(&self, t: NodeId, level: usize) {
+        let min_h = (level + 1) as u8;
+        let mut sum = self.value_at(t, level - 1);
+        let mut cur = self.right(t, level - 1);
+        while cur != t && self.height(cur) < min_h {
+            debug_assert!(cur != NIL);
+            sum = A::combine(sum, self.value_at(cur, level - 1));
+            cur = self.right(cur, level - 1);
+        }
+        self.store_value_at(t, level, sum);
+    }
+
+    /// Update the base values of a batch of nodes and propagate the change
+    /// through all covering towers. `O(k lg(1 + n/k))` expected work,
+    /// `O(lg n)` depth w.h.p. — the cost of Lemma 9's augmented-value
+    /// maintenance.
+    pub fn batch_update_values(&mut self, updates: &[(NodeId, A::Value)]) {
+        // Phase 0: write base values (callers ensure distinct nodes).
+        par_for(updates.len(), |i| {
+            let (id, v) = updates[i];
+            self.store_value_at(id, 0, v);
+        });
+        // Climb exactly like seam repair, but with no pointer writes: each
+        // dirty node's covering tower at every level is rediscovered by the
+        // same anchor scans a seam (id, id) would perform.
+        let mut frontier: Vec<NodeId> = updates.iter().map(|&(id, _)| id).collect();
+        let mut level = 1usize;
+        while !frontier.is_empty() && level < crate::list::MAX_HEIGHT as usize {
+            let min_h = (level + 1) as u8;
+            let mut anchors: Vec<NodeId> = vec![NIL; frontier.len()];
+            {
+                let out = SyncSlice::new(&mut anchors);
+                let front = &frontier;
+                par_for(front.len(), |i| {
+                    if let Some(l) = self.scan_left_tall(front[i], level - 1, min_h) {
+                        // SAFETY: slot i written only by iteration i.
+                        unsafe { out.write(i, l) };
+                    }
+                });
+            }
+            par_for(anchors.len(), |i| {
+                if anchors[i] != NIL {
+                    self.recompute_value(anchors[i], level);
+                }
+            });
+            frontier = anchors.into_iter().filter(|&l| l != NIL).collect();
+            level += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aug::CountAug;
+    use crate::list::SkipList;
+
+    /// Build one cycle out of already-detached nodes, in the given order.
+    fn make_cycle(sl: &mut SkipList<CountAug>, nodes: &[u32]) {
+        let links: Vec<(u32, u32)> = (0..nodes.len())
+            .map(|i| (nodes[i], nodes[(i + 1) % nodes.len()]))
+            .collect();
+        sl.batch_reconnect(&[], &links);
+    }
+
+    #[test]
+    fn two_singletons_join_into_cycle() {
+        let mut sl = SkipList::<CountAug>::new(7);
+        let a = sl.create_singleton(1);
+        let b = sl.create_singleton(2);
+        // Splice the two self-cycles into one 2-cycle.
+        sl.batch_reconnect(&[a, b], &[(a, b), (b, a)]);
+        assert_eq!(sl.cycle_len(a), 2);
+        assert_eq!(sl.aggregate(a), 3);
+        assert_eq!(sl.find_rep(a), sl.find_rep(b));
+        sl.validate(&[vec![a, b]]).unwrap();
+    }
+
+    #[test]
+    fn chain_of_detached_nodes() {
+        let mut sl = SkipList::<CountAug>::new(8);
+        let nodes: Vec<u32> = (0..100).map(|i| sl.create_detached(i as u64)).collect();
+        make_cycle(&mut sl, &nodes);
+        assert_eq!(sl.cycle_len(nodes[0]), 100);
+        assert_eq!(sl.aggregate(nodes[50]), (0..100).sum::<u64>());
+        let rep = sl.find_rep(nodes[0]);
+        for &n in &nodes {
+            assert_eq!(sl.find_rep(n), rep);
+        }
+        sl.validate(&[nodes]).unwrap();
+    }
+
+    #[test]
+    fn split_cycle_into_two() {
+        let mut sl = SkipList::<CountAug>::new(9);
+        let nodes: Vec<u32> = (0..10).map(|_| sl.create_detached(1)).collect();
+        make_cycle(&mut sl, &nodes);
+        // Cut after node 4 and node 9, re-close both halves.
+        sl.batch_reconnect(
+            &[nodes[4], nodes[9]],
+            &[(nodes[4], nodes[0]), (nodes[9], nodes[5])],
+        );
+        assert_eq!(sl.cycle_len(nodes[0]), 5);
+        assert_eq!(sl.cycle_len(nodes[5]), 5);
+        assert_ne!(sl.find_rep(nodes[0]), sl.find_rep(nodes[5]));
+        assert_eq!(sl.aggregate(nodes[2]), 5);
+        assert_eq!(sl.aggregate(nodes[7]), 5);
+        sl.validate(&[nodes[0..5].to_vec(), nodes[5..10].to_vec()])
+            .unwrap();
+    }
+
+    #[test]
+    fn value_updates_propagate() {
+        let mut sl = SkipList::<CountAug>::new(10);
+        let nodes: Vec<u32> = (0..64).map(|_| sl.create_detached(0)).collect();
+        make_cycle(&mut sl, &nodes);
+        assert_eq!(sl.aggregate(nodes[0]), 0);
+        let updates: Vec<(u32, u64)> = nodes.iter().step_by(3).map(|&n| (n, 5)).collect();
+        let expected = 5 * updates.len() as u64;
+        sl.batch_update_values(&updates);
+        assert_eq!(sl.aggregate(nodes[0]), expected);
+        sl.validate(&[nodes]).unwrap();
+    }
+}

@@ -1,0 +1,211 @@
+//! Weighted prefix search — the "fetch the first ℓ non-tree edges"
+//! primitive of Appendix 9 (Lemma 10).
+//!
+//! Given a weight extraction `w : Value -> u64`, [`SkipList::collect_prefix`]
+//! walks the cycle in tour order starting from the canonical representative
+//! and returns bottom-level nodes (with per-node take counts) until `need`
+//! units of weight have been gathered. The augmented values steer the
+//! descent so that towers with zero weight are skipped wholesale: the cost
+//! is `O(t + lg n)` nodes touched to gather `t` units.
+
+use crate::aug::Augmentation;
+use crate::list::{NodeId, SkipList};
+
+impl<A: Augmentation> SkipList<A> {
+    /// Gather up to `need` units of weight from the cycle containing
+    /// `from`, in tour order from its representative. Returns
+    /// `(node, take)` pairs with `0 < take ≤ w(value(node))`.
+    pub fn collect_prefix<W>(&self, from: NodeId, need: u64, weight: &W) -> Vec<(NodeId, u64)>
+    where
+        W: Fn(A::Value) -> u64,
+    {
+        let mut out = Vec::new();
+        if need == 0 {
+            return out;
+        }
+        let rep = self.find_rep(from);
+        let top = (self.height(rep) - 1) as usize;
+        let mut remaining = need;
+        let mut cur = rep;
+        loop {
+            let c = weight(self.value_at(cur, top));
+            if c > 0 {
+                let took = self.descend(cur, top, remaining.min(c), &mut out, weight);
+                debug_assert!(took <= remaining);
+                remaining -= took;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            cur = self.right(cur, top);
+            if cur == rep {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Gather *all* weight in the cycle containing `from`, in tour order.
+    pub fn collect_all<W>(&self, from: NodeId, weight: &W) -> Vec<(NodeId, u64)>
+    where
+        W: Fn(A::Value) -> u64,
+    {
+        self.collect_prefix(from, u64::MAX, weight)
+    }
+
+    /// Total weight of the cycle containing `from`.
+    pub fn total_weight<W>(&self, from: NodeId, weight: &W) -> u64
+    where
+        W: Fn(A::Value) -> u64,
+    {
+        weight(self.aggregate(from))
+    }
+
+    /// Descend into tower `t` at `level`, collecting exactly
+    /// `min(need, weight under t)` units. Precondition: `need > 0` and the
+    /// tower's weight at `level` is > 0.
+    fn descend<W>(
+        &self,
+        t: NodeId,
+        level: usize,
+        need: u64,
+        out: &mut Vec<(NodeId, u64)>,
+        weight: &W,
+    ) -> u64
+    where
+        W: Fn(A::Value) -> u64,
+    {
+        if level == 0 {
+            let w = weight(self.value_at(t, 0));
+            let take = need.min(w);
+            debug_assert!(take > 0);
+            out.push((t, take));
+            return take;
+        }
+        let min_h = (level + 1) as u8;
+        let mut got = 0u64;
+        let mut cur = t;
+        loop {
+            let c = weight(self.value_at(cur, level - 1));
+            if c > 0 {
+                got += self.descend(cur, level - 1, (need - got).min(c), out, weight);
+                if got == need {
+                    break;
+                }
+            }
+            cur = self.right(cur, level - 1);
+            if cur == t || self.height(cur) >= min_h {
+                break; // end of covering segment
+            }
+        }
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aug::CountAug;
+    use crate::list::{NodeId, SkipList};
+
+    /// A cycle of `n` detached nodes with the given weights; returns nodes.
+    fn build(seed: u64, weights: &[u64]) -> (SkipList<CountAug>, Vec<NodeId>) {
+        let mut sl = SkipList::<CountAug>::new(seed);
+        let nodes: Vec<NodeId> = weights.iter().map(|&w| sl.create_detached(w)).collect();
+        let links: Vec<(NodeId, NodeId)> = (0..nodes.len())
+            .map(|i| (nodes[i], nodes[(i + 1) % nodes.len()]))
+            .collect();
+        sl.batch_reconnect(&[], &links);
+        (sl, nodes)
+    }
+
+    /// Tour order starting at the representative.
+    fn tour_from_rep(sl: &SkipList<CountAug>, any: NodeId) -> Vec<NodeId> {
+        let rep = sl.find_rep(any);
+        let mut order = vec![rep];
+        let mut cur = sl.successor(rep);
+        while cur != rep {
+            order.push(cur);
+            cur = sl.successor(cur);
+        }
+        order
+    }
+
+    #[test]
+    fn collects_in_tour_order() {
+        let weights: Vec<u64> = (0..200).map(|i| (i % 3 == 0) as u64).collect();
+        let (sl, nodes) = build(11, &weights);
+        let order = tour_from_rep(&sl, nodes[0]);
+        let expected: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|&n| sl.value(n) > 0)
+            .take(10)
+            .collect();
+        let got = sl.collect_prefix(nodes[5], 10, &|v| v);
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|&(_, take)| take == 1));
+        assert_eq!(got.iter().map(|&(n, _)| n).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn partial_take_from_heavy_node() {
+        let (sl, nodes) = build(12, &[0, 7, 0, 5]);
+        let got = sl.collect_prefix(nodes[0], 9, &|v| v);
+        let total: u64 = got.iter().map(|&(_, t)| t).sum();
+        assert_eq!(total, 9);
+        // One node is taken in full (7), the other partially (2) — in tour
+        // order from the rep, so which is which depends on the rep.
+        let takes: Vec<u64> = got.iter().map(|&(_, t)| t).collect();
+        assert!(takes == vec![7, 2] || takes == vec![5, 4], "takes {takes:?}");
+    }
+
+    #[test]
+    fn need_exceeding_total_returns_everything() {
+        let weights = vec![2u64, 0, 3, 1];
+        let (sl, nodes) = build(13, &weights);
+        let got = sl.collect_all(nodes[0], &|v| v);
+        let total: u64 = got.iter().map(|&(_, t)| t).sum();
+        assert_eq!(total, 6);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn zero_need_is_empty() {
+        let (sl, nodes) = build(14, &[1, 1]);
+        assert!(sl.collect_prefix(nodes[0], 0, &|v| v).is_empty());
+    }
+
+    #[test]
+    fn all_zero_weights() {
+        let (sl, nodes) = build(15, &[0; 50]);
+        assert!(sl.collect_prefix(nodes[0], 5, &|v| v).is_empty());
+        assert_eq!(sl.total_weight(nodes[0], &|v| v), 0);
+    }
+
+    #[test]
+    fn large_cycle_prefix_matches_model() {
+        use dyncon_primitives::SplitMix64;
+        let mut r = SplitMix64::new(99);
+        let weights: Vec<u64> = (0..5000).map(|_| r.next_below(4)).collect();
+        let (sl, nodes) = build(16, &weights);
+        let order = tour_from_rep(&sl, nodes[0]);
+        for need in [1u64, 17, 400, 100_000] {
+            let got = sl.collect_prefix(nodes[0], need, &|v| v);
+            // Model: walk tour order taking greedily.
+            let mut expect = Vec::new();
+            let mut rem = need;
+            for &n in &order {
+                if rem == 0 {
+                    break;
+                }
+                let w = sl.value(n);
+                if w > 0 {
+                    let take = rem.min(w);
+                    expect.push((n, take));
+                    rem -= take;
+                }
+            }
+            assert_eq!(got, expect, "need {need}");
+        }
+    }
+}

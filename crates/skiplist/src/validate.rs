@@ -1,0 +1,151 @@
+//! Structural integrity checking (used pervasively by the test suites of
+//! this crate and every crate above it).
+
+use crate::aug::Augmentation;
+use crate::list::{NodeId, SkipList, NIL};
+
+impl<A: Augmentation> SkipList<A> {
+    /// Verify that the arena currently realizes exactly the given cycles.
+    ///
+    /// Each entry of `cycles` lists the member nodes of one expected cycle
+    /// in expected tour order (any rotation). Checks, for every cycle and
+    /// every level:
+    ///
+    /// 1. the level-0 right walk visits exactly the members in the given
+    ///    cyclic order, and left links mirror right links;
+    /// 2. the level-`l` list contains exactly the members of height `> l`,
+    ///    in the same cyclic order;
+    /// 3. every stored `value[l]` equals the combination of `value[l-1]`
+    ///    over its covering segment;
+    /// 4. [`SkipList::find_rep`] agrees across members and differs across
+    ///    cycles;
+    /// 5. [`SkipList::aggregate`] equals the combination of base values.
+    pub fn validate(&self, cycles: &[Vec<NodeId>]) -> Result<(), String> {
+        let mut reps = std::collections::HashSet::new();
+        for (ci, members) in cycles.iter().enumerate() {
+            if members.is_empty() {
+                return Err(format!("cycle {ci}: empty member list"));
+            }
+            self.validate_cycle_order(ci, members)?;
+            self.validate_levels(ci, members)?;
+            self.validate_values(ci, members)?;
+            // Representative coherence.
+            let rep = self.find_rep(members[0]);
+            for &m in members {
+                let r = self.find_rep(m);
+                if r != rep {
+                    return Err(format!(
+                        "cycle {ci}: rep mismatch: node {m} has rep {r}, expected {rep}"
+                    ));
+                }
+            }
+            if !reps.insert(rep) {
+                return Err(format!("cycle {ci}: rep {rep} shared with another cycle"));
+            }
+            // Aggregate coherence.
+            let mut expect = A::identity();
+            for &m in members {
+                expect = A::combine(expect, self.value(m));
+            }
+            let got = self.aggregate(members[0]);
+            if got != expect {
+                return Err(format!(
+                    "cycle {ci}: aggregate {got:?} != expected {expect:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_cycle_order(&self, ci: usize, members: &[NodeId]) -> Result<(), String> {
+        let n = members.len();
+        let start = members[0];
+        let mut cur = start;
+        for i in 0..n {
+            let expected = members[(i + 1) % n];
+            let next = self.right(cur, 0);
+            if next == NIL {
+                return Err(format!("cycle {ci}: NIL right link at node {cur}"));
+            }
+            if next != expected {
+                return Err(format!(
+                    "cycle {ci}: after {cur} found {next}, expected {expected}"
+                ));
+            }
+            if self.left(next, 0) != cur {
+                return Err(format!(
+                    "cycle {ci}: left link of {next} is {} not {cur}",
+                    self.left(next, 0)
+                ));
+            }
+            cur = next;
+        }
+        if cur != start {
+            return Err(format!("cycle {ci}: walk did not return to start"));
+        }
+        Ok(())
+    }
+
+    fn validate_levels(&self, ci: usize, members: &[NodeId]) -> Result<(), String> {
+        let max_h = members.iter().map(|&m| self.height(m)).max().unwrap();
+        for l in 1..max_h as usize {
+            let expect: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&m| self.height(m) as usize > l)
+                .collect();
+            if expect.is_empty() {
+                continue;
+            }
+            let start = expect[0];
+            let mut cur = start;
+            for i in 0..expect.len() {
+                let expected = expect[(i + 1) % expect.len()];
+                let next = self.right(cur, l);
+                if next != expected {
+                    return Err(format!(
+                        "cycle {ci} level {l}: after {cur} found {next}, expected {expected}"
+                    ));
+                }
+                if self.left(next, l) != cur {
+                    return Err(format!(
+                        "cycle {ci} level {l}: left link of {next} broken"
+                    ));
+                }
+                cur = next;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_values(&self, ci: usize, members: &[NodeId]) -> Result<(), String> {
+        let n = members.len();
+        for (i, &m) in members.iter().enumerate() {
+            let h = self.height(m) as usize;
+            for l in 1..h {
+                // Covering segment: towers of the level-(l-1) list (height
+                // ≥ l) after m (cyclically) until the next tower with
+                // height > l. Shorter members are accounted transitively.
+                let mut expect = self.value_at(m, l - 1);
+                let mut j = (i + 1) % n;
+                while members[j] != m {
+                    let hj = self.height(members[j]) as usize;
+                    if hj > l {
+                        break;
+                    }
+                    if hj >= l {
+                        expect = A::combine(expect, self.value_at(members[j], l - 1));
+                    }
+                    j = (j + 1) % n;
+                }
+                let got = self.value_at(m, l);
+                if got != expect {
+                    return Err(format!(
+                        "cycle {ci}: node {m} value at level {l} is {got:?}, expected {expect:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

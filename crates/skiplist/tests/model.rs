@@ -1,0 +1,200 @@
+//! Model-based randomized testing of the cyclic skip list.
+//!
+//! The model is a plain `Vec` of cycles (each a `Vec<NodeId>` in tour
+//! order). Every round we pick a random set of cut positions, stitch the
+//! resulting fragments back together along a random permutation (which is
+//! exactly the class of rearrangements `batch_reconnect` supports), mirror
+//! the rearrangement in the model, and run the full structural validator.
+
+use dyncon_primitives::SplitMix64;
+use dyncon_skiplist::{CountAug, NodeId, SkipList};
+
+struct Model {
+    cycles: Vec<Vec<NodeId>>,
+}
+
+/// Apply one random reconnect batch to both structure and model.
+fn random_reconnect(sl: &mut SkipList<CountAug>, model: &mut Model, rng: &mut SplitMix64) {
+    // Choose cut positions: each element independently with prob ~ 1/4.
+    let mut cuts: Vec<NodeId> = Vec::new();
+    let mut fragments: Vec<Vec<NodeId>> = Vec::new();
+    let mut untouched: Vec<Vec<NodeId>> = Vec::new();
+    for cycle in model.cycles.drain(..) {
+        let n = cycle.len();
+        let mut positions: Vec<usize> = (0..n).filter(|_| rng.next_below(4) == 0).collect();
+        if positions.is_empty() {
+            untouched.push(cycle);
+            continue;
+        }
+        // Cut after each chosen position; fragments run between cuts.
+        for w in 0..positions.len() {
+            let start = (positions[w] + 1) % n;
+            let end = positions[(w + 1) % positions.len()]; // inclusive
+            let mut frag = Vec::new();
+            let mut i = start;
+            loop {
+                frag.push(cycle[i]);
+                if i == end {
+                    break;
+                }
+                i = (i + 1) % n;
+            }
+            fragments.push(frag);
+        }
+        cuts.extend(positions.drain(..).map(|p| cycle[p]));
+    }
+    if fragments.is_empty() {
+        model.cycles = untouched;
+        return;
+    }
+    // Random permutation over fragments: tail(i) links to head(sigma(i)).
+    let m = fragments.len();
+    let mut sigma: Vec<usize> = (0..m).collect();
+    for i in (1..m).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        sigma.swap(i, j);
+    }
+    let links: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|i| (*fragments[i].last().unwrap(), fragments[sigma[i]][0]))
+        .collect();
+    // New model cycles: follow the permutation's cycles.
+    let mut seen = vec![false; m];
+    let mut new_cycles = untouched;
+    for s in 0..m {
+        if seen[s] {
+            continue;
+        }
+        let mut cyc = Vec::new();
+        let mut i = s;
+        loop {
+            seen[i] = true;
+            cyc.extend_from_slice(&fragments[i]);
+            i = sigma[i];
+            if i == s {
+                break;
+            }
+        }
+        new_cycles.push(cyc);
+    }
+    model.cycles = new_cycles;
+    sl.batch_reconnect(&cuts, &links);
+}
+
+fn random_value_update(sl: &mut SkipList<CountAug>, rng: &mut SplitMix64, all: &[NodeId]) {
+    let mut updates: Vec<(NodeId, u64)> = Vec::new();
+    for &n in all {
+        if rng.next_below(5) == 0 {
+            updates.push((n, rng.next_below(10)));
+        }
+    }
+    sl.batch_update_values(&updates);
+}
+
+fn check_prefixes(sl: &SkipList<CountAug>, model: &Model, rng: &mut SplitMix64) {
+    for cycle in &model.cycles {
+        if rng.next_below(4) != 0 {
+            continue;
+        }
+        let rep = sl.find_rep(cycle[0]);
+        // Tour order from rep according to the model.
+        let start = cycle.iter().position(|&n| n == rep).expect("rep in cycle");
+        let order: Vec<NodeId> = (0..cycle.len())
+            .map(|i| cycle[(start + i) % cycle.len()])
+            .collect();
+        let need = 1 + rng.next_below(20);
+        let got = sl.collect_prefix(cycle[0], need, &|v| v);
+        let mut expect = Vec::new();
+        let mut rem = need;
+        for &n in &order {
+            if rem == 0 {
+                break;
+            }
+            let w = sl.value(n);
+            if w > 0 {
+                let t = rem.min(w);
+                expect.push((n, t));
+                rem -= t;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+}
+
+fn run_model_test(seed: u64, n_nodes: usize, rounds: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut sl = SkipList::<CountAug>::new(seed ^ 0xABCD);
+    // Start as one big cycle plus a handful of singletons.
+    let all: Vec<NodeId> = (0..n_nodes)
+        .map(|i| sl.create_detached(i as u64 % 4))
+        .collect();
+    let links: Vec<(NodeId, NodeId)> = (0..n_nodes)
+        .map(|i| (all[i], all[(i + 1) % n_nodes]))
+        .collect();
+    sl.batch_reconnect(&[], &links);
+    let mut model = Model {
+        cycles: vec![all.clone()],
+    };
+    sl.validate(&model.cycles).expect("initial validate");
+
+    for round in 0..rounds {
+        random_reconnect(&mut sl, &mut model, &mut rng);
+        if round % 3 == 1 {
+            random_value_update(&mut sl, &mut rng, &all);
+        }
+        if let Err(e) = sl.validate(&model.cycles) {
+            panic!("round {round} (seed {seed}): {e}");
+        }
+        check_prefixes(&sl, &model, &mut rng);
+        // Spot-check connectivity semantics between random node pairs.
+        for _ in 0..8 {
+            let a = all[rng.next_below(n_nodes as u64) as usize];
+            let b = all[rng.next_below(n_nodes as u64) as usize];
+            let same_model = model
+                .cycles
+                .iter()
+                .any(|c| c.contains(&a) && c.contains(&b));
+            assert_eq!(sl.same_cycle(a, b), same_model, "round {round}: {a} ~ {b}");
+        }
+    }
+}
+
+#[test]
+fn model_small_many_rounds() {
+    run_model_test(1, 40, 60);
+}
+
+#[test]
+fn model_medium() {
+    run_model_test(2, 300, 30);
+}
+
+#[test]
+fn model_large_few_rounds() {
+    run_model_test(3, 3000, 8);
+}
+
+#[test]
+fn model_more_seeds() {
+    for seed in 10..18 {
+        run_model_test(seed, 120, 12);
+    }
+}
+
+#[test]
+fn repeated_splits_and_merges_of_pairs() {
+    // Degenerate sizes: exercise 1- and 2-element cycles heavily.
+    let mut sl = SkipList::<CountAug>::new(77);
+    let a = sl.create_singleton(1);
+    let b = sl.create_singleton(2);
+    for _ in 0..20 {
+        // merge
+        sl.batch_reconnect(&[a, b], &[(a, b), (b, a)]);
+        sl.validate(&[vec![a, b]]).unwrap();
+        assert_eq!(sl.aggregate(a), 3);
+        // split back into singletons
+        sl.batch_reconnect(&[a, b], &[(a, a), (b, b)]);
+        sl.validate(&[vec![a], vec![b]]).unwrap();
+        assert_eq!(sl.aggregate(a), 1);
+        assert_eq!(sl.aggregate(b), 2);
+    }
+}

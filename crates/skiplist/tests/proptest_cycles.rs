@@ -1,0 +1,130 @@
+//! Property-based testing of the skip list: arbitrary cut/stitch
+//! rearrangements (generated as permutations so they are always valid)
+//! must preserve full structural integrity; failures shrink to minimal
+//! rearrangement sequences.
+
+use dyncon_skiplist::{CountAug, NodeId, SkipList};
+use proptest::prelude::*;
+
+/// Apply a rearrangement described by cut positions and a rotation of the
+/// resulting fragments, mirroring it into the model.
+fn apply(
+    sl: &mut SkipList<CountAug>,
+    cycles: &mut Vec<Vec<NodeId>>,
+    cut_bits: &[bool],
+    rot: usize,
+) {
+    let mut cuts = Vec::new();
+    let mut fragments: Vec<Vec<NodeId>> = Vec::new();
+    let mut untouched = Vec::new();
+    let mut bit = cut_bits.iter().copied().cycle();
+    for cycle in cycles.drain(..) {
+        let n = cycle.len();
+        let positions: Vec<usize> = (0..n).filter(|_| bit.next().unwrap()).collect();
+        if positions.is_empty() {
+            untouched.push(cycle);
+            continue;
+        }
+        for w in 0..positions.len() {
+            let start = (positions[w] + 1) % n;
+            let end = positions[(w + 1) % positions.len()];
+            let mut frag = Vec::new();
+            let mut i = start;
+            loop {
+                frag.push(cycle[i]);
+                if i == end {
+                    break;
+                }
+                i = (i + 1) % n;
+            }
+            fragments.push(frag);
+        }
+        cuts.extend(positions.iter().map(|&p| cycle[p]));
+    }
+    if fragments.is_empty() {
+        *cycles = untouched;
+        return;
+    }
+    // Rotate fragments by `rot`: a single permutation cycle, so the result
+    // is one merged cycle from all fragments (plus untouched cycles).
+    let m = fragments.len();
+    let rot = 1 + rot % m.max(1);
+    let sigma: Vec<usize> = (0..m).map(|i| (i + rot) % m).collect();
+    let links: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|i| (*fragments[i].last().unwrap(), fragments[sigma[i]][0]))
+        .collect();
+    let mut seen = vec![false; m];
+    let mut new_cycles = untouched;
+    for s in 0..m {
+        if seen[s] {
+            continue;
+        }
+        let mut cyc = Vec::new();
+        let mut i = s;
+        loop {
+            seen[i] = true;
+            cyc.extend_from_slice(&fragments[i]);
+            i = sigma[i];
+            if i == s {
+                break;
+            }
+        }
+        new_cycles.push(cyc);
+    }
+    *cycles = new_cycles;
+    sl.batch_reconnect(&cuts, &links);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rearrangements_preserve_integrity(
+        n in 2usize..40,
+        steps in prop::collection::vec(
+            (prop::collection::vec(any::<bool>(), 1..16), any::<usize>()),
+            1..8,
+        ),
+        values in prop::collection::vec(0u64..5, 40),
+    ) {
+        let mut sl = SkipList::<CountAug>::new(42);
+        let nodes: Vec<NodeId> = (0..n).map(|i| sl.create_detached(values[i])).collect();
+        let links: Vec<(NodeId, NodeId)> =
+            (0..n).map(|i| (nodes[i], nodes[(i + 1) % n])).collect();
+        sl.batch_reconnect(&[], &links);
+        let mut cycles = vec![nodes.clone()];
+        for (bits, rot) in &steps {
+            apply(&mut sl, &mut cycles, bits, *rot);
+            sl.validate(&cycles).map_err(TestCaseError::fail)?;
+        }
+        // Aggregates survive arbitrary rearrangement.
+        let total: u64 = values[..n].iter().sum();
+        let got: u64 = cycles.iter().map(|c| sl.aggregate(c[0])).sum();
+        prop_assert_eq!(got, total);
+    }
+
+    #[test]
+    fn value_updates_any_subset(
+        n in 2usize..32,
+        upd in prop::collection::vec((0usize..32, 0u64..100), 1..20),
+    ) {
+        let mut sl = SkipList::<CountAug>::new(7);
+        let nodes: Vec<NodeId> = (0..n).map(|_| sl.create_detached(1)).collect();
+        let links: Vec<(NodeId, NodeId)> =
+            (0..n).map(|i| (nodes[i], nodes[(i + 1) % n])).collect();
+        sl.batch_reconnect(&[], &links);
+        let mut model: Vec<u64> = vec![1; n];
+        // Dedup within a batch (the API contract).
+        let mut batch: Vec<(NodeId, u64)> = Vec::new();
+        for &(i, v) in &upd {
+            let i = i % n;
+            if !batch.iter().any(|&(nd, _)| nd == nodes[i]) {
+                batch.push((nodes[i], v));
+                model[i] = v;
+            }
+        }
+        sl.batch_update_values(&batch);
+        sl.validate(&[nodes.clone()]).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(sl.aggregate(nodes[0]), model.iter().sum::<u64>());
+    }
+}

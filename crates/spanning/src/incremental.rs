@@ -1,0 +1,79 @@
+//! Insertion-only batch-parallel connectivity (the Simsiri et al. [57]
+//! setting the paper cites as prior batch-dynamic work).
+
+use crate::unionfind::ConcurrentUnionFind;
+use dyncon_primitives::{par_for, par_map_collect};
+
+/// Work-efficient parallel union-find over an insert-only edge stream:
+/// `O(k α(n))` expected work per batch of `k` insertions, low depth.
+/// No deletions — that restriction is exactly what the SPAA 2019 paper
+/// lifts.
+pub struct IncrementalConnectivity {
+    uf: ConcurrentUnionFind,
+    edges: usize,
+}
+
+impl IncrementalConnectivity {
+    /// Empty graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            uf: ConcurrentUnionFind::new(n),
+            edges: 0,
+        }
+    }
+
+    /// Insert a batch of edges.
+    pub fn batch_insert(&mut self, batch: &[(u32, u32)]) {
+        let uf = &self.uf;
+        par_for(batch.len(), |i| {
+            let (u, v) = batch[i];
+            if u != v {
+                uf.union(u, v);
+            }
+        });
+        self.edges += batch.len();
+    }
+
+    /// Batch connectivity queries.
+    pub fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        par_map_collect(pairs, |&(u, v)| self.uf.same(u, v))
+    }
+
+    /// Single query.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.uf.same(u, v)
+    }
+
+    /// Number of insert operations processed.
+    pub fn num_inserted(&self) -> usize {
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_queries() {
+        let mut ic = IncrementalConnectivity::new(8);
+        ic.batch_insert(&[(0, 1), (2, 3)]);
+        assert!(ic.connected(0, 1));
+        assert!(!ic.connected(1, 2));
+        ic.batch_insert(&[(1, 2)]);
+        assert_eq!(
+            ic.batch_connected(&[(0, 3), (4, 5), (6, 6)]),
+            vec![true, false, true]
+        );
+        assert_eq!(ic.num_inserted(), 3);
+    }
+
+    #[test]
+    fn large_batch() {
+        let n = 10_000u32;
+        let mut ic = IncrementalConnectivity::new(n as usize);
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        ic.batch_insert(&edges);
+        assert!(ic.connected(0, n - 1));
+    }
+}

@@ -1,0 +1,38 @@
+//! # dyncon-spanning
+//!
+//! Static parallel connectivity building blocks and baselines:
+//!
+//! * [`ConcurrentUnionFind`] — lock-free union-find (CAS linking with
+//!   random priorities + path halving). This plays the role of Gazit's
+//!   randomized parallel connectivity algorithm [22] in the paper: both of
+//!   the batch algorithms call a static `SpanningForest(...)` subroutine on
+//!   `O(k)`-sized edge sets (Algorithm 2 line 5, Algorithm 4 line 23,
+//!   Algorithm 5 line 18), and the contract they need — a spanning forest
+//!   plus component labels in expected near-linear work and low depth — is
+//!   exactly what a parallel union-find provides (see DESIGN.md §3).
+//! * [`spanning_forest`] / [`connectivity_labels`] — one-shot parallel
+//!   spanning forest and labelling over dense vertex ids.
+//! * [`spanning_forest_sparse`] — the same over sparse `u64` ids (the
+//!   connectivity core runs it over *component representatives*).
+//! * [`StaticRecompute`] — the baseline the paper's introduction compares
+//!   against: recompute components from scratch on every batch (`O(m+n)`
+//!   per batch, the worst-case behaviour of existing streaming systems).
+//! * [`IncrementalConnectivity`] — insertion-only union-find baseline
+//!   (the Simsiri et al. [57] setting).
+//! * [`NaiveDynamicGraph`] — a slow, obviously-correct dynamic-connectivity
+//!   oracle used by every test suite in the workspace.
+
+pub mod incremental;
+pub mod oracle;
+pub mod shiloach_vishkin;
+pub mod static_conn;
+pub mod unionfind;
+
+pub use incremental::IncrementalConnectivity;
+pub use oracle::NaiveDynamicGraph;
+pub use static_conn::{
+    connectivity_labels, spanning_forest, spanning_forest_sparse, RelabeledForest,
+    StaticRecompute,
+};
+pub use shiloach_vishkin::{sv_labels, sv_num_components};
+pub use unionfind::{ConcurrentUnionFind, UnionFind};

@@ -1,0 +1,149 @@
+//! The slow, obviously-correct dynamic connectivity oracle used as ground
+//! truth by every test suite in the workspace.
+
+use crate::unionfind::UnionFind;
+use dyncon_primitives::FxHashSet;
+
+/// Fully dynamic graph with recompute-on-demand connectivity. All
+/// operations are sequential and straightforward — this type exists to be
+/// *trusted*, not fast.
+pub struct NaiveDynamicGraph {
+    n: usize,
+    edges: FxHashSet<(u32, u32)>,
+    cache: Option<UnionFind>,
+}
+
+impl NaiveDynamicGraph {
+    /// Empty graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: FxHashSet::default(),
+            cache: None,
+        }
+    }
+
+    fn norm(u: u32, v: u32) -> (u32, u32) {
+        (u.min(v), u.max(v))
+    }
+
+    /// Insert one edge; returns false if it was already present or a loop.
+    pub fn insert(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let fresh = self.edges.insert(Self::norm(u, v));
+        if fresh {
+            self.cache = None;
+        }
+        fresh
+    }
+
+    /// Delete one edge; returns false if absent.
+    pub fn delete(&mut self, u: u32, v: u32) -> bool {
+        let removed = self.edges.remove(&Self::norm(u, v));
+        if removed {
+            self.cache = None;
+        }
+        removed
+    }
+
+    /// Insert a batch (duplicates skipped).
+    pub fn batch_insert(&mut self, batch: &[(u32, u32)]) {
+        for &(u, v) in batch {
+            self.insert(u, v);
+        }
+    }
+
+    /// Delete a batch (absences skipped).
+    pub fn batch_delete(&mut self, batch: &[(u32, u32)]) {
+        for &(u, v) in batch {
+            self.delete(u, v);
+        }
+    }
+
+    /// Membership test.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edges.contains(&Self::norm(u, v))
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, sorted (for driving other structures deterministically).
+    pub fn edge_list(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self.edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn dsu(&mut self) -> &mut UnionFind {
+        if self.cache.is_none() {
+            let mut uf = UnionFind::new(self.n);
+            for &(u, v) in &self.edges {
+                uf.union(u, v);
+            }
+            self.cache = Some(uf);
+        }
+        self.cache.as_mut().unwrap()
+    }
+
+    /// Connectivity query.
+    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+        self.dsu().same(u, v)
+    }
+
+    /// Batch connectivity queries.
+    pub fn batch_connected(&mut self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        let dsu = self.dsu();
+        pairs.iter().map(|&(u, v)| dsu.same(u, v)).collect()
+    }
+
+    /// Number of connected components (isolated vertices included).
+    pub fn num_components(&mut self) -> usize {
+        self.dsu().num_components()
+    }
+
+    /// Size of the component containing `v`.
+    pub fn component_size(&mut self, v: u32) -> u32 {
+        self.dsu().size_of(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_basics() {
+        let mut g = NaiveDynamicGraph::new(5);
+        assert!(g.insert(0, 1));
+        assert!(!g.insert(1, 0), "normalized duplicate");
+        assert!(!g.insert(2, 2), "self loop rejected");
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(0, 2));
+        assert_eq!(g.num_components(), 4);
+        assert!(g.delete(0, 1));
+        assert!(!g.delete(0, 1));
+        assert!(!g.connected(0, 1));
+        assert_eq!(g.num_components(), 5);
+    }
+
+    #[test]
+    fn component_sizes() {
+        let mut g = NaiveDynamicGraph::new(6);
+        g.batch_insert(&[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(g.component_size(2), 3);
+        assert_eq!(g.component_size(3), 2);
+        assert_eq!(g.component_size(5), 1);
+    }
+
+    #[test]
+    fn edge_list_is_sorted_and_normalized() {
+        let mut g = NaiveDynamicGraph::new(5);
+        g.batch_insert(&[(3, 1), (0, 4), (2, 0)]);
+        assert_eq!(g.edge_list(), vec![(0, 2), (0, 4), (1, 3)]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Shiloach–Vishkin style parallel connectivity (hook-and-compress).
+//!
+//! The paper's related-work section traces parallel connectivity to
+//! Shiloach–Vishkin [54] and its descendants; our spanning-forest oracle
+//! uses lock-free union-find instead (DESIGN.md §3). This module provides
+//! the classic hook-and-compress algorithm as an *independent alternative
+//! implementation* of the same contract — used to cross-validate the
+//! union-find path and to let the E6 baseline be run with either engine.
+//!
+//! `O((m + n) lg n)` work in the worst case, `O(lg² n)` depth — not
+//! work-optimal (Gazit's algorithm is), but deterministic given the input
+//! and simple to verify.
+
+use dyncon_primitives::{par_for, par_map_collect};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Connected-component labels of `(0..n, edges)` by repeated hooking and
+/// pointer-jumping. `labels[u] == labels[v]` iff `u` and `v` are
+/// connected; labels are component-minimum vertex ids (deterministic).
+pub fn sv_labels(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        // Hook: point the larger root at the smaller endpoint's root.
+        par_for(edges.len(), |i| {
+            let (u, v) = edges[i];
+            if u == v {
+                return;
+            }
+            let pu = parent[u as usize].load(Ordering::Relaxed);
+            let pv = parent[v as usize].load(Ordering::Relaxed);
+            if pu == pv {
+                return;
+            }
+            let (hi, lo) = if pu > pv { (pu, pv) } else { (pv, pu) };
+            // Hook only roots (p[hi] == hi) to keep the forest shallow and
+            // guarantee monotone label decrease (termination).
+            if parent[hi as usize]
+                .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+        // Compress: full pointer jumping until the forest is flat.
+        let mut jumping = true;
+        while jumping {
+            jumping = false;
+            let jumped = AtomicBool::new(false);
+            par_for(n, |v| {
+                let p = parent[v].load(Ordering::Relaxed);
+                let gp = parent[p as usize].load(Ordering::Relaxed);
+                if p != gp {
+                    parent[v].store(gp, Ordering::Relaxed);
+                    jumped.store(true, Ordering::Relaxed);
+                }
+            });
+            if jumped.load(Ordering::Relaxed) {
+                jumping = true;
+            }
+        }
+    }
+    let ids: Vec<u32> = (0..n as u32).collect();
+    par_map_collect(&ids, |&v| parent[v as usize].load(Ordering::Relaxed))
+}
+
+/// Number of connected components via [`sv_labels`].
+pub fn sv_num_components(n: usize, edges: &[(u32, u32)]) -> usize {
+    let labels = sv_labels(n, edges);
+    let mut roots: Vec<u32> = labels;
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_conn::connectivity_labels;
+    use dyncon_primitives::SplitMix64;
+
+    fn partitions_agree(a: &[u32], b: &[u32]) -> bool {
+        // Same partition iff the label-pair mapping is a bijection.
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *fwd.entry(x).or_insert(y) != y {
+                return false;
+            }
+            if *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn labels_on_small_graph() {
+        let labels = sv_labels(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[4]);
+        assert_eq!(labels[3], 3);
+        // Deterministic minimum-id labels.
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[4], 4);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graphs() {
+        let mut rng = SplitMix64::new(3);
+        for trial in 0..10 {
+            let n = 50 + (trial * 37) % 200;
+            let m = n * 2;
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| {
+                    (
+                        rng.next_below(n as u64) as u32,
+                        rng.next_below(n as u64) as u32,
+                    )
+                })
+                .collect();
+            let sv = sv_labels(n, &edges);
+            let uf = connectivity_labels(n, &edges);
+            assert!(partitions_agree(&sv, &uf), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn component_count() {
+        assert_eq!(sv_num_components(5, &[]), 5);
+        assert_eq!(sv_num_components(5, &[(0, 1), (2, 3)]), 3);
+        assert_eq!(sv_num_components(4, &[(0, 1), (1, 2), (2, 3)]), 1);
+    }
+
+    #[test]
+    fn long_path_terminates() {
+        let n = 5000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let labels = sv_labels(n, &edges);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

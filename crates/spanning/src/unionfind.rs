@@ -1,0 +1,243 @@
+//! Sequential and lock-free concurrent union-find.
+
+use dyncon_primitives::hash64;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Classic sequential union-find with union by size and path halving.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Root of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; false if already merged.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Same-set query.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Lock-free concurrent union-find.
+///
+/// Linking uses pseudo-random priorities (a hash of the root id) so the
+/// union forest has `O(lg n)` expected depth regardless of adversarial
+/// union order; `find` applies path halving with benign-race CAS. Wait-free
+/// reads, lock-free unions — the standard concurrent DSU construction.
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    #[inline]
+    fn read(&self, x: u32) -> u32 {
+        self.parent[x as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current root of `x` (with path halving).
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.read(x);
+            if p == x {
+                return x;
+            }
+            let gp = self.read(p);
+            if p != gp {
+                // Path halving; losing the race is harmless.
+                let _ = self.parent[x as usize].compare_exchange_weak(
+                    p,
+                    gp,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            x = gp;
+        }
+    }
+
+    /// Priority ordering for linking: hash then id as tie-break.
+    #[inline]
+    fn prio(x: u32) -> (u64, u32) {
+        (hash64(x as u64), x)
+    }
+
+    /// Merge the sets of `a` and `b`. Returns true iff *this call*
+    /// performed the merge (at most one concurrent caller wins per merge —
+    /// the property spanning-forest construction relies on).
+    pub fn union(&self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (a, b);
+        loop {
+            ra = self.find(ra);
+            rb = self.find(rb);
+            if ra == rb {
+                return false;
+            }
+            // Link the lower-priority root under the higher-priority one.
+            let (child, parent) = if Self::prio(ra) < Self::prio(rb) {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            if self.parent[child as usize]
+                .compare_exchange(child, parent, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
+            // Lost a race; retry from the new roots.
+        }
+    }
+
+    /// Same-set query, correct when no unions run concurrently.
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            // Re-check stability: if ra is still a root, the answer is a
+            // consistent snapshot.
+            if self.read(ra) == ra {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncon_primitives::par_for;
+    use dyncon_primitives::SplitMix64;
+
+    #[test]
+    fn sequential_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.num_components(), 4);
+        assert_eq!(uf.size_of(1), 2);
+    }
+
+    #[test]
+    fn concurrent_matches_sequential() {
+        let n = 2000;
+        let mut rng = SplitMix64::new(3);
+        let edges: Vec<(u32, u32)> = (0..4000)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect();
+        let cuf = ConcurrentUnionFind::new(n);
+        par_for(edges.len(), |i| {
+            let (a, b) = edges[i];
+            cuf.union(a, b);
+        });
+        let mut suf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            suf.union(a, b);
+        }
+        for i in 0..n as u32 {
+            for j in [0u32, 7, 99] {
+                assert_eq!(cuf.same(i, j), suf.same(i, j), "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn union_returns_true_exactly_once_per_merge() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 512;
+        let cuf = ConcurrentUnionFind::new(n);
+        let wins = AtomicUsize::new(0);
+        // Everyone unions into a single component; exactly n-1 wins.
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1)
+            .flat_map(|i| [(i, i + 1), (i, i + 1), (i + 1, i)])
+            .collect();
+        par_for(edges.len(), |i| {
+            let (a, b) = edges[i];
+            if cuf.union(a, b) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), n - 1);
+    }
+
+    #[test]
+    fn find_is_stable_after_quiescence() {
+        let cuf = ConcurrentUnionFind::new(10);
+        cuf.union(1, 2);
+        cuf.union(2, 3);
+        let r = cuf.find(1);
+        assert_eq!(cuf.find(2), r);
+        assert_eq!(cuf.find(3), r);
+        assert_ne!(cuf.find(4), r);
+    }
+}

@@ -1,0 +1,74 @@
+//! Head-to-head: Algorithm 4 vs Algorithm 5 vs sequential HDT vs static
+//! recompute on one identical workload, with the instrumentation counters
+//! that expose the paper's round/phase structure.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use dyncon_bench::{replay, replay_hdt};
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::{erdos_renyi, Batch, UpdateStream};
+use dyncon_hdt::HdtConnectivity;
+use dyncon_spanning::StaticRecompute;
+use std::time::Instant;
+
+fn main() {
+    let n = 1 << 13;
+    let m = 2 * n;
+    let edges = erdos_renyi(n, m, 21);
+    let stream = UpdateStream::insert_then_delete(&edges, 1024, 512, 22);
+    let ops = stream.total_ops();
+    let (del_batches, delta) = stream.deletion_delta();
+    println!(
+        "workload: n = {n}, m = {m}; insert in 1024-batches, delete in {del_batches} batches (Δ = {delta:.0}); {ops} ops total\n"
+    );
+
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+        let dt = replay(&mut g, &stream);
+        let s = g.stats();
+        println!(
+            "{algo:?}:\n  total {dt:.2?} ({:.0} ns/op)\n  levels searched {}, rounds {}, phases {} (max {} per level)\n  examined {}, pushes {} (tree {}), replacements {}",
+            dt.as_secs_f64() * 1e9 / ops as f64,
+            s.levels_searched,
+            s.rounds,
+            s.phases,
+            s.max_phases_in_level,
+            s.edges_examined,
+            s.total_pushes(),
+            s.tree_pushes,
+            s.replacements,
+        );
+        assert_eq!(g.num_components(), n);
+    }
+
+    let mut h = HdtConnectivity::new(n);
+    let dt = replay_hdt(&mut h, &stream);
+    println!(
+        "HDT (sequential, one op at a time):\n  total {dt:.2?} ({:.0} ns/op), {} candidate edges examined",
+        dt.as_secs_f64() * 1e9 / ops as f64,
+        h.edges_examined
+    );
+    assert_eq!(h.num_components(), n);
+
+    // Static recompute pays a full relabel per batch boundary.
+    let mut s = StaticRecompute::new(n);
+    let t = Instant::now();
+    for b in &stream.batches {
+        match b {
+            Batch::Insert(v) => s.batch_insert(v),
+            Batch::Delete(v) => s.batch_delete(v),
+            Batch::Query(v) => {
+                s.batch_connected(v);
+            }
+        }
+        // Force the per-batch relabel the worst case implies.
+        s.batch_connected(&[(0, 1)]);
+    }
+    let dt = t.elapsed();
+    println!(
+        "StaticRecompute (relabel per batch):\n  total {dt:.2?} ({:.0} ns/op)",
+        dt.as_secs_f64() * 1e9 / ops as f64
+    );
+}

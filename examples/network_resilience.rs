@@ -1,0 +1,111 @@
+//! Network resilience what-if analysis on a data-center-style mesh.
+//!
+//! A 2-D torus-ish fabric (grid plus random shortcut links) is subjected
+//! to correlated failure waves — whole cable bundles (batches of edges)
+//! going down at once — followed by partial repairs. After every wave the
+//! operator asks: is the fabric still fully connected? Which racks are
+//! stranded, and how big is the largest surviving island?
+//!
+//! This exercises exactly the regime the batch-dynamic structure is built
+//! for: large correlated deletion batches with interleaved queries.
+//!
+//! ```text
+//! cargo run --release --example network_resilience
+//! ```
+
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{erdos_renyi, grid2d};
+use dyncon_primitives::SplitMix64;
+use std::time::Instant;
+
+fn main() {
+    let rows = 96;
+    let cols = 96;
+    let n = rows * cols;
+    // Fabric = grid mesh + sparse long-range shortcuts.
+    let mut fabric = grid2d(rows, cols);
+    let grid_edges = fabric.len();
+    let shortcuts: Vec<(u32, u32)> = erdos_renyi(n, n / 8, 7)
+        .into_iter()
+        .filter(|e| !fabric.contains(e))
+        .collect();
+    fabric.extend_from_slice(&shortcuts);
+
+    println!(
+        "fabric: {n} racks, {grid_edges} mesh links + {} shortcuts",
+        shortcuts.len()
+    );
+    let mut g = BatchDynamicConnectivity::new(n);
+    let t = Instant::now();
+    g.batch_insert(&fabric);
+    println!("built in {:.2?}; fully connected: {}", t.elapsed(), g.num_components() == 1);
+    assert_eq!(g.num_components(), 1);
+
+    let mut rng = SplitMix64::new(13);
+    let mut down: Vec<(u32, u32)> = Vec::new();
+
+    for wave in 1..=6 {
+        // A correlated failure wave: every link in a random band of rows
+        // fails (a "melted bundle"), plus random background failures.
+        let band = rng.next_below(rows as u64 - 4) as usize;
+        let mut failures: Vec<(u32, u32)> = fabric
+            .iter()
+            .copied()
+            .filter(|&(u, _)| {
+                let r = u as usize / cols;
+                (band..band + 2).contains(&r)
+            })
+            .collect();
+        for &e in fabric.iter() {
+            if rng.next_below(50) == 0 {
+                failures.push(e);
+            }
+        }
+        failures.retain(|e| !down.contains(e) && g.has_edge(e.0, e.1));
+        let t = Instant::now();
+        let removed = g.batch_delete(&failures);
+        let dt = t.elapsed();
+        down.extend_from_slice(&failures);
+
+        // Impact assessment.
+        let comps = g.num_components();
+        let probes: Vec<(u32, u32)> = (0..256)
+            .map(|_| (0, rng.next_below(n as u64) as u32))
+            .collect();
+        let reachable = g
+            .batch_connected(&probes)
+            .into_iter()
+            .filter(|&a| a)
+            .count();
+        println!(
+            "wave {wave}: {removed} links down in {dt:.2?} → {comps} islands; {reachable}/256 probed racks reach rack 0; rack-0 island = {}",
+            g.component_size(0)
+        );
+
+        // Repair crew: bring back a random half of everything down.
+        let mut repair = Vec::new();
+        let mut still_down = Vec::new();
+        for &e in &down {
+            if rng.next_below(2) == 0 {
+                repair.push(e);
+            } else {
+                still_down.push(e);
+            }
+        }
+        let t = Instant::now();
+        g.batch_insert(&repair);
+        println!(
+            "        repaired {} links in {:.2?} → {} islands",
+            repair.len(),
+            t.elapsed(),
+            g.num_components()
+        );
+        down = still_down;
+    }
+
+    // Full repair at the end restores the fabric.
+    g.batch_insert(&down);
+    assert_eq!(g.num_components(), 1, "full repair reconnects the fabric");
+    println!("\nfull repair: fabric connected again ✓");
+    g.check_invariants().expect("invariants hold");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: the batch-dynamic connectivity API in one minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dyncon_core::BatchDynamicConnectivity;
+
+fn main() {
+    // A graph over 10 fixed vertices (0..10), initially edgeless.
+    let mut g = BatchDynamicConnectivity::new(10);
+
+    // Batch-insert edges: two triangles and a bridge between them.
+    g.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
+    g.batch_insert(&[(5, 6), (6, 7), (7, 5)]);
+    g.batch_insert(&[(2, 5)]);
+
+    // Batch connectivity queries (Algorithm 1).
+    let answers = g.batch_connected(&[(0, 7), (0, 9), (3, 4)]);
+    println!("0~7: {}  0~9: {}  3~4: {}", answers[0], answers[1], answers[2]);
+    assert_eq!(answers, vec![true, false, false]);
+    println!("components: {} (the merged triangles + 4 isolated vertices)", g.num_components());
+
+    // Delete the bridge: the triangles separate again.
+    g.batch_delete(&[(2, 5)]);
+    assert!(!g.connected(0, 7));
+    println!("after deleting the bridge, 0~7: {}", g.connected(0, 7));
+
+    // Delete a triangle edge: connectivity survives through the rest of
+    // the triangle — the structure finds a replacement edge internally.
+    g.batch_delete(&[(0, 1)]);
+    assert!(g.connected(0, 1), "replacement edge keeps 0 and 1 connected");
+    println!("after deleting (0,1), 0~1 still connected: {}", g.connected(0, 1));
+
+    // Inspect the work the structure did.
+    let s = g.stats();
+    println!(
+        "stats: {} inserted, {} deleted, {} replacements committed, {} edge pushes",
+        s.edges_inserted,
+        s.edges_deleted,
+        s.replacements,
+        s.total_pushes()
+    );
+
+    // The full invariant checker is available for debugging.
+    g.check_invariants().expect("structure is internally consistent");
+    println!("all invariants hold ✓");
+}

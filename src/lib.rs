@@ -1,0 +1,14 @@
+//! # dyncon-suite
+//!
+//! Workspace umbrella for the SPAA 2019 *Parallel Batch-Dynamic Graph
+//! Connectivity* reproduction. Re-exports every member crate and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). Start with [`core`]'s `BatchDynamicConnectivity`.
+
+pub use dyncon_core as core;
+pub use dyncon_ett as ett;
+pub use dyncon_graphgen as graphgen;
+pub use dyncon_hdt as hdt;
+pub use dyncon_primitives as primitives;
+pub use dyncon_skiplist as skiplist;
+pub use dyncon_spanning as spanning;

@@ -1,0 +1,135 @@
+//! Cross-structure validation: the parallel batch-dynamic structure (both
+//! deletion algorithms), the sequential HDT baseline, the static-recompute
+//! baseline and the naive oracle must agree on identical operation
+//! streams across qualitatively different workloads.
+
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::{cycle, erdos_renyi, grid2d, path, rmat, star, Batch, UpdateStream};
+use dyncon_hdt::HdtConnectivity;
+use dyncon_primitives::SplitMix64;
+use dyncon_spanning::{NaiveDynamicGraph, StaticRecompute};
+
+fn agree_on_stream(n: usize, stream: &UpdateStream, tag: &str) {
+    let mut simple = BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Simple);
+    let mut inter = BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Interleaved);
+    let mut hdt = HdtConnectivity::new(n);
+    let mut stat = StaticRecompute::new(n);
+    let mut oracle = NaiveDynamicGraph::new(n);
+
+    for (bi, b) in stream.batches.iter().enumerate() {
+        match b {
+            Batch::Insert(v) => {
+                simple.batch_insert(v);
+                inter.batch_insert(v);
+                stat.batch_insert(v);
+                oracle.batch_insert(v);
+                for &(x, y) in v {
+                    hdt.insert(x, y);
+                }
+            }
+            Batch::Delete(v) => {
+                simple.batch_delete(v);
+                inter.batch_delete(v);
+                stat.batch_delete(v);
+                oracle.batch_delete(v);
+                for &(x, y) in v {
+                    hdt.delete(x, y);
+                }
+            }
+            Batch::Query(v) => {
+                let expect = oracle.batch_connected(v);
+                assert_eq!(simple.batch_connected(v), expect, "{tag}: Simple, batch {bi}");
+                assert_eq!(inter.batch_connected(v), expect, "{tag}: Interleaved, batch {bi}");
+                assert_eq!(stat.batch_connected(v), expect, "{tag}: static, batch {bi}");
+                let hdt_ans: Vec<bool> = v.iter().map(|&(x, y)| hdt.connected(x, y)).collect();
+                assert_eq!(hdt_ans, expect, "{tag}: HDT, batch {bi}");
+            }
+        }
+    }
+    assert_eq!(simple.num_edges(), oracle.num_edges(), "{tag}: edges");
+    assert_eq!(inter.num_edges(), oracle.num_edges(), "{tag}: edges");
+    assert_eq!(
+        inter.num_components(),
+        oracle.num_components(),
+        "{tag}: components"
+    );
+    simple.check_invariants().unwrap_or_else(|e| panic!("{tag}: Simple invariants: {e}"));
+    inter
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{tag}: Interleaved invariants: {e}"));
+}
+
+/// Insert a structured graph in batches, then churn it down with a query
+/// batch between every mutation.
+fn churn_stream(n: usize, edges: &[(u32, u32)], batch: usize, seed: u64) -> UpdateStream {
+    let mut s = UpdateStream::default();
+    let mut rng = SplitMix64::new(seed);
+    for chunk in edges.chunks(batch) {
+        s.batches.push(Batch::Insert(chunk.to_vec()));
+        s.batches
+            .push(Batch::Query(UpdateStream::random_queries(n, 16, rng.next_u64())));
+    }
+    let mut order: Vec<(u32, u32)> = edges.to_vec();
+    for i in (1..order.len()).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        order.swap(i, j);
+    }
+    for chunk in order.chunks(batch) {
+        s.batches.push(Batch::Delete(chunk.to_vec()));
+        s.batches
+            .push(Batch::Query(UpdateStream::random_queries(n, 16, rng.next_u64())));
+    }
+    s
+}
+
+#[test]
+fn path_graph_churn() {
+    let n = 128;
+    agree_on_stream(n, &churn_stream(n, &path(n), 17, 1), "path");
+}
+
+#[test]
+fn cycle_graph_churn() {
+    let n = 96;
+    agree_on_stream(n, &churn_stream(n, &cycle(n), 13, 2), "cycle");
+}
+
+#[test]
+fn star_graph_churn() {
+    let n = 128;
+    agree_on_stream(n, &churn_stream(n, &star(n), 19, 3), "star");
+}
+
+#[test]
+fn grid_graph_churn() {
+    let n = 8 * 16;
+    agree_on_stream(n, &churn_stream(n, &grid2d(8, 16), 23, 4), "grid");
+}
+
+#[test]
+fn er_graph_churn() {
+    let n = 120;
+    let edges = erdos_renyi(n, 3 * n, 5);
+    agree_on_stream(n, &churn_stream(n, &edges, 31, 6), "er");
+}
+
+#[test]
+fn rmat_graph_churn() {
+    let n = 128;
+    let edges = rmat(n, 2 * n, 7);
+    agree_on_stream(n, &churn_stream(n, &edges, 29, 8), "rmat");
+}
+
+#[test]
+fn sliding_window_agreement() {
+    let n = 100;
+    let stream = UpdateStream::sliding_window(n, 14, 24, 4, 12, 9);
+    agree_on_stream(n, &stream, "sliding-window");
+}
+
+#[test]
+fn dense_graph_full_teardown() {
+    let n = 24;
+    let edges = dyncon_graphgen::complete(n);
+    agree_on_stream(n, &churn_stream(n, &edges, 37, 10), "clique");
+}

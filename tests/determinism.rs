@@ -1,0 +1,74 @@
+//! Determinism guarantees: identical seeds and scripts must produce
+//! identical observable behaviour across runs — the property every
+//! "reproducible experiments" claim in EXPERIMENTS.md rests on.
+
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::{erdos_renyi, rmat, UpdateStream};
+
+fn observe(algo: DeletionAlgorithm, seed: u64) -> (Vec<bool>, usize, Vec<u64>, u64) {
+    let n = 256;
+    let edges = erdos_renyi(n, 3 * n, seed);
+    let stream = UpdateStream::insert_then_delete(&edges, 64, 32, seed ^ 1);
+    let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+    for b in &stream.batches {
+        match b {
+            dyncon_graphgen::Batch::Insert(v) => {
+                g.batch_insert(v);
+            }
+            dyncon_graphgen::Batch::Delete(v) => {
+                g.batch_delete(v);
+            }
+            dyncon_graphgen::Batch::Query(v) => {
+                g.batch_connected(v);
+            }
+        }
+        // Observe midway too.
+        if g.num_edges() == edges.len() / 2 {
+            break;
+        }
+    }
+    let queries = UpdateStream::random_queries(n, 128, seed ^ 2);
+    let answers = g.batch_connected(&queries);
+    (
+        answers,
+        g.num_components(),
+        g.component_size_distribution(),
+        g.stats().replacements,
+    )
+}
+
+#[test]
+fn workload_generators_are_deterministic() {
+    assert_eq!(erdos_renyi(500, 1500, 9), erdos_renyi(500, 1500, 9));
+    assert_eq!(rmat(512, 2000, 9), rmat(512, 2000, 9));
+    let a = UpdateStream::sliding_window(128, 8, 16, 3, 4, 11);
+    let b = UpdateStream::sliding_window(128, 8, 16, 3, 4, 11);
+    assert_eq!(a.batches, b.batches);
+}
+
+#[test]
+fn connectivity_answers_are_run_invariant() {
+    // Query answers, component counts and size distributions are
+    // scheduling-independent (they depend only on the graph), even though
+    // internal tie-breaking (which edge becomes a tree edge) may race.
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        for seed in [3u64, 17, 99] {
+            let a = observe(algo, seed);
+            let b = observe(algo, seed);
+            assert_eq!(a.0, b.0, "query answers, seed {seed}");
+            assert_eq!(a.1, b.1, "component count, seed {seed}");
+            assert_eq!(a.2, b.2, "size distribution, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn algorithms_agree_on_observables() {
+    for seed in [5u64, 21] {
+        let a = observe(DeletionAlgorithm::Simple, seed);
+        let b = observe(DeletionAlgorithm::Interleaved, seed);
+        assert_eq!(a.0, b.0, "queries agree across algorithms");
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Failure injection and boundary conditions across the public API:
+//! degenerate graphs, hostile batches, boundary vertex ids, level-edge
+//! cases. Every case also runs the full invariant checker.
+
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::{complete, path};
+
+const ALGOS: [DeletionAlgorithm; 2] = [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved];
+
+#[test]
+fn two_vertex_graph() {
+    for algo in ALGOS {
+        let mut g = BatchDynamicConnectivity::with_algorithm(2, algo);
+        assert_eq!(g.num_levels(), 1);
+        assert!(g.insert(0, 1));
+        assert!(g.connected(0, 1));
+        assert!(g.delete(0, 1));
+        assert!(!g.connected(0, 1));
+        // Re-insert after delete at the minimum level count.
+        assert!(g.insert(1, 0));
+        assert!(g.connected(0, 1));
+        g.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn three_vertex_triangle_churn() {
+    for algo in ALGOS {
+        let mut g = BatchDynamicConnectivity::with_algorithm(3, algo);
+        for _ in 0..10 {
+            g.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
+            g.batch_delete(&[(0, 1)]);
+            assert!(g.connected(0, 1));
+            g.batch_delete(&[(1, 2), (2, 0)]);
+            assert!(!g.connected(0, 1));
+            g.check_invariants().unwrap();
+        }
+    }
+}
+
+#[test]
+fn batch_with_internal_duplicates_and_loops() {
+    let mut g = BatchDynamicConnectivity::new(8);
+    let inserted = g.batch_insert(&[(1, 2), (2, 1), (1, 2), (3, 3), (4, 5)]);
+    assert_eq!(inserted, 2);
+    let deleted = g.batch_delete(&[(2, 1), (1, 2), (6, 7), (5, 5)]);
+    assert_eq!(deleted, 1);
+    assert_eq!(g.num_edges(), 1);
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn insert_existing_edge_is_noop() {
+    let mut g = BatchDynamicConnectivity::new(4);
+    g.insert(0, 1);
+    assert_eq!(g.batch_insert(&[(0, 1), (1, 0)]), 0);
+    assert_eq!(g.num_edges(), 1);
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn boundary_vertex_ids() {
+    let n = 1000usize;
+    let mut g = BatchDynamicConnectivity::new(n);
+    let last = (n - 1) as u32;
+    g.batch_insert(&[(0, last), (last - 1, last)]);
+    assert!(g.connected(0, last - 1));
+    g.batch_delete(&[(0, last)]);
+    assert!(!g.connected(0, last));
+    g.check_invariants().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_vertex_panics() {
+    let mut g = BatchDynamicConnectivity::new(4);
+    g.batch_insert(&[(0, 4)]);
+}
+
+#[test]
+fn interleaved_delete_and_reinsert_same_batch_boundary() {
+    // Delete a bridge and re-insert it in the very next batch, repeatedly;
+    // exercises record slot reuse and level reset to top.
+    for algo in ALGOS {
+        let mut g = BatchDynamicConnectivity::with_algorithm(32, algo);
+        g.batch_insert(&path(32));
+        for _ in 0..8 {
+            g.batch_delete(&[(15, 16)]);
+            assert!(!g.connected(0, 31));
+            g.batch_insert(&[(15, 16)]);
+            assert!(g.connected(0, 31));
+        }
+        g.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn deep_level_descent() {
+    // A clique forces edges to sink through many levels as it is chewed
+    // away edge by edge — the worst case for level bookkeeping.
+    for algo in ALGOS {
+        let n = 16;
+        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+        let edges = complete(n);
+        g.batch_insert(&edges);
+        for e in &edges {
+            g.batch_delete(&[*e]);
+        }
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_components(), n);
+        g.check_invariants().unwrap();
+        // Levels must have been exercised below the top.
+        assert!(g.stats().nontree_pushes > 0, "{algo:?} never pushed an edge");
+    }
+}
+
+#[test]
+fn alternating_algorithms_on_same_graph_agree() {
+    // Same script, both algorithms, equal observable behaviour.
+    let script_ins: Vec<(u32, u32)> = complete(12);
+    let mut results = Vec::new();
+    for algo in ALGOS {
+        let mut g = BatchDynamicConnectivity::with_algorithm(12, algo);
+        g.batch_insert(&script_ins);
+        g.batch_delete(&script_ins[0..30]);
+        let mut obs = Vec::new();
+        for u in 0..12u32 {
+            for v in u + 1..12 {
+                obs.push(g.connected(u, v));
+            }
+        }
+        obs.push(g.num_components() == 1);
+        results.push(obs);
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn massive_single_batch_teardown() {
+    // Delete every edge of a moderately large graph in ONE batch.
+    for algo in ALGOS {
+        let n = 512;
+        let edges = dyncon_graphgen::erdos_renyi(n, 3 * n, 77);
+        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+        g.batch_insert(&edges);
+        g.batch_delete(&edges);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_components(), n);
+        g.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn queries_do_not_mutate() {
+    let mut g = BatchDynamicConnectivity::new(16);
+    g.batch_insert(&path(16));
+    let before = g.stats().clone();
+    for _ in 0..5 {
+        g.batch_connected(&[(0, 15), (3, 9)]);
+    }
+    assert_eq!(g.num_edges(), 15);
+    assert_eq!(g.stats().edges_inserted, before.edges_inserted);
+    assert_eq!(g.stats().queries, before.queries + 10);
+    g.check_invariants().unwrap();
+}

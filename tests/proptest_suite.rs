@@ -1,0 +1,116 @@
+//! Property-based tests (proptest) over the whole stack: arbitrary
+//! operation sequences shrink to minimal counterexamples on failure.
+
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_hdt::HdtConnectivity;
+use dyncon_spanning::NaiveDynamicGraph;
+use proptest::prelude::*;
+
+/// One scripted operation over a small vertex universe.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<(u32, u32)>),
+    Delete(Vec<(u32, u32)>),
+    Query(u32, u32),
+}
+
+const N: u32 = 12;
+
+fn edge_strategy() -> impl Strategy<Value = (u32, u32)> {
+    (0..N, 0..N)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(edge_strategy(), 1..8).prop_map(Op::Insert),
+        prop::collection::vec(edge_strategy(), 1..8).prop_map(Op::Delete),
+        edge_strategy().prop_map(|(u, v)| Op::Query(u, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batch structure (both algorithms) matches the oracle on any
+    /// operation sequence, and its invariants hold throughout.
+    #[test]
+    fn core_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut simple = BatchDynamicConnectivity::with_algorithm(N as usize, DeletionAlgorithm::Simple);
+        let mut inter = BatchDynamicConnectivity::with_algorithm(N as usize, DeletionAlgorithm::Interleaved);
+        let mut oracle = NaiveDynamicGraph::new(N as usize);
+        for op in &ops {
+            match op {
+                Op::Insert(es) => {
+                    simple.batch_insert(es);
+                    inter.batch_insert(es);
+                    oracle.batch_insert(es);
+                }
+                Op::Delete(es) => {
+                    // Delete only present edges to keep counts comparable
+                    // (absent deletions are separately unit-tested).
+                    let present: Vec<(u32, u32)> =
+                        es.iter().copied().filter(|&(u, v)| oracle.has_edge(u, v)).collect();
+                    simple.batch_delete(&present);
+                    inter.batch_delete(&present);
+                    oracle.batch_delete(&present);
+                }
+                Op::Query(u, v) => {
+                    let expect = oracle.connected(*u, *v);
+                    prop_assert_eq!(simple.connected(*u, *v), expect);
+                    prop_assert_eq!(inter.connected(*u, *v), expect);
+                }
+            }
+            prop_assert_eq!(simple.num_edges(), oracle.num_edges());
+            prop_assert_eq!(inter.num_edges(), oracle.num_edges());
+        }
+        simple.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        inter.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// The sequential HDT baseline matches the oracle on any sequence.
+    #[test]
+    fn hdt_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut hdt = HdtConnectivity::new(N as usize);
+        let mut oracle = NaiveDynamicGraph::new(N as usize);
+        for op in &ops {
+            match op {
+                Op::Insert(es) => {
+                    for &(u, v) in es {
+                        prop_assert_eq!(hdt.insert(u, v), oracle.insert(u, v));
+                    }
+                }
+                Op::Delete(es) => {
+                    for &(u, v) in es {
+                        prop_assert_eq!(hdt.delete(u, v), oracle.delete(u, v));
+                    }
+                }
+                Op::Query(u, v) => {
+                    prop_assert_eq!(hdt.connected(*u, *v), oracle.connected(*u, *v));
+                }
+            }
+        }
+        prop_assert_eq!(hdt.num_components(), oracle.num_components());
+    }
+
+    /// Component sizes agree with the oracle after arbitrary batches.
+    #[test]
+    fn component_sizes_match(
+        ins in prop::collection::vec(edge_strategy(), 0..30),
+        del_mask in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let mut g = BatchDynamicConnectivity::new(N as usize);
+        let mut oracle = NaiveDynamicGraph::new(N as usize);
+        g.batch_insert(&ins);
+        oracle.batch_insert(&ins);
+        let dels: Vec<(u32, u32)> = ins
+            .iter()
+            .zip(&del_mask)
+            .filter_map(|(&e, &d)| d.then_some(e))
+            .collect();
+        g.batch_delete(&dels);
+        oracle.batch_delete(&dels);
+        for v in 0..N {
+            prop_assert_eq!(g.component_size(v), oracle.component_size(v) as u64);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Moderate-scale stress: thousands of vertices, full churn, oracle
+//! agreement sampled throughout and full invariant verification at the
+//! checkpoints. Complements the small exhaustive model tests (which check
+//! invariants after *every* batch) with sheer volume.
+
+use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_graphgen::{erdos_renyi, grid2d, UpdateStream};
+use dyncon_primitives::SplitMix64;
+use dyncon_spanning::NaiveDynamicGraph;
+
+fn churn(
+    algo: DeletionAlgorithm,
+    n: usize,
+    edges: &[(u32, u32)],
+    batch: usize,
+    seed: u64,
+    checkpoints: usize,
+) {
+    let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+    let mut oracle = NaiveDynamicGraph::new(n);
+    let mut rng = SplitMix64::new(seed);
+
+    // Build up.
+    for chunk in edges.chunks(batch) {
+        g.batch_insert(chunk);
+        oracle.batch_insert(chunk);
+    }
+    // Churn: delete a random slice, re-insert half of it, query.
+    let mut live: Vec<(u32, u32)> = edges.to_vec();
+    let rounds = 8;
+    for round in 0..rounds {
+        for i in (1..live.len()).rev() {
+            let j = rng.next_below((i + 1) as u64) as usize;
+            live.swap(i, j);
+        }
+        let cut = (live.len() / 4).max(1).min(live.len());
+        let victims: Vec<(u32, u32)> = live.drain(..cut).collect();
+        g.batch_delete(&victims);
+        oracle.batch_delete(&victims);
+        let back: Vec<(u32, u32)> = victims.iter().copied().step_by(2).collect();
+        g.batch_insert(&back);
+        oracle.batch_insert(&back);
+        live.extend_from_slice(&back);
+
+        let queries = UpdateStream::random_queries(n, 64, rng.next_u64());
+        assert_eq!(
+            g.batch_connected(&queries),
+            oracle.batch_connected(&queries),
+            "round {round}"
+        );
+        assert_eq!(g.num_edges(), oracle.num_edges(), "round {round}");
+        assert_eq!(g.num_components(), oracle.num_components(), "round {round}");
+        if round % (rounds / checkpoints.max(1)).max(1) == 0 {
+            g.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn er_2k_vertices_interleaved() {
+    let n = 2048;
+    let edges = erdos_renyi(n, 2 * n, 101);
+    churn(DeletionAlgorithm::Interleaved, n, &edges, 512, 1, 2);
+}
+
+#[test]
+fn er_2k_vertices_simple() {
+    let n = 2048;
+    let edges = erdos_renyi(n, 2 * n, 102);
+    churn(DeletionAlgorithm::Simple, n, &edges, 512, 2, 2);
+}
+
+#[test]
+fn grid_stress() {
+    let (r, c) = (48, 48);
+    let edges = grid2d(r, c);
+    churn(DeletionAlgorithm::Interleaved, r * c, &edges, 1024, 3, 2);
+}
+
+#[test]
+fn giant_single_batches() {
+    // Everything in one insert batch; everything out in one delete batch;
+    // twice, to exercise slot/arena recycling at scale.
+    let n = 4096;
+    let edges = erdos_renyi(n, 3 * n, 103);
+    let mut g = BatchDynamicConnectivity::new(n);
+    for _ in 0..2 {
+        g.batch_insert(&edges);
+        assert!(g.num_components() < n / 8, "ER at m=3n is mostly connected");
+        g.batch_delete(&edges);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_components(), n);
+    }
+    g.check_invariants().unwrap();
+}
