@@ -16,9 +16,13 @@ fn bench(c: &mut Criterion) {
         let k = 1 << kexp;
         let qs = UpdateStream::random_queries(n, k, kexp as u64);
         group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k=2^{kexp}")), &qs, |b, qs| {
-            b.iter(|| g.batch_connected(qs));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k=2^{kexp}")),
+            &qs,
+            |b, qs| {
+                b.iter(|| g.batch_connected(qs));
+            },
+        );
     }
     group.finish();
 }

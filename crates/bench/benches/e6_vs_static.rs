@@ -29,13 +29,16 @@ fn bench(c: &mut Criterion) {
 
     let mut s = StaticRecompute::new(n);
     s.batch_insert(&base);
-    group.bench_function(BenchmarkId::new("static_recompute", format!("k={k}")), |b| {
-        b.iter(|| {
-            s.batch_delete(&fresh[..k]);
-            s.batch_insert(&fresh[..k]);
-            s.batch_connected(&queries)
-        });
-    });
+    group.bench_function(
+        BenchmarkId::new("static_recompute", format!("k={k}")),
+        |b| {
+            b.iter(|| {
+                s.batch_delete(&fresh[..k]);
+                s.batch_insert(&fresh[..k]);
+                s.batch_connected(&queries)
+            });
+        },
+    );
     group.finish();
 }
 

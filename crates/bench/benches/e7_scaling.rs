@@ -18,13 +18,9 @@ fn bench(c: &mut Criterion) {
             .unwrap();
         let mut g = BatchDynamicConnectivity::new(n);
         pool.install(|| g.batch_insert(&tree));
-        group.bench_with_input(
-            BenchmarkId::new("query_16k", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| pool.install(|| g.batch_connected(&qs)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("query_16k", threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| g.batch_connected(&qs)));
+        });
         group.bench_with_input(
             BenchmarkId::new("insert_tree", threads),
             &threads,

@@ -12,7 +12,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for kexp in [4usize, 8, 12] {
         let k = 1 << kexp;
-        let victims: Vec<(u32, u32)> = tree.iter().copied().step_by(tree.len() / k).take(k).collect();
+        let victims: Vec<(u32, u32)> = tree
+            .iter()
+            .copied()
+            .step_by(tree.len() / k)
+            .take(k)
+            .collect();
         let vflags = vec![true; victims.len()];
         group.throughput(Throughput::Elements(victims.len() as u64));
         group.bench_with_input(

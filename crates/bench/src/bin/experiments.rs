@@ -37,10 +37,7 @@ fn e1(cfg: &Cfg) {
             format!("2^{kexp}"),
             ns_per(d, k),
             format!("{:.2}", lg_factor(n, k)),
-            format!(
-                "{:.1}",
-                d.as_secs_f64() * 1e9 / k as f64 / lg_factor(n, k)
-            ),
+            format!("{:.1}", d.as_secs_f64() * 1e9 / k as f64 / lg_factor(n, k)),
         ]);
     }
     print_table(
@@ -73,7 +70,10 @@ fn e2(cfg: &Cfg) {
         ]);
     }
     print_table(
-        &format!("E2 (Thm 4) — batch insertion of m = {} edges, n = {n}", edges.len()),
+        &format!(
+            "E2 (Thm 4) — batch insertion of m = {} edges, n = {n}",
+            edges.len()
+        ),
         &["batch k", "ns/edge", "lg(1+n/k)"],
         &rows,
     );
@@ -114,7 +114,15 @@ fn e3(cfg: &Cfg) {
     }
     print_table(
         &format!("E3 (Thm 5 vs 7) — deletion round/phase structure, n = {n}, k = 256"),
-        &["workload", "algorithm", "levels", "rounds", "phases", "max phases/level", "total µs"],
+        &[
+            "workload",
+            "algorithm",
+            "levels",
+            "rounds",
+            "phases",
+            "max phases/level",
+            "total µs",
+        ],
         &rows,
     );
 }
@@ -158,7 +166,13 @@ fn e4(cfg: &Cfg) {
     }
     print_table(
         &format!("E4 (Thm 9) — deletion cost vs Δ, n = {n}, {m} deletions total"),
-        &["Δ", "Interleaved ns/edge", "pushes", "Simple ns/edge", "lg(1+n/Δ)"],
+        &[
+            "Δ",
+            "Interleaved ns/edge",
+            "pushes",
+            "Simple ns/edge",
+            "lg(1+n/Δ)",
+        ],
         &rows,
     );
 }
@@ -251,7 +265,11 @@ fn e6(cfg: &Cfg) {
 fn e7(cfg: &Cfg) {
     let n = (1 << 16) / cfg.scale;
     let edges = erdos_renyi(n, 2 * n, 13);
-    let run = |threads: usize| -> (std::time::Duration, std::time::Duration, std::time::Duration) {
+    let run = |threads: usize| -> (
+        std::time::Duration,
+        std::time::Duration,
+        std::time::Duration,
+    ) {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -298,7 +316,10 @@ fn e7(cfg: &Cfg) {
         ],
     ];
     print_table(
-        &format!("E7 — thread scaling, n = {n}, m = {} (this machine has 2 cores)", edges.len()),
+        &format!(
+            "E7 — thread scaling, n = {n}, m = {} (this machine has 2 cores)",
+            edges.len()
+        ),
         &["operation", "1 thread µs", "2 threads µs", "speedup"],
         &rows,
     );
@@ -315,7 +336,12 @@ fn e8(cfg: &Cfg) {
         let flags = vec![true; tree.len()];
         f.batch_link(&tree, &flags);
         // Cut k random tree edges, then relink them.
-        let mut victims: Vec<(u32, u32)> = tree.iter().copied().step_by(tree.len() / k).take(k).collect();
+        let mut victims: Vec<(u32, u32)> = tree
+            .iter()
+            .copied()
+            .step_by(tree.len() / k)
+            .take(k)
+            .collect();
         victims.dedup();
         let (d_cut, _) = time(|| f.batch_cut(&victims));
         let vflags = vec![true; victims.len()];
@@ -332,7 +358,13 @@ fn e8(cfg: &Cfg) {
     }
     print_table(
         &format!("E8 (Thm 2) — batch-parallel ETT primitives, n = {n}"),
-        &["k", "link ns/op", "cut ns/op", "connected ns/op", "lg(1+n/k)"],
+        &[
+            "k",
+            "link ns/op",
+            "cut ns/op",
+            "connected ns/op",
+            "lg(1+n/k)",
+        ],
         &rows,
     );
 }
@@ -360,7 +392,11 @@ fn e9(cfg: &Cfg) {
         });
         let s = g.stats();
         rows.push(vec![
-            if scan_all { "scan-all".into() } else { "doubling".into() },
+            if scan_all {
+                "scan-all".into()
+            } else {
+                "doubling".into()
+            },
             s.edges_examined.to_string(),
             s.nontree_pushes.to_string(),
             s.replacements.to_string(),
@@ -369,7 +405,13 @@ fn e9(cfg: &Cfg) {
     }
     print_table(
         &format!("E9 — doubling ablation, cycle+chords, n = {n}, single-edge deletions"),
-        &["search", "edges examined", "pushes", "replacements", "total µs"],
+        &[
+            "search",
+            "edges examined",
+            "pushes",
+            "replacements",
+            "total µs",
+        ],
         &rows,
     );
 }
@@ -422,7 +464,11 @@ fn main() {
     let cfg = Cfg {
         scale: if quick { 4 } else { 1 },
     };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let all = wanted.is_empty();
     let run = |name: &str| all || wanted.contains(&name);
 

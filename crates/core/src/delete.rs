@@ -55,8 +55,8 @@ impl BatchDynamicConnectivity {
         }
 
         // Line 2: remove non-tree edges from their adjacency structures.
-        for li in 0..self.num_levels {
-            let batch = std::mem::take(&mut nontree_by_level[li]);
+        for (li, level) in nontree_by_level.iter_mut().enumerate() {
+            let batch = std::mem::take(level);
             self.remove_nontree_at(li, &batch);
         }
         // Drop all records (tree-edge records die with the ETT nodes).
@@ -76,8 +76,8 @@ impl BatchDynamicConnectivity {
             by_level[li].push((u, v));
         }
         let mut acc: Vec<(u32, u32)> = Vec::new();
-        for li in min_li..self.num_levels {
-            acc.extend_from_slice(&by_level[li]);
+        for (li, dels) in by_level.iter().enumerate().skip(min_li) {
+            acc.extend_from_slice(dels);
             self.levels[li].batch_cut(&acc);
         }
 
@@ -118,22 +118,19 @@ impl BatchDynamicConnectivity {
         // Line 2: F_i.BatchInsert(S). None of S is in F_li yet (each found
         // edge was linked only into forests up to its discovery level).
         if !s_slots.is_empty() {
-            let s_edges: Vec<(u32, u32)> = s_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
+            let s_edges: Vec<(u32, u32)> =
+                s_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
             let flags: Vec<bool> = s_slots.iter().map(|&s| self.edges.level(s) == li).collect();
             self.levels[li].batch_link(&s_edges, &flags);
         }
 
         // Lines 3-4: representatives, dedup, size partition.
         let reps = self.levels[li].batch_find_rep(c_handles);
-        let mut pairs: Vec<(CompId, u32)> = reps
-            .iter()
-            .zip(c_handles)
-            .map(|(&r, &h)| (r, h))
-            .collect();
+        let mut pairs: Vec<(CompId, u32)> =
+            reps.iter().zip(c_handles).map(|(&r, &h)| (r, h)).collect();
         pairs.sort_unstable();
         pairs.dedup_by_key(|p| p.0);
-        let sizes: Vec<u64> =
-            par_map_collect(&pairs, |&(_, h)| self.levels[li].component_size(h));
+        let sizes: Vec<u64> = par_map_collect(&pairs, |&(_, h)| self.levels[li].component_size(h));
         let threshold = 1u64 << li; // 2^{i-1} in 1-indexed paper terms
         let mut active = Vec::new();
         let mut deferred = Vec::new();

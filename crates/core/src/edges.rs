@@ -106,8 +106,7 @@ impl EdgeIndex {
     pub fn set_level(&self, slot: u32, level: usize) {
         debug_assert!(level < 256);
         let old = self.info[slot as usize].load(Ordering::Relaxed);
-        self.info[slot as usize]
-            .store((old & !0xff00) | ((level as u32) << 8), Ordering::Relaxed);
+        self.info[slot as usize].store((old & !0xff00) | ((level as u32) << 8), Ordering::Relaxed);
     }
 
     /// Is the edge currently a tree edge?
@@ -120,7 +119,11 @@ impl EdgeIndex {
     #[inline]
     pub fn set_tree(&self, slot: u32, tree: bool) {
         let old = self.info[slot as usize].load(Ordering::Relaxed);
-        let new = if tree { old | TREE_BIT } else { old & !TREE_BIT };
+        let new = if tree {
+            old | TREE_BIT
+        } else {
+            old & !TREE_BIT
+        };
         self.info[slot as usize].store(new, Ordering::Relaxed);
     }
 
@@ -148,7 +151,12 @@ impl EdgeIndex {
 
     /// Insert a batch of *new, distinct, normalized* edges; returns their
     /// slots. `O(k)` expected work.
-    pub fn insert_batch(&mut self, edges: &[(u32, u32)], level: usize, is_tree: &[bool]) -> Vec<u32> {
+    pub fn insert_batch(
+        &mut self,
+        edges: &[(u32, u32)],
+        level: usize,
+        is_tree: &[bool],
+    ) -> Vec<u32> {
         let k = edges.len();
         let mut slots = Vec::with_capacity(k);
         for _ in 0..k {

@@ -20,7 +20,6 @@
 //! supercomponent size, which is exactly what keeps every push legal under
 //! Invariant 1.
 
-
 use crate::BatchDynamicConnectivity;
 use dyncon_ett::CompId;
 use dyncon_primitives::{par_map_collect, sort_dedup, FxHashMap, FxHashSet};
@@ -194,11 +193,7 @@ impl BatchDynamicConnectivity {
             let chosen_set: FxHashSet<u32> = chosen_this_round.iter().copied().collect();
             let mut push_now: Vec<u32> = Vec::new();
             let mut still_active = Vec::with_capacity(active.len());
-            for ((c, (occs, _, _)), (stays, size_ok)) in active
-                .drain(..)
-                .zip(fetches.into_iter())
-                .zip(fates.into_iter())
-            {
+            for ((c, (occs, _, _)), (stays, size_ok)) in active.drain(..).zip(fetches).zip(fates) {
                 if stays {
                     // Line 24-26: still active; everything fetched this
                     // round — replacements included — leaves level i.
@@ -258,8 +253,7 @@ impl BatchDynamicConnectivity {
         // Line 34: F_i.BatchInsert(T). Pushed members of T carry level
         // i-1 (flag false here, true below); unpushed carry level i.
         if !t_slots.is_empty() {
-            let edges: Vec<(u32, u32)> =
-                t_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
+            let edges: Vec<(u32, u32)> = t_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
             let flags: Vec<bool> = t_slots.iter().map(|&s| self.edges.level(s) == li).collect();
             self.levels[li].batch_link(&edges, &flags);
             self.stats.replacements += t_slots.len() as u64;

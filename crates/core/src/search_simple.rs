@@ -93,9 +93,7 @@ impl BatchDynamicConnectivity {
                 // Apply phase results at the barrier.
                 let mut push_now: Vec<u32> = Vec::new();
                 let mut still = Vec::with_capacity(searching.len());
-                for (st, (hit, prefix, examined)) in
-                    searching.into_iter().zip(results.into_iter())
-                {
+                for (st, (hit, prefix, examined)) in searching.into_iter().zip(results) {
                     self.stats.edges_examined += examined;
                     let csz = if self.scan_all_ablation {
                         st.cmax
@@ -152,8 +150,7 @@ impl BatchDynamicConnectivity {
             // and re-partition by size.
             let handles: Vec<u32> = found.iter().map(|(c, _)| c.handle).collect();
             let reps = self.levels[li].batch_find_rep(&handles);
-            let mut pairs: Vec<(u64, u32)> =
-                reps.into_iter().zip(handles.into_iter()).collect();
+            let mut pairs: Vec<(u64, u32)> = reps.into_iter().zip(handles).collect();
             pairs.sort_unstable();
             pairs.dedup_by_key(|p| p.0);
             let threshold = 1u64 << li;

@@ -66,7 +66,10 @@ impl Augmentation for EttAug {
 
     #[inline]
     fn pack(v: EttVal) -> [u64; 2] {
-        [((v.vertices as u64) << 32) | v.tree_edges as u64, v.nontree_edges]
+        [
+            ((v.vertices as u64) << 32) | v.tree_edges as u64,
+            v.nontree_edges,
+        ]
     }
 
     #[inline]

@@ -47,7 +47,10 @@ impl EulerTourForest {
         if edges.is_empty() {
             return;
         }
-        debug_assert!(self.link_batch_is_acyclic(edges), "batch_link would close a cycle");
+        debug_assert!(
+            self.link_batch_is_acyclic(edges),
+            "batch_link would close a cycle"
+        );
 
         let k = edges.len();
         // Allocate the 2k directed-edge nodes (arena needs &mut: sequential,
@@ -147,11 +150,8 @@ impl EulerTourForest {
             removed.push(packed as NodeId);
             keys.push(key);
         }
-        let member: FxHashMap<NodeId, usize> = removed
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, i))
-            .collect();
+        let member: FxHashMap<NodeId, usize> =
+            removed.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         debug_assert_eq!(member.len(), 2 * k, "duplicate edge in batch_cut");
 
         // exit(r) = successor of r's partner node; resolve through chains of

@@ -52,7 +52,9 @@ impl EulerTourForest {
         let Some(node) = self.vertex_node(v) else {
             return Vec::new();
         };
-        let picked = self.sl.collect_prefix(node, limit, &|val: EttVal| val.nontree_edges);
+        let picked = self
+            .sl
+            .collect_prefix(node, limit, &|val: EttVal| val.nontree_edges);
         picked
             .into_iter()
             .map(|(id, take)| match self.node_payload(id) {

@@ -78,7 +78,10 @@ impl EulerTourForest {
         // Per-component tour validity + aggregates + skip list integrity.
         let mut comp_members: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
         for v in 0..n as u32 {
-            comp_members.entry(find(&mut parent, v)).or_default().push(v);
+            comp_members
+                .entry(find(&mut parent, v))
+                .or_default()
+                .push(v);
         }
         let mut at_level: std::collections::HashSet<(u32, u32)> = expected_at_level
             .iter()
@@ -157,9 +160,7 @@ impl EulerTourForest {
                 }
                 Payload::Edge { from, to } => {
                     if !dirs_seen.insert((from, to)) {
-                        return Err(format!(
-                            "component {root}: direction ({from},{to}) twice"
-                        ));
+                        return Err(format!("component {root}: direction ({from},{to}) twice"));
                     }
                     if from < to && at_level.contains(&(from, to)) {
                         tree_flag_count += 1;

@@ -203,11 +203,7 @@ fn star_and_path_stress() {
     f.validate(&path, &[], &nontree).unwrap();
     // Cut every other edge: components of size 2.
     let half: Vec<(u32, u32)> = path.iter().copied().step_by(2).collect();
-    let rest: Vec<(u32, u32)> = path
-        .iter()
-        .copied()
-        .filter(|e| !half.contains(e))
-        .collect();
+    let rest: Vec<(u32, u32)> = path.iter().copied().filter(|e| !half.contains(e)).collect();
     f.batch_cut(&rest);
     f.validate(&half, &[], &nontree).unwrap();
     assert!(f.connected(0, 1));

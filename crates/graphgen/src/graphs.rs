@@ -73,7 +73,9 @@ pub fn rmat(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
 
 /// Path `0 - 1 - … - (n-1)`.
 pub fn path(n: usize) -> Vec<(u32, u32)> {
-    (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect()
+    (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect()
 }
 
 /// Cycle over `0..n`.

@@ -6,7 +6,5 @@
 pub mod graphs;
 pub mod stream;
 
-pub use graphs::{
-    complete, cycle, erdos_renyi, grid2d, path, random_tree, rmat, star,
-};
+pub use graphs::{complete, cycle, erdos_renyi, grid2d, path, random_tree, rmat, star};
 pub use stream::{Batch, UpdateStream};

@@ -206,12 +206,12 @@ impl SeqEtt {
             return None;
         }
         let root = self.treap.root(nv);
-        self.treap
-            .find_positive(root, |val| val.nontree)
-            .map(|id| match self.payload[id as usize] {
+        self.treap.find_positive(root, |val| val.nontree).map(|id| {
+            match self.payload[id as usize] {
                 SeqPayload::Loop(w) => w,
                 p => unreachable!("non-tree count on {p:?}"),
-            })
+            }
+        })
     }
 
     /// A tree edge at this forest's level inside `v`'s tree, if any.

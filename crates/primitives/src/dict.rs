@@ -99,7 +99,8 @@ impl ConcurrentDict {
                 inserted.fetch_add(1, Ordering::Relaxed);
             }
         });
-        self.live.fetch_add(inserted.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.live
+            .fetch_add(inserted.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// CAS-claim a slot for `key`; returns true if the key was new.
@@ -112,12 +113,8 @@ impl ConcurrentDict {
                 return false;
             }
             if cur == EMPTY {
-                match self.keys[i].compare_exchange(
-                    EMPTY,
-                    key,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
+                {
                     Ok(_) => {
                         self.vals[i].store(val, Ordering::Release);
                         return true;
@@ -258,9 +255,7 @@ mod tests {
         let mut r = SplitMix64::new(17);
         let mut model = std::collections::HashMap::new();
         for round in 0..50 {
-            let ins: Vec<(u64, u64)> = (0..100)
-                .map(|_| (r.next_below(5000) + 1, round))
-                .collect();
+            let ins: Vec<(u64, u64)> = (0..100).map(|_| (r.next_below(5000) + 1, round)).collect();
             for &(k, v) in &ins {
                 model.insert(k, v);
             }

@@ -38,7 +38,9 @@ where
     }
     // Flag positions that start a new group, then pack.
     let flags: Vec<bool> = if n < crate::SEQ_THRESHOLD {
-        (0..n).map(|i| i == 0 || pairs[i - 1].0 != pairs[i].0).collect()
+        (0..n)
+            .map(|i| i == 0 || pairs[i - 1].0 != pairs[i].0)
+            .collect()
     } else {
         (0..n)
             .into_par_iter()
@@ -48,7 +50,11 @@ where
     let starts = crate::scan::pack_index(&flags);
     let mut out = Vec::with_capacity(starts.len());
     for (gi, &s) in starts.iter().enumerate() {
-        let e = if gi + 1 < starts.len() { starts[gi + 1] } else { n };
+        let e = if gi + 1 < starts.len() {
+            starts[gi + 1]
+        } else {
+            n
+        };
         out.push((pairs[s].0, s..e));
     }
     out
@@ -107,9 +113,8 @@ mod tests {
     #[test]
     fn groups_large_random() {
         let mut r = SplitMix64::new(5);
-        let mut pairs: Vec<(u32, u64)> = (0..40_000)
-            .map(|i| (r.next_below(500) as u32, i))
-            .collect();
+        let mut pairs: Vec<(u32, u64)> =
+            (0..40_000).map(|i| (r.next_below(500) as u32, i)).collect();
         let mut expected = std::collections::HashMap::<u32, usize>::new();
         for (k, _) in &pairs {
             *expected.entry(*k).or_default() += 1;

@@ -57,7 +57,7 @@ pub fn par_for(n: usize, f: impl Fn(usize) + Sync) {
             f(i);
         }
     } else {
-        (0..n).into_par_iter().for_each(|i| f(i));
+        (0..n).into_par_iter().for_each(&f);
     }
 }
 

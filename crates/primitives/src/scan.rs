@@ -92,14 +92,11 @@ pub fn pack_index(flags: &[bool]) -> Vec<usize> {
 }
 
 /// Parallel map of a slice into a `Vec` (stable order).
-pub fn par_map_collect<T: Sync, U: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> U + Sync + Send,
-) -> Vec<U> {
+pub fn par_map_collect<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync + Send) -> Vec<U> {
     if items.len() < crate::SEQ_THRESHOLD {
         items.iter().map(f).collect()
     } else {
-        items.par_iter().map(|x| f(x)).collect()
+        items.par_iter().map(f).collect()
     }
 }
 

@@ -65,10 +65,8 @@ where
 
     // Pass 3: within each bucket, group the (expected O(1)) distinct keys
     // contiguously and emit descriptors.
-    let mut per_bucket: Vec<Vec<(K, Range<usize>)>> = (0..nbuckets)
-        .into_par_iter()
-        .map(|_| Vec::new())
-        .collect();
+    let mut per_bucket: Vec<Vec<(K, Range<usize>)>> =
+        (0..nbuckets).into_par_iter().map(|_| Vec::new()).collect();
     {
         let out = SyncSlice::new(&mut per_bucket);
         let pairs_ref: &Vec<(K, V)> = pairs;
@@ -84,10 +82,7 @@ where
             // pairs range [lo, hi).
             let groups = unsafe { out.get_mut(b) };
             let slice = unsafe {
-                std::slice::from_raw_parts_mut(
-                    pairs_ref.as_ptr().add(lo) as *mut (K, V),
-                    hi - lo,
-                )
+                std::slice::from_raw_parts_mut(pairs_ref.as_ptr().add(lo) as *mut (K, V), hi - lo)
             };
             slice.sort_unstable_by_key(|p| p.0);
             let mut start = 0usize;
@@ -139,10 +134,13 @@ mod tests {
         assert_eq!(groups.len(), model.len(), "distinct key count");
         let mut covered = 0usize;
         for (key, range) in &groups {
-            let mut vals: Vec<u64> = pairs[range.clone()].iter().map(|&(k, v)| {
-                assert_eq!(k, *key, "foreign key inside group");
-                v
-            }).collect();
+            let mut vals: Vec<u64> = pairs[range.clone()]
+                .iter()
+                .map(|&(k, v)| {
+                    assert_eq!(k, *key, "foreign key inside group");
+                    v
+                })
+                .collect();
             vals.sort_unstable();
             let mut expect = model[key].clone();
             expect.sort_unstable();
@@ -173,7 +171,11 @@ mod tests {
         // bucket-based grouping.
         let pairs: Vec<(u32, u64)> = (0..30_000)
             .map(|i| {
-                let k = if rng.next_below(10) > 0 { 7 } else { rng.next_below(100) as u32 };
+                let k = if rng.next_below(10) > 0 {
+                    7
+                } else {
+                    rng.next_below(100) as u32
+                };
                 (k, i)
             })
             .collect();
@@ -195,9 +197,7 @@ mod tests {
     #[test]
     fn agrees_with_sorting_grouper() {
         let mut rng = SplitMix64::new(5);
-        let pairs: Vec<(u32, u64)> = (0..5_000)
-            .map(|i| (rng.next_below(64) as u32, i))
-            .collect();
+        let pairs: Vec<(u32, u64)> = (0..5_000).map(|i| (rng.next_below(64) as u32, i)).collect();
         let mut a = pairs.clone();
         let mut b = pairs;
         let mut ga: Vec<(u32, usize)> = semisort_pairs(&mut a)

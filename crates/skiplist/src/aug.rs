@@ -36,7 +36,7 @@ pub struct UnitAug;
 impl Augmentation for UnitAug {
     type Value = ();
     #[inline]
-    fn identity() -> () {}
+    fn identity() {}
     #[inline]
     fn combine(_: (), _: ()) {}
     #[inline]
@@ -44,7 +44,7 @@ impl Augmentation for UnitAug {
         [0, 0]
     }
     #[inline]
-    fn unpack(_: [u64; 2]) -> () {}
+    fn unpack(_: [u64; 2]) {}
 }
 
 /// A single `u64` counter (used heavily in tests and simple clients).

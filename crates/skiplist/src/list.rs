@@ -87,9 +87,7 @@ impl<A: Augmentation> SkipList<A> {
         let h = SplitMix64::geometric_height(self.rng.next_u64(), MAX_HEIGHT) as usize;
         let p = if self_cycle { id } else { NIL };
         let ptrs: Box<[AtomicU32]> = (0..2 * h).map(|_| AtomicU32::new(p)).collect();
-        let vals: Box<[AtomicU64]> = (0..2 * h)
-            .map(|i| AtomicU64::new(words[i & 1]))
-            .collect();
+        let vals: Box<[AtomicU64]> = (0..2 * h).map(|i| AtomicU64::new(words[i & 1])).collect();
         self.towers.push(Tower {
             ptrs,
             vals,

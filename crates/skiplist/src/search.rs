@@ -156,7 +156,10 @@ mod tests {
         // One node is taken in full (7), the other partially (2) — in tour
         // order from the rep, so which is which depends on the rep.
         let takes: Vec<u64> = got.iter().map(|&(_, t)| t).collect();
-        assert!(takes == vec![7, 2] || takes == vec![5, 4], "takes {takes:?}");
+        assert!(
+            takes == vec![7, 2] || takes == vec![5, 4],
+            "takes {takes:?}"
+        );
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl<A: Augmentation> SkipList<A> {
                     ));
                 }
                 if self.left(next, l) != cur {
-                    return Err(format!(
-                        "cycle {ci} level {l}: left link of {next} broken"
-                    ));
+                    return Err(format!("cycle {ci} level {l}: left link of {next} broken"));
                 }
                 cur = next;
             }

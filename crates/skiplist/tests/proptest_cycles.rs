@@ -124,7 +124,7 @@ proptest! {
             }
         }
         sl.batch_update_values(&batch);
-        sl.validate(&[nodes.clone()]).map_err(TestCaseError::fail)?;
+        sl.validate(std::slice::from_ref(&nodes)).map_err(TestCaseError::fail)?;
         prop_assert_eq!(sl.aggregate(nodes[0]), model.iter().sum::<u64>());
     }
 }

@@ -30,9 +30,8 @@ pub mod unionfind;
 
 pub use incremental::IncrementalConnectivity;
 pub use oracle::NaiveDynamicGraph;
-pub use static_conn::{
-    connectivity_labels, spanning_forest, spanning_forest_sparse, RelabeledForest,
-    StaticRecompute,
-};
 pub use shiloach_vishkin::{sv_labels, sv_num_components};
+pub use static_conn::{
+    connectivity_labels, spanning_forest, spanning_forest_sparse, RelabeledForest, StaticRecompute,
+};
 pub use unionfind::{ConcurrentUnionFind, UnionFind};

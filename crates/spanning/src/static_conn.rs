@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn forest_spans_components() {
         let n = 100;
-        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).chain([(0, 50), (20, 80)]).collect();
+        let edges: Vec<(u32, u32)> = (0..99)
+            .map(|i| (i, i + 1))
+            .chain([(0, 50), (20, 80)])
+            .collect();
         let chosen = spanning_forest(n, &edges);
         let picked: usize = chosen.iter().filter(|&&c| c).count();
         assert_eq!(picked, 99, "path edges + 2 redundant edges -> n-1 chosen");

@@ -37,7 +37,11 @@ fn main() {
     let g_time = t.elapsed();
 
     assert_eq!(uf_ans, g_ans, "both structures agree on every query");
-    println!("insert-only phase: {} edges + {} queries", edges.len(), queries.len());
+    println!(
+        "insert-only phase: {} edges + {} queries",
+        edges.len(),
+        queries.len()
+    );
     println!("  incremental union-find : {uf_time:.2?}");
     println!(
         "  batch-dynamic          : {g_time:.2?}  ({:.1}× overhead — the price of deletability)",

@@ -38,7 +38,11 @@ fn main() {
     let mut g = BatchDynamicConnectivity::new(n);
     let t = Instant::now();
     g.batch_insert(&fabric);
-    println!("built in {:.2?}; fully connected: {}", t.elapsed(), g.num_components() == 1);
+    println!(
+        "built in {:.2?}; fully connected: {}",
+        t.elapsed(),
+        g.num_components() == 1
+    );
     assert_eq!(g.num_components(), 1);
 
     let mut rng = SplitMix64::new(13);

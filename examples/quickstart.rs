@@ -17,9 +17,15 @@ fn main() {
 
     // Batch connectivity queries (Algorithm 1).
     let answers = g.batch_connected(&[(0, 7), (0, 9), (3, 4)]);
-    println!("0~7: {}  0~9: {}  3~4: {}", answers[0], answers[1], answers[2]);
+    println!(
+        "0~7: {}  0~9: {}  3~4: {}",
+        answers[0], answers[1], answers[2]
+    );
     assert_eq!(answers, vec![true, false, false]);
-    println!("components: {} (the merged triangles + 4 isolated vertices)", g.num_components());
+    println!(
+        "components: {} (the merged triangles + 4 isolated vertices)",
+        g.num_components()
+    );
 
     // Delete the bridge: the triangles separate again.
     g.batch_delete(&[(2, 5)]);
@@ -29,8 +35,14 @@ fn main() {
     // Delete a triangle edge: connectivity survives through the rest of
     // the triangle — the structure finds a replacement edge internally.
     g.batch_delete(&[(0, 1)]);
-    assert!(g.connected(0, 1), "replacement edge keeps 0 and 1 connected");
-    println!("after deleting (0,1), 0~1 still connected: {}", g.connected(0, 1));
+    assert!(
+        g.connected(0, 1),
+        "replacement edge keeps 0 and 1 connected"
+    );
+    println!(
+        "after deleting (0,1), 0~1 still connected: {}",
+        g.connected(0, 1)
+    );
 
     // Inspect the work the structure did.
     let s = g.stats();
@@ -43,6 +55,7 @@ fn main() {
     );
 
     // The full invariant checker is available for debugging.
-    g.check_invariants().expect("structure is internally consistent");
+    g.check_invariants()
+        .expect("structure is internally consistent");
     println!("all invariants hold ✓");
 }

@@ -81,6 +81,7 @@ fn main() {
         g.stats().replacements,
         g.stats().total_pushes(),
     );
-    g.check_invariants().expect("invariants hold after the stream");
+    g.check_invariants()
+        .expect("invariants hold after the stream");
     println!("invariants hold ✓");
 }

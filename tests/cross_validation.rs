@@ -38,8 +38,16 @@ fn agree_on_stream(n: usize, stream: &UpdateStream, tag: &str) {
             }
             Batch::Query(v) => {
                 let expect = oracle.batch_connected(v);
-                assert_eq!(simple.batch_connected(v), expect, "{tag}: Simple, batch {bi}");
-                assert_eq!(inter.batch_connected(v), expect, "{tag}: Interleaved, batch {bi}");
+                assert_eq!(
+                    simple.batch_connected(v),
+                    expect,
+                    "{tag}: Simple, batch {bi}"
+                );
+                assert_eq!(
+                    inter.batch_connected(v),
+                    expect,
+                    "{tag}: Interleaved, batch {bi}"
+                );
                 assert_eq!(stat.batch_connected(v), expect, "{tag}: static, batch {bi}");
                 let hdt_ans: Vec<bool> = v.iter().map(|&(x, y)| hdt.connected(x, y)).collect();
                 assert_eq!(hdt_ans, expect, "{tag}: HDT, batch {bi}");
@@ -53,7 +61,9 @@ fn agree_on_stream(n: usize, stream: &UpdateStream, tag: &str) {
         oracle.num_components(),
         "{tag}: components"
     );
-    simple.check_invariants().unwrap_or_else(|e| panic!("{tag}: Simple invariants: {e}"));
+    simple
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{tag}: Simple invariants: {e}"));
     inter
         .check_invariants()
         .unwrap_or_else(|e| panic!("{tag}: Interleaved invariants: {e}"));
@@ -66,8 +76,11 @@ fn churn_stream(n: usize, edges: &[(u32, u32)], batch: usize, seed: u64) -> Upda
     let mut rng = SplitMix64::new(seed);
     for chunk in edges.chunks(batch) {
         s.batches.push(Batch::Insert(chunk.to_vec()));
-        s.batches
-            .push(Batch::Query(UpdateStream::random_queries(n, 16, rng.next_u64())));
+        s.batches.push(Batch::Query(UpdateStream::random_queries(
+            n,
+            16,
+            rng.next_u64(),
+        )));
     }
     let mut order: Vec<(u32, u32)> = edges.to_vec();
     for i in (1..order.len()).rev() {
@@ -76,8 +89,11 @@ fn churn_stream(n: usize, edges: &[(u32, u32)], batch: usize, seed: u64) -> Upda
     }
     for chunk in order.chunks(batch) {
         s.batches.push(Batch::Delete(chunk.to_vec()));
-        s.batches
-            .push(Batch::Query(UpdateStream::random_queries(n, 16, rng.next_u64())));
+        s.batches.push(Batch::Query(UpdateStream::random_queries(
+            n,
+            16,
+            rng.next_u64(),
+        )));
     }
     s
 }

@@ -110,7 +110,10 @@ fn deep_level_descent() {
         assert_eq!(g.num_components(), n);
         g.check_invariants().unwrap();
         // Levels must have been exercised below the top.
-        assert!(g.stats().nontree_pushes > 0, "{algo:?} never pushed an edge");
+        assert!(
+            g.stats().nontree_pushes > 0,
+            "{algo:?} never pushed an edge"
+        );
     }
 }
 

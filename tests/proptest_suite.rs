@@ -63,8 +63,8 @@ proptest! {
             prop_assert_eq!(simple.num_edges(), oracle.num_edges());
             prop_assert_eq!(inter.num_edges(), oracle.num_edges());
         }
-        simple.check_invariants().map_err(|e| TestCaseError::fail(e))?;
-        inter.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        simple.check_invariants().map_err(TestCaseError::fail)?;
+        inter.check_invariants().map_err(TestCaseError::fail)?;
     }
 
     /// The sequential HDT baseline matches the oracle on any sequence.

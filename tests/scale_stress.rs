@@ -51,7 +51,8 @@ fn churn(
         assert_eq!(g.num_edges(), oracle.num_edges(), "round {round}");
         assert_eq!(g.num_components(), oracle.num_components(), "round {round}");
         if round % (rounds / checkpoints.max(1)).max(1) == 0 {
-            g.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            g.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
     }
     g.check_invariants().unwrap();

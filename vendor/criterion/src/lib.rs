@@ -1,0 +1,309 @@
+//! Vendored, offline subset of [criterion](https://docs.rs/criterion).
+//!
+//! The build environment has no crates-registry access, so this stub keeps
+//! the `dyncon-bench` targets compiling and *running*: `cargo bench`
+//! executes every registered benchmark and prints a median / mean
+//! wall-clock line per benchmark id. There is no statistical analysis,
+//! HTML report, or saved baseline — the numbers are honest but simple.
+//!
+//! Implemented surface (exactly what `crates/bench/benches/e*.rs` use):
+//! `Criterion::{benchmark_group, bench_function}`, `BenchmarkGroup::{
+//! sample_size, throughput, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId::{new, from_parameter}`,
+//! `Throughput::{Elements, Bytes}`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.full_label(None), self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Record the input size so per-element rates are printed.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &id.full_label(Some(&self.name)),
+            self.sample_size,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Run a benchmark that borrows a setup input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &id.full_label(Some(&self.name)),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name and/or a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` at parameter `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_label(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::with_capacity(3);
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = self.function_name.as_deref() {
+            parts.push(f);
+        }
+        if let Some(p) = self.parameter.as_deref() {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function_name: &str) -> Self {
+        Self {
+            function_name: Some(function_name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function_name: String) -> Self {
+        Self {
+            function_name: Some(function_name),
+            parameter: None,
+        }
+    }
+}
+
+/// Input-size annotation for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; measures the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` `sample_size` times (after one warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<60} (no samples: Bencher::iter never called)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = throughput.map_or(String::new(), |t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            format!("  {:>12.3e} {unit}", count as f64 / secs)
+        } else {
+            String::new()
+        }
+    });
+    println!(
+        "{label:<60} median {:>12} mean {:>12}{rate}",
+        Fmt(median),
+        Fmt(mean)
+    );
+}
+
+/// Human-friendly duration formatting (ns / µs / ms / s).
+struct Fmt(Duration);
+
+impl Display for Fmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0.as_nanos();
+        if ns < 1_000 {
+            write!(f, "{ns} ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2} ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.2} s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Define a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("k=2"), &42u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(3 * 3)));
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", "p").full_label(Some("g")), "g/f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).full_label(Some("g")), "g/7");
+        assert_eq!(BenchmarkId::from("plain").full_label(None), "plain");
+    }
+}

@@ -1,0 +1,73 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one value covering the whole domain of `Self`.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Full-domain strategy for `A` (see [`any`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+/// The strategy generating any value of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_hits_both_sides() {
+        let mut rng = TestRng::for_case("bool", 0);
+        let s = any::<bool>();
+        let (mut t, mut f) = (0, 0);
+        for _ in 0..100 {
+            if s.new_value(&mut rng) {
+                t += 1;
+            } else {
+                f += 1;
+            }
+        }
+        assert!(t > 10 && f > 10);
+    }
+
+    #[test]
+    fn usize_varies() {
+        let mut rng = TestRng::for_case("usize", 0);
+        let s = any::<usize>();
+        let a = s.new_value(&mut rng);
+        let b = s.new_value(&mut rng);
+        assert_ne!(a, b);
+    }
+}

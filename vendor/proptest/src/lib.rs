@@ -1,0 +1,247 @@
+//! Vendored, offline subset of [proptest](https://docs.rs/proptest).
+//!
+//! The build environment has no crates-registry access, so this stub
+//! implements the slice of proptest the `dyncon` test suites use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! range / tuple / [`collection::vec`] / [`arbitrary::any`] strategies,
+//! [`prop_oneof!`], `prop_assert!` / `prop_assert_eq!`, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted for a test-only
+//! stub: inputs are generated from a **deterministic** per-test seed (so
+//! CI failures reproduce exactly), and there is **no shrinking** — a
+//! failing case panics with the full `Debug` rendering of its inputs
+//! instead of a minimized one.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    /// `prop::collection::vec(...)`-style paths after a prelude glob.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the same shape as real proptest:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_test(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 1..8)) {
+///         prop_assert!(v.len() >= 1);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let ( $($pat,)+ ) = ( $(
+                        $crate::strategy::Strategy::new_value(&($strategy), &mut rng),
+                    )+ );
+                    // Generation is deterministic per (name, case): inputs
+                    // are re-drawn from a fresh rng only on failure, so
+                    // passing cases never pay for Debug-rendering them.
+                    let redraw = || {
+                        let mut rng =
+                            $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                        format!("{:#?}", ( $(
+                            $crate::strategy::Strategy::new_value(&($strategy), &mut rng),
+                        )+ ))
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > { $body ::std::result::Result::Ok(()) },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(reason))) => {
+                            panic!(
+                                "proptest case #{case} of {} failed: {reason}\ninputs: {}",
+                                stringify!($name),
+                                redraw(),
+                            );
+                        }
+                        Err(payload) => {
+                            // The body panicked (assert!/unwrap/internal
+                            // assertion): attach the counterexample before
+                            // propagating the original panic.
+                            eprintln!(
+                                "proptest case #{case} of {} panicked; inputs: {}",
+                                stringify!($name),
+                                redraw(),
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly choose among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Fail the current test case (with `return Err(...)`) unless `$cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current test case unless `$left == $right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fail the current test case unless `$left != $right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Vectors respect their size range and element range.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..10, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps(
+            (a, b) in (0u64..5, 1usize..4).prop_map(|(x, y)| (x * 2, y)),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(a % 2 == 0 && a < 10);
+            prop_assert!((1..4).contains(&b));
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+
+        #[test]
+        fn oneof_covers_arms(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 5..20);
+        let mut r1 = crate::test_runner::TestRng::for_case("d", 3);
+        let mut r2 = crate::test_runner::TestRng::for_case("d", 3);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "body panicked on purpose")]
+    fn body_panic_propagates_after_reporting_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(2))]
+            #[allow(dead_code)]
+            fn inner(x in 0u32..2) {
+                assert!(x > 100, "body panicked on purpose");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn inner(x in 0u32..2) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,412 @@
+//! Indexed parallel iterators over scoped threads.
+//!
+//! Every source the `dyncon` crates iterate in parallel (ranges, slices,
+//! chunks) has a known length and O(1) random access, so the whole stub is
+//! built on one abstraction: [`ParallelIterator::item`] produces the
+//! element at an index, and the drivers split `0..len` into contiguous
+//! blocks, one scoped thread per block. Terminal operations are barriers
+//! and `collect` preserves input order, exactly as in rayon.
+
+use crate::pool::current_num_threads;
+use std::ops::Range;
+
+/// Below this many items a "parallel" operation runs sequentially on the
+/// calling thread; spawning threads for tiny inputs costs more than it
+/// saves (the callers additionally gate on their own thresholds).
+const MIN_ITEMS_PER_THREAD: usize = 1024;
+
+pub(crate) fn threads_for(n: usize) -> usize {
+    (n / MIN_ITEMS_PER_THREAD).clamp(1, current_num_threads())
+}
+
+/// Split `0..n` into `threads_for(n)` contiguous blocks and run `f` on
+/// each, in parallel. Returns only after every block finished. Each of
+/// the `t` lanes (workers plus the calling thread) gets a `bound / t`
+/// share of the caller's thread budget, so nested parallel calls keep
+/// *total* concurrency inside an enclosing
+/// [`crate::ThreadPool::install`] bound instead of multiplying it.
+pub(crate) fn run_blocks(n: usize, f: impl Fn(Range<usize>) + Sync) {
+    let t = threads_for(n);
+    if t <= 1 {
+        f(0..n);
+        return;
+    }
+    let share = (current_num_threads() / t).max(1);
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|s| {
+        // Blocks 1..t go to workers; the calling thread runs block 0
+        // itself instead of idling at the join.
+        for w in 1..t {
+            let lo = w * chunk;
+            let hi = n.min(lo + chunk);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || {
+                crate::pool::inherit_num_threads(share);
+                f(lo..hi)
+            });
+        }
+        crate::pool::with_num_threads(share, || f(0..chunk.min(n)));
+    });
+}
+
+/// Like [`run_blocks`] but each block returns a `Vec`; blocks come back in
+/// input order so concatenating them preserves ordering.
+pub(crate) fn run_blocks_collect<T: Send>(
+    n: usize,
+    f: impl Fn(Range<usize>) -> Vec<T> + Sync,
+) -> Vec<T> {
+    let t = threads_for(n);
+    if t <= 1 {
+        return f(0..n);
+    }
+    let share = (current_num_threads() / t).max(1);
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|s| {
+        // Blocks 1..t go to workers; the calling thread computes block 0
+        // while they run, then splices results back in input order.
+        let mut handles = Vec::with_capacity(t - 1);
+        for w in 1..t {
+            let lo = w * chunk;
+            let hi = n.min(lo + chunk);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            handles.push(s.spawn(move || {
+                crate::pool::inherit_num_threads(share);
+                f(lo..hi)
+            }));
+        }
+        let mut out = crate::pool::with_num_threads(share, || f(0..chunk.min(n)));
+        out.reserve(n.saturating_sub(out.len()));
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An indexed parallel iterator: known length, O(1) access by index.
+///
+/// # Safety contract for implementors and drivers
+///
+/// [`ParallelIterator::item`] may be called **at most once per index** in
+/// `0..len`, possibly from different threads. This is what lets
+/// [`crate::slice::ParChunksMut`] hand out disjoint `&mut` chunks from a
+/// shared `&self`.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index`.
+    ///
+    /// # Safety
+    /// Each index in `0..self.len()` may be consumed at most once across
+    /// all threads (see the trait-level contract).
+    unsafe fn item(&self, index: usize) -> Self::Item;
+
+    /// Apply `f` to every item; returns after all items are processed.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_blocks(self.len(), |r| {
+            for i in r {
+                // SAFETY: `run_blocks` hands out disjoint index ranges, so
+                // every index is consumed exactly once.
+                f(unsafe { self.item(i) });
+            }
+        });
+    }
+
+    /// Lazily map every item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map-and-filter; only supports terminal `collect`/`for_each`.
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Pair items positionally with `other` (length = the shorter side).
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Collect all items in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let items = run_blocks_collect(self.len(), |r| {
+            // SAFETY: disjoint index ranges; every index consumed once.
+            r.map(|i| unsafe { self.item(i) }).collect()
+        });
+        C::from_ordered_items(items)
+    }
+}
+
+/// Alias trait kept so `rayon::prelude::*` call sites that name
+/// `IndexedParallelIterator` in bounds keep compiling; every stub iterator
+/// is indexed.
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<I: ParallelIterator> IndexedParallelIterator for I {}
+
+/// Conversion into a [`ParallelIterator`] (`(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types collectable from an ordered parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection from items already in input order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    start: usize,
+    len: usize,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+/// Parallel iterator over `&[T]` (see [`crate::slice::ParallelSlice`]).
+pub struct ParSliceIter<'a, T: Sync> {
+    pub(crate) slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item(&self, index: usize) -> &'a T {
+        // SAFETY: the driver only passes indices in 0..len.
+        unsafe { self.slice.get_unchecked(index) }
+    }
+}
+
+/// Lazy map adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn item(&self, index: usize) -> U {
+        // SAFETY: forwarded under the same at-most-once contract.
+        (self.f)(unsafe { self.base.item(index) })
+    }
+}
+
+/// Lazy zip adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn item(&self, index: usize) -> (A::Item, B::Item) {
+        // SAFETY: forwarded under the same at-most-once contract.
+        unsafe { (self.a.item(index), self.b.item(index)) }
+    }
+}
+
+/// Lazy enumerate adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn item(&self, index: usize) -> (usize, I::Item) {
+        // SAFETY: forwarded under the same at-most-once contract.
+        (index, unsafe { self.base.item(index) })
+    }
+}
+
+/// Filter-map adapter. Not itself indexed (output length is data
+/// dependent), so it only offers the terminals the callers use.
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> FilterMap<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> Option<U> + Sync + Send,
+{
+    /// Collect the retained items, preserving input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<U>,
+    {
+        let items = run_blocks_collect(self.base.len(), |r| {
+            // SAFETY: disjoint index ranges; every index consumed once.
+            r.filter_map(|i| (self.f)(unsafe { self.base.item(i) }))
+                .collect()
+        });
+        C::from_ordered_items(items)
+    }
+
+    /// Apply the filter-map for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync + Send,
+    {
+        run_blocks(self.base.len(), |r| {
+            for i in r {
+                // SAFETY: disjoint index ranges; every index consumed once.
+                if let Some(u) = (self.f)(unsafe { self.base.item(i) }) {
+                    g(u);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_for_each_visits_all() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..50_000).into_par_iter().map(|i| i * 2).collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i));
+    }
+
+    #[test]
+    fn filter_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..10_000)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        let expect: Vec<usize> = (0..10_000).filter(|i| i % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn lanes_share_the_thread_budget() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 2);
+            // Inside a 2-lane parallel region each lane gets a budget of
+            // 1, so nested parallel calls cannot exceed the pool bound.
+            (0..50_000).into_par_iter().for_each(|_| {
+                assert_eq!(crate::current_num_threads(), 1);
+            });
+            // The calling thread's own bound is restored after the join.
+            assert_eq!(crate::current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn zip_enumerate_shapes() {
+        let total = AtomicUsize::new(0);
+        (0..5000)
+            .into_par_iter()
+            .zip((0..4000).into_par_iter())
+            .enumerate()
+            .for_each(|(i, (a, b))| {
+                assert_eq!(i, a);
+                assert_eq!(i, b);
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(total.load(Ordering::Relaxed), 4000);
+    }
+}

@@ -1,0 +1,40 @@
+//! Vendored, offline subset of [rayon](https://docs.rs/rayon).
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the *exact* rayon API surface the
+//! `dyncon` crates use, implemented on `std::thread::scope`. Every data
+//! parallel operation retains rayon's semantics:
+//!
+//! * terminal operations are barriers (they return only after every item
+//!   was processed), which is what `dyncon_primitives::par_for` relies on
+//!   for its happens-before edges;
+//! * `collect` and `map` preserve input order;
+//! * `ThreadPool::install` bounds the *total* concurrency of parallel
+//!   operations running inside it: a parallel region hands each of its
+//!   lanes an equal share of the caller's thread budget, so nested
+//!   parallelism divides the bound instead of multiplying it.
+//!
+//! Work is split into at most [`current_num_threads`] contiguous blocks and
+//! executed on scoped threads; small inputs run sequentially on the calling
+//! thread. This is a plain fork-join executor, not a work-stealing runtime —
+//! a future PR can swap in a persistent pool behind the same API.
+
+mod iter;
+mod pool;
+mod slice;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter_api {
+    //! Adapter types, exposed for completeness (rarely named directly).
+    pub use crate::iter::{Enumerate, FilterMap, Map, ParRange, ParSliceIter, Zip};
+    pub use crate::slice::{ParChunks, ParChunksMut};
+}

@@ -1,0 +1,141 @@
+//! Thread-count bookkeeping and the `ThreadPool` facade.
+//!
+//! The stub has no persistent worker threads; a "pool" is just a bound on
+//! how many scoped threads a parallel operation may fan out to. `install`
+//! stores that bound in a thread-local so nested parallel calls observe it,
+//! which is all the `dyncon` benches need from `ThreadPoolBuilder`.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// 0 means "no override": use the machine's available parallelism.
+    static CURRENT_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of threads parallel operations on this thread may use.
+pub fn current_num_threads() -> usize {
+    let o = CURRENT_OVERRIDE.with(Cell::get);
+    if o == 0 {
+        default_num_threads()
+    } else {
+        o
+    }
+}
+
+/// Propagate a thread budget onto the current (freshly spawned, short
+/// lived) worker thread so nested parallel calls inside it observe their
+/// share of the caller's bound. No restore needed: scoped workers die at
+/// the end of the operation that spawned them.
+pub(crate) fn inherit_num_threads(n: usize) {
+    CURRENT_OVERRIDE.with(|c| c.set(n));
+}
+
+/// Run `f` with the current thread's bound temporarily set to `n`,
+/// restoring the previous value afterwards (used when the calling thread
+/// executes one block of a parallel operation itself).
+pub(crate) fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT_OVERRIDE.with(Cell::get);
+    let _restore = Restore(prev);
+    CURRENT_OVERRIDE.with(|c| c.set(n));
+    f()
+}
+
+/// Builder for [`ThreadPool`], mirroring rayon's fluent API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the pool to `num_threads` workers (0 = machine default).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Create the pool. Infallible here, but keeps rayon's `Result` shape
+    /// so call sites can `.unwrap()` unchanged.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never constructed by the
+/// stub but part of the signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A bound on parallelism for operations run via [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread bound active, restoring the
+    /// previous bound afterwards (also on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = CURRENT_OVERRIDE.with(Cell::get);
+        let _restore = Restore(prev);
+        CURRENT_OVERRIDE.with(|c| c.set(self.num_threads));
+        op()
+    }
+
+    /// The bound this pool applies.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+}

@@ -1,0 +1,222 @@
+//! Parallel slice operations: `par_iter`, `par_chunks`, `par_chunks_mut`,
+//! and the parallel unstable sorts.
+//!
+//! Sorting uses a chunked strategy: the slice is split into one block per
+//! thread, each block is `sort_unstable`d in parallel, then a final
+//! sequential *stable* sort merges the pre-sorted runs (the stable sort is
+//! run-adaptive, so this pass is `O(n log t)` comparisons rather than a
+//! full re-sort).
+
+use crate::iter::{threads_for, ParSliceIter, ParallelIterator};
+use std::marker::PhantomData;
+
+/// Read-only parallel views over `&[T]`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references to the elements.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+    /// Parallel iterator over contiguous chunks of `chunk_size` elements
+    /// (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Mutable parallel views and sorts over `&mut [T]`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    /// Parallel unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Parallel unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk_size,
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_sort_impl(self, |chunk| chunk.sort_unstable(), |all| all.sort());
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        let key = &key;
+        par_sort_impl(
+            self,
+            |chunk| chunk.sort_unstable_by_key(key),
+            |all| all.sort_by_key(key),
+        );
+    }
+}
+
+fn par_sort_impl<T: Send>(
+    slice: &mut [T],
+    sort_chunk: impl Fn(&mut [T]) + Sync,
+    merge_runs: impl FnOnce(&mut [T]),
+) {
+    let n = slice.len();
+    let t = threads_for(n);
+    if t <= 1 {
+        sort_chunk(slice);
+        return;
+    }
+    let share = (crate::current_num_threads() / t).max(1);
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|s| {
+        // First run on the calling thread, the rest on workers.
+        let mut pieces = slice.chunks_mut(chunk);
+        let first = pieces.next();
+        for piece in pieces {
+            let sort_chunk = &sort_chunk;
+            s.spawn(move || {
+                crate::pool::inherit_num_threads(share);
+                sort_chunk(piece)
+            });
+        }
+        if let Some(piece) = first {
+            crate::pool::with_num_threads(share, || sort_chunk(piece));
+        }
+    });
+    // The slice is now `t` sorted runs; the run-adaptive stable sort
+    // merges them without re-sorting within runs.
+    merge_runs(slice);
+}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+    unsafe fn item(&self, index: usize) -> &'a [T] {
+        let lo = index * self.chunk_size;
+        let hi = self.slice.len().min(lo + self.chunk_size);
+        &self.slice[lo..hi]
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+///
+/// Holds a raw pointer so that [`ParallelIterator::item`] can mint a
+/// `&'a mut [T]` per chunk from a shared `&self`; soundness rests on the
+/// trait's at-most-once-per-index contract, which makes the minted chunks
+/// disjoint.
+pub struct ParChunksMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    chunk_size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the struct is only a recipe for carving disjoint chunks; the
+// driver consumes each index at most once, so no two threads ever touch
+// the same elements. `T: Send` lets the chunks cross threads.
+unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+    unsafe fn item(&self, index: usize) -> &'a mut [T] {
+        let lo = index * self.chunk_size;
+        let hi = self.len.min(lo + self.chunk_size);
+        // SAFETY: lo < hi <= len (driver passes index < self.len()), and
+        // the at-most-once contract makes [lo, hi) disjoint from every
+        // other minted chunk.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_iter_and_chunks_agree() {
+        let v: Vec<u32> = (0..30_000).collect();
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x as u64, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::Relaxed),
+            (0..30_000u64).sum::<u64>()
+        );
+        let chunk_sums: Vec<u64> = v
+            .par_chunks(4096)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(chunk_sums.iter().sum::<u64>(), (0..30_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0usize; 20_000];
+        v.par_chunks_mut(1000).enumerate().for_each(|(ci, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 1000 + j;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn par_sort_matches_sequential() {
+        let mut a: Vec<u64> = (0..100_000)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 17)
+            .collect();
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_by_key_matches_sequential() {
+        let mut a: Vec<(u32, u32)> = (0..80_000)
+            .map(|i: u32| (i.wrapping_mul(2654435761) % 977, i))
+            .collect();
+        let mut b = a.clone();
+        a.par_sort_unstable_by_key(|p| p.0);
+        b.sort_unstable_by_key(|p| p.0);
+        let key = |v: &[(u32, u32)]| v.iter().map(|p| p.0).collect::<Vec<_>>();
+        assert_eq!(key(&a), key(&b));
+    }
+}
