@@ -1,0 +1,171 @@
+//! One construction path for every backend.
+
+use crate::DynConError;
+
+/// Largest supported vertex universe (ids must fit comfortably in `u32`;
+/// the connectivity core also packs `(vertex, direction)` into 32 bits).
+pub const MAX_VERTICES: usize = u32::MAX as usize / 2;
+
+/// Which replacement-edge search the paper's structure runs per level
+/// during deletions. Backends without a deletion search ignore it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeletionAlgorithm {
+    /// Algorithm 4, `ParallelLevelSearch`: doubling restarts every round
+    /// (work-efficient w.r.t. HDT, `O(lg⁴ n)` depth, Thms 5–6).
+    Simple,
+    /// Algorithm 5, `InterleavedLevelSearch`: one doubling sequence per
+    /// level with deferred tree insertion and deferred pushes (`O(lg³ n)`
+    /// depth and the improved `O(lg n · lg(1 + n/Δ))` amortized work
+    /// bound, Thms 7–9).
+    Interleaved,
+}
+
+/// Configuration for constructing any connectivity backend: vertex count
+/// plus the knobs that used to be a per-backend constructor zoo
+/// (`with_algorithm`, a public `scan_all_ablation` field, …).
+///
+/// Knobs a backend does not have are ignored by its [`BuildFrom`] impl,
+/// so the same `Builder` value can configure a whole panel of backends
+/// for a differential experiment.
+///
+/// ```
+/// use dyncon_api::{BatchDynamic, Builder, Connectivity, DeletionAlgorithm, Op};
+/// use dyncon_core::BatchDynamicConnectivity;
+///
+/// let mut g: BatchDynamicConnectivity = Builder::new(8)
+///     .algorithm(DeletionAlgorithm::Simple)
+///     .stats(true)
+///     .build()?;
+///
+/// // One mixed batch: ingest a triangle, probe it, break it.
+/// let result = g.apply(&[
+///     Op::Insert(0, 1),
+///     Op::Insert(1, 2),
+///     Op::Insert(2, 0),
+///     Op::Query(0, 2),
+///     Op::Delete(0, 1),
+///     Op::Query(0, 1), // still connected through 2
+/// ])?;
+/// assert_eq!(result.inserted, 3);
+/// assert_eq!(result.deleted, 1);
+/// assert_eq!(result.answers, vec![true, true]);
+/// assert_eq!(g.num_components(), 6);
+///
+/// // Out-of-range vertices are typed errors, not deep panics.
+/// assert!(g.apply(&[Op::Insert(0, 99)]).is_err());
+/// # Ok::<(), dyncon_api::DynConError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Size of the (fixed) vertex universe; ids are `0..num_vertices`.
+    pub num_vertices: usize,
+    /// Replacement-search choice for backends that delete by level search.
+    pub algorithm: DeletionAlgorithm,
+    /// Collect operation statistics (rounds, phases, pushes, …).
+    pub stats_enabled: bool,
+    /// E9 ablation: scan all non-tree candidates at once instead of
+    /// doubling. Never an asymptotic win; exists to quantify the doubling
+    /// search's benefit.
+    pub scan_all_ablation: bool,
+}
+
+impl Builder {
+    /// Configuration for a graph over `num_vertices` vertices with the
+    /// defaults: the improved deletion algorithm, stats on, no ablation.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            algorithm: DeletionAlgorithm::Interleaved,
+            stats_enabled: true,
+            scan_all_ablation: false,
+        }
+    }
+
+    /// Choose the deletion algorithm.
+    pub fn algorithm(mut self, algorithm: DeletionAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Toggle statistics collection.
+    pub fn stats(mut self, enabled: bool) -> Self {
+        self.stats_enabled = enabled;
+        self
+    }
+
+    /// Toggle the scan-all ablation (see [`Builder::scan_all_ablation`]).
+    pub fn scan_all(mut self, enabled: bool) -> Self {
+        self.scan_all_ablation = enabled;
+        self
+    }
+
+    /// Check the configuration without building anything.
+    pub fn validate(&self) -> Result<(), DynConError> {
+        if self.num_vertices == 0 || self.num_vertices > MAX_VERTICES {
+            return Err(DynConError::InvalidVertexCount {
+                requested: self.num_vertices,
+            });
+        }
+        Ok(())
+    }
+
+    /// Construct a backend from this configuration.
+    pub fn build<B: BuildFrom>(&self) -> Result<B, DynConError> {
+        self.validate()?;
+        B::build_from(self)
+    }
+}
+
+/// Implemented by every backend constructible from a [`Builder`].
+///
+/// [`Builder::build`] validates before calling this, but `build_from` is
+/// itself public (and the builder's fields are), so implementations must
+/// re-run [`Builder::validate`] rather than assume a valid configuration.
+pub trait BuildFrom: Sized {
+    /// Construct from a configuration, validating it first.
+    fn build_from(builder: &Builder) -> Result<Self, DynConError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_chaining() {
+        let b = Builder::new(100)
+            .algorithm(DeletionAlgorithm::Simple)
+            .stats(false)
+            .scan_all(true);
+        assert_eq!(b.num_vertices, 100);
+        assert_eq!(b.algorithm, DeletionAlgorithm::Simple);
+        assert!(!b.stats_enabled);
+        assert!(b.scan_all_ablation);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn build_from_must_revalidate() {
+        // Regression: `build_from` is reachable without `Builder::build`,
+        // so a conforming impl must reject an invalid builder itself.
+        struct Strict(usize);
+        impl BuildFrom for Strict {
+            fn build_from(b: &Builder) -> Result<Self, DynConError> {
+                b.validate()?;
+                Ok(Strict(b.num_vertices))
+            }
+        }
+        assert!(Strict::build_from(&Builder::new(0)).is_err());
+        assert_eq!(Strict::build_from(&Builder::new(3)).unwrap().0, 3);
+    }
+
+    #[test]
+    fn rejects_bad_vertex_counts() {
+        assert_eq!(
+            Builder::new(0).validate(),
+            Err(DynConError::InvalidVertexCount { requested: 0 })
+        );
+        assert!(Builder::new(MAX_VERTICES + 1).validate().is_err());
+        assert!(Builder::new(1).validate().is_ok());
+        assert!(Builder::new(MAX_VERTICES).validate().is_ok());
+    }
+}

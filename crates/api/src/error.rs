@@ -1,0 +1,90 @@
+//! Typed errors surfaced at the API boundary.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong at the connectivity API boundary.
+///
+/// These replace the seed repository's deep panics: an out-of-range vertex
+/// used to index past the end of the Euler-tour forest's vertex table
+/// several layers down; now it is rejected at the trait boundary with the
+/// offending id and the valid range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynConError {
+    /// A vertex id was `>= num_vertices`. Vertex universes are fixed at
+    /// construction time; ids are dense `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending id.
+        vertex: u32,
+        /// The size of the vertex universe (valid ids are `0..this`).
+        num_vertices: usize,
+    },
+    /// The builder was asked for an unusable vertex count (`0`, or more
+    /// than [`crate::MAX_VERTICES`]).
+    InvalidVertexCount {
+        /// The requested count.
+        requested: usize,
+    },
+    /// The backend cannot perform this operation at all (e.g. deletions
+    /// on an insert-only structure).
+    Unsupported {
+        /// The backend's name.
+        backend: &'static str,
+        /// The refused operation.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for DynConError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynConError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range: this structure has {num_vertices} vertices (ids 0..{num_vertices})"
+            ),
+            DynConError::InvalidVertexCount { requested } => write!(
+                f,
+                "invalid vertex count {requested}: need 1..={} vertices",
+                crate::MAX_VERTICES
+            ),
+            DynConError::Unsupported { backend, operation } => write!(
+                f,
+                "backend `{backend}` does not support {operation}; operations earlier in the batch have been applied"
+            ),
+        }
+    }
+}
+
+impl Error for DynConError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = DynConError::VertexOutOfRange {
+            vertex: 42,
+            num_vertices: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("10"), "{s}");
+        assert!(DynConError::InvalidVertexCount { requested: 0 }
+            .to_string()
+            .contains("0"));
+        let u = DynConError::Unsupported {
+            backend: "incremental-unionfind",
+            operation: "batch_delete",
+        };
+        assert!(u.to_string().contains("incremental-unionfind"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn Error> = Box::new(DynConError::InvalidVertexCount { requested: 0 });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! # dyncon-api
+//!
+//! The workspace-wide dynamic-connectivity contract. The paper's interface
+//! is three batch operations — `BatchConnected`, `BatchInsert`,
+//! `BatchDelete` (Acar, Anderson, Blelloch, Dhulipala, SPAA 2019) — and
+//! this crate pins that interface down once, for every backend in the
+//! workspace:
+//!
+//! * [`Connectivity`] — the read side: `connected`, `batch_connected`
+//!   (both `&self`), `num_components`, `component_size`;
+//! * [`BatchDynamic`] — the write side plus [`BatchDynamic::apply`], which
+//!   takes a **mixed-operation batch** ([`Op::Insert`] / [`Op::Delete`] /
+//!   [`Op::Query`] interleaved in one slice) so streaming workloads no
+//!   longer need caller-managed phase splitting;
+//! * [`Builder`] — one construction path for every backend (vertex count,
+//!   [`DeletionAlgorithm`], stats on/off, ablation knobs) via
+//!   [`BuildFrom`];
+//! * [`DynConError`] — typed errors at the API boundary instead of deep
+//!   panics: out-of-range vertices are rejected with
+//!   [`DynConError::VertexOutOfRange`] before any state is touched.
+//!
+//! Backends implementing the contract: `dyncon-core`'s
+//! `BatchDynamicConnectivity` (the paper's structure), `dyncon-hdt`'s
+//! `HdtConnectivity` (sequential baseline), `dyncon-spanning`'s
+//! `IncrementalConnectivity` (insert-only union-find),
+//! `StaticRecompute` (recompute-from-scratch baseline) and
+//! `NaiveDynamicGraph` (the trusted test oracle). Cross-backend
+//! differential tests drive them all through identical mixed-op batches as
+//! `Box<dyn BatchDynamic>` trait objects.
+//!
+//! ## Validation contract
+//!
+//! * [`BatchDynamic::apply`] validates **every** operation in the batch
+//!   (including queries) against `num_vertices()` *before* mutating
+//!   anything: on [`DynConError::VertexOutOfRange`] the structure is
+//!   untouched.
+//! * [`BatchDynamic::batch_insert`] / [`BatchDynamic::batch_delete`]
+//!   validate their own edge lists the same way.
+//! * The `&self` query methods of [`Connectivity`] are the unchecked fast
+//!   path: passing an out-of-range vertex may panic. Route untrusted
+//!   input through [`BatchDynamic::apply`] with [`Op::Query`].
+//! * A run of operations that a backend cannot support at all (deletions
+//!   on an insert-only structure) fails with
+//!   [`DynConError::Unsupported`]; runs *before* the offending one have
+//!   already been applied by then, and the error message says so.
+
+mod builder;
+mod error;
+mod op;
+
+pub use builder::{BuildFrom, Builder, DeletionAlgorithm, MAX_VERTICES};
+pub use error::DynConError;
+pub use op::{BatchResult, Op, OpKind};
+
+/// The read side of a connectivity structure: queries only, all `&self`,
+/// so concurrent readers never need exclusive access.
+///
+/// Vertices are dense ids `0..num_vertices()`. The query methods are the
+/// unchecked fast path — out-of-range vertices may panic; see the crate
+/// docs for the validated alternative.
+pub trait Connectivity {
+    /// Short human-readable backend name (for experiment tables and
+    /// differential-test diagnostics).
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of vertices of the (fixed) vertex universe.
+    fn num_vertices(&self) -> usize;
+
+    /// True iff `u` and `v` are in the same connected component.
+    fn connected(&self, u: u32, v: u32) -> bool;
+
+    /// Algorithm 1: answer a batch of connectivity queries. The default
+    /// loops [`Connectivity::connected`]; backends with a genuinely
+    /// batch-parallel query path override it.
+    fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        pairs.iter().map(|&(u, v)| self.connected(u, v)).collect()
+    }
+
+    /// Number of connected components (isolated vertices count).
+    fn num_components(&self) -> usize;
+
+    /// Number of vertices in `v`'s component (≥ 1).
+    fn component_size(&self, v: u32) -> u64;
+}
+
+/// The write side: batch mutations plus the mixed-operation entry point.
+///
+/// All mutation methods validate vertex ids and return typed
+/// [`DynConError`]s — this trait is the safe API boundary of every
+/// backend.
+pub trait BatchDynamic: Connectivity {
+    /// Insert a batch of edges. Self-loops, duplicates within the batch
+    /// and edges already present are ignored. Returns the number of edges
+    /// actually added to the graph (backends that do not track the edge
+    /// set, such as an insert-only union-find, count accepted operations
+    /// instead and say so in their docs).
+    fn batch_insert(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError>;
+
+    /// Delete a batch of edges. Self-loops, duplicates and absent edges
+    /// are ignored. Returns the number of edges actually removed.
+    fn batch_delete(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError>;
+
+    /// Apply a **mixed-operation batch**: inserts, deletes and queries
+    /// interleaved in one slice, applied in order. Maximal runs of
+    /// same-kind operations execute as one batch call each, so a
+    /// sliding-window round (`expire ∪ ingest ∪ analytics`) is a single
+    /// `apply`.
+    ///
+    /// Every operation is validated up front: on
+    /// [`DynConError::VertexOutOfRange`] nothing has been applied.
+    /// Query answers land in [`BatchResult::answers`] in operation order.
+    fn apply(&mut self, ops: &[Op]) -> Result<BatchResult, DynConError> {
+        let n = self.num_vertices();
+        for op in ops {
+            let (u, v) = op.endpoints();
+            validate_vertex(n, u)?;
+            validate_vertex(n, v)?;
+        }
+        let mut result = BatchResult::default();
+        let mut run: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            let kind = ops[i].kind();
+            run.clear();
+            while i < ops.len() && ops[i].kind() == kind {
+                run.push(ops[i].endpoints());
+                i += 1;
+            }
+            match kind {
+                OpKind::Insert => result.inserted += self.batch_insert(&run)?,
+                OpKind::Delete => result.deleted += self.batch_delete(&run)?,
+                OpKind::Query => result.answers.extend(self.batch_connected(&run)),
+            }
+        }
+        Ok(result)
+    }
+
+    /// Run the backend's internal consistency checker, if it has one.
+    /// Debugging/testing hook; the default is a no-op.
+    fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Reject an out-of-range vertex id with a typed error.
+#[inline]
+pub fn validate_vertex(num_vertices: usize, v: u32) -> Result<(), DynConError> {
+    if (v as usize) < num_vertices {
+        Ok(())
+    } else {
+        Err(DynConError::VertexOutOfRange {
+            vertex: v,
+            num_vertices,
+        })
+    }
+}
+
+/// Validate every endpoint of an edge/query list (helper for backend
+/// `batch_insert`/`batch_delete` implementations).
+pub fn validate_pairs(num_vertices: usize, pairs: &[(u32, u32)]) -> Result<(), DynConError> {
+    for &(u, v) in pairs {
+        validate_vertex(num_vertices, u)?;
+        validate_vertex(num_vertices, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-crate backend so trait defaults are testable without a
+    /// dependency cycle: adjacency-matrix graph with DFS connectivity.
+    struct Dense {
+        n: usize,
+        adj: Vec<bool>,
+    }
+
+    impl Dense {
+        fn new(n: usize) -> Self {
+            Self {
+                n,
+                adj: vec![false; n * n],
+            }
+        }
+        fn idx(&self, u: u32, v: u32) -> usize {
+            u as usize * self.n + v as usize
+        }
+        fn reach(&self, u: u32) -> Vec<bool> {
+            let mut seen = vec![false; self.n];
+            let mut stack = vec![u];
+            seen[u as usize] = true;
+            while let Some(x) = stack.pop() {
+                for y in 0..self.n as u32 {
+                    if self.adj[self.idx(x, y)] && !seen[y as usize] {
+                        seen[y as usize] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            seen
+        }
+    }
+
+    impl Connectivity for Dense {
+        fn backend_name(&self) -> &'static str {
+            "dense-test"
+        }
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn connected(&self, u: u32, v: u32) -> bool {
+            self.reach(u)[v as usize]
+        }
+        fn num_components(&self) -> usize {
+            let mut comps = 0;
+            let mut seen = vec![false; self.n];
+            for v in 0..self.n as u32 {
+                if !seen[v as usize] {
+                    comps += 1;
+                    for (i, r) in self.reach(v).iter().enumerate() {
+                        seen[i] |= r;
+                    }
+                }
+            }
+            comps
+        }
+        fn component_size(&self, v: u32) -> u64 {
+            self.reach(v).iter().filter(|&&r| r).count() as u64
+        }
+    }
+
+    impl BatchDynamic for Dense {
+        fn batch_insert(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+            validate_pairs(self.n, edges)?;
+            let mut added = 0;
+            for &(u, v) in edges {
+                if u != v && !self.adj[self.idx(u, v)] {
+                    let (a, b) = (self.idx(u, v), self.idx(v, u));
+                    self.adj[a] = true;
+                    self.adj[b] = true;
+                    added += 1;
+                }
+            }
+            Ok(added)
+        }
+        fn batch_delete(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+            validate_pairs(self.n, edges)?;
+            let mut removed = 0;
+            for &(u, v) in edges {
+                if u != v && self.adj[self.idx(u, v)] {
+                    let (a, b) = (self.idx(u, v), self.idx(v, u));
+                    self.adj[a] = false;
+                    self.adj[b] = false;
+                    removed += 1;
+                }
+            }
+            Ok(removed)
+        }
+    }
+
+    #[test]
+    fn apply_splits_runs_and_orders_answers() {
+        let mut g = Dense::new(6);
+        let res = g
+            .apply(&[
+                Op::Query(0, 1),
+                Op::Insert(0, 1),
+                Op::Insert(1, 2),
+                Op::Query(0, 2),
+                Op::Delete(0, 1),
+                Op::Query(0, 2),
+                Op::Query(1, 2),
+            ])
+            .unwrap();
+        assert_eq!(res.inserted, 2);
+        assert_eq!(res.deleted, 1);
+        assert_eq!(res.answers, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn apply_validates_before_mutating() {
+        let mut g = Dense::new(4);
+        let err = g.apply(&[Op::Insert(0, 1), Op::Query(9, 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            DynConError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 4
+            }
+        );
+        // The valid insert before the bad query must NOT have run.
+        assert_eq!(g.num_components(), 4);
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let mut g: Box<dyn BatchDynamic> = Box::new(Dense::new(5));
+        g.apply(&[Op::Insert(0, 1), Op::Insert(3, 4)]).unwrap();
+        assert_eq!(g.num_components(), 3);
+        assert_eq!(g.component_size(4), 2);
+        assert_eq!(g.batch_connected(&[(0, 1), (0, 3)]), vec![true, false]);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let mut g = Dense::new(3);
+        let res = g.apply(&[]).unwrap();
+        assert_eq!(res, BatchResult::default());
+    }
+
+    #[test]
+    fn validate_pairs_reports_first_offender() {
+        assert!(validate_pairs(8, &[(0, 7), (3, 3)]).is_ok());
+        let err = validate_pairs(8, &[(0, 7), (8, 1)]).unwrap_err();
+        assert!(err.to_string().contains("vertex 8"));
+    }
+}

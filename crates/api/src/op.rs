@@ -1,0 +1,88 @@
+//! Mixed-operation batches: the unit of work of [`crate::BatchDynamic::apply`].
+
+/// One operation of a mixed batch. Edges are undirected; `(u, v)` and
+/// `(v, u)` denote the same edge, self-loops are ignored by mutations and
+/// answered `true` by queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Insert the edge `{0, 1}` (no-op if present or a self-loop).
+    Insert(u32, u32),
+    /// Delete the edge `{0, 1}` (no-op if absent).
+    Delete(u32, u32),
+    /// Ask whether `0` and `1` are connected; the answer lands in
+    /// [`BatchResult::answers`] in operation order.
+    Query(u32, u32),
+}
+
+/// The three operation kinds (used to split a mixed batch into maximal
+/// same-kind runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Edge insertion.
+    Insert,
+    /// Edge deletion.
+    Delete,
+    /// Connectivity query.
+    Query,
+}
+
+impl Op {
+    /// This operation's kind.
+    #[inline]
+    pub fn kind(self) -> OpKind {
+        match self {
+            Op::Insert(..) => OpKind::Insert,
+            Op::Delete(..) => OpKind::Delete,
+            Op::Query(..) => OpKind::Query,
+        }
+    }
+
+    /// The two vertex operands.
+    #[inline]
+    pub fn endpoints(self) -> (u32, u32) {
+        match self {
+            Op::Insert(u, v) | Op::Delete(u, v) | Op::Query(u, v) => (u, v),
+        }
+    }
+}
+
+/// Outcome of one [`crate::BatchDynamic::apply`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Edges actually added by the batch's insert operations.
+    pub inserted: usize,
+    /// Edges actually removed by the batch's delete operations.
+    pub deleted: usize,
+    /// Answers of the batch's query operations, in operation order.
+    pub answers: Vec<bool>,
+}
+
+impl BatchResult {
+    /// Total operations that changed the graph.
+    pub fn mutations(&self) -> usize {
+        self.inserted + self.deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_endpoints() {
+        assert_eq!(Op::Insert(1, 2).kind(), OpKind::Insert);
+        assert_eq!(Op::Delete(1, 2).kind(), OpKind::Delete);
+        assert_eq!(Op::Query(1, 2).kind(), OpKind::Query);
+        assert_eq!(Op::Query(3, 9).endpoints(), (3, 9));
+    }
+
+    #[test]
+    fn result_mutations() {
+        let r = BatchResult {
+            inserted: 3,
+            deleted: 2,
+            answers: vec![true],
+        };
+        assert_eq!(r.mutations(), 5);
+    }
+}

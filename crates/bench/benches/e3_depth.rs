@@ -21,7 +21,10 @@ fn bench(c: &mut Criterion) {
                 edges,
                 |b, edges| {
                     b.iter(|| {
-                        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+                        let mut g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(n)
+                            .algorithm(algo)
+                            .build()
+                            .unwrap();
                         g.batch_insert(edges);
                         for chunk in edges.chunks(256) {
                             g.batch_delete(chunk);

@@ -3,7 +3,7 @@
 //! (one operation at a time).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dyncon_bench::{replay, replay_hdt};
+use dyncon_bench::replay;
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{erdos_renyi, UpdateStream};
 use dyncon_hdt::HdtConnectivity;
@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         let stream = UpdateStream::insert_then_delete(&edges, m, 1, 9);
         b.iter(|| {
             let mut h = HdtConnectivity::new(n);
-            replay_hdt(&mut h, &stream)
+            replay(&mut h, &stream)
         });
     });
     for kexp in [4usize, 12] {

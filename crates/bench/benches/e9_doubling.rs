@@ -20,9 +20,11 @@ fn bench(c: &mut Criterion) {
             &scan_all,
             |b, &scan_all| {
                 b.iter(|| {
-                    let mut g =
-                        BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Simple);
-                    g.scan_all_ablation = scan_all;
+                    let mut g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(n)
+                        .algorithm(DeletionAlgorithm::Simple)
+                        .scan_all(scan_all)
+                        .build()
+                        .unwrap();
                     g.batch_insert(&edges);
                     for &e in &victims {
                         g.batch_delete(&[e]);

@@ -7,8 +7,8 @@
 //! With no experiment arguments, all of E1–E10 run. `--quick` shrinks
 //! problem sizes by 4× for a fast smoke pass.
 
-use dyncon_bench::{lg_factor, median_duration, ns_per, print_table, replay, replay_hdt, time, us};
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_bench::{lg_factor, median_duration, ns_per, print_table, replay, time, us};
+use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_ett::EulerTourForest;
 use dyncon_graphgen::{cycle, erdos_renyi, grid2d, path, random_tree, rmat, UpdateStream};
 use dyncon_hdt::HdtConnectivity;
@@ -27,7 +27,7 @@ fn build_forest(n: usize, seed: u64) -> BatchDynamicConnectivity {
 /// E1 — Theorem 3: batch connectivity queries.
 fn e1(cfg: &Cfg) {
     let n = (1 << 18) / cfg.scale;
-    let mut g = build_forest(n, 1);
+    let g = build_forest(n, 1);
     let mut rows = Vec::new();
     for kexp in [4usize, 6, 8, 10, 12, 14, 16] {
         let k = 1 << kexp;
@@ -90,7 +90,7 @@ fn e3(cfg: &Cfg) {
     let mut rows = Vec::new();
     for (name, edges) in &workloads {
         for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
-            let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+            let mut g: BatchDynamicConnectivity = Builder::new(n).algorithm(algo).build().unwrap();
             g.batch_insert(edges);
             g.reset_stats();
             let stream = UpdateStream::insert_then_delete(&[], 1, 256, 4);
@@ -138,7 +138,8 @@ fn e4(cfg: &Cfg) {
         for algo in [DeletionAlgorithm::Interleaved, DeletionAlgorithm::Simple] {
             let mut pushes = 0u64;
             let d = median_duration(3, || {
-                let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+                let mut g: BatchDynamicConnectivity =
+                    Builder::new(n).algorithm(algo).build().unwrap();
                 g.batch_insert(&edges);
                 g.reset_stats();
                 let stream = UpdateStream::insert_then_delete(&edges, m, delta, 6)
@@ -187,7 +188,7 @@ fn e5(cfg: &Cfg) {
     let hdt_time = {
         let stream = UpdateStream::insert_then_delete(&edges, m, 1, 9);
         let mut h = HdtConnectivity::new(n);
-        replay_hdt(&mut h, &stream)
+        replay(&mut h, &stream)
     };
     for kexp in [0usize, 4, 8, 12] {
         let k = 1 << kexp;
@@ -380,8 +381,11 @@ fn e9(cfg: &Cfg) {
     }
     let mut rows = Vec::new();
     for scan_all in [false, true] {
-        let mut g = BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Simple);
-        g.scan_all_ablation = scan_all;
+        let mut g: BatchDynamicConnectivity = Builder::new(n)
+            .algorithm(DeletionAlgorithm::Simple)
+            .scan_all(scan_all)
+            .build()
+            .unwrap();
         g.batch_insert(&edges);
         g.reset_stats();
         let victims: Vec<(u32, u32)> = (0..n as u32 - 1).step_by(8).map(|i| (i, i + 1)).collect();

@@ -5,7 +5,7 @@
 //! `benches/` and as a table printed by the `experiments` binary
 //! (`cargo run --release -p dyncon-bench --bin experiments`).
 
-use dyncon_core::BatchDynamicConnectivity;
+use dyncon_api::{BatchDynamic, Op};
 use dyncon_graphgen::{Batch, UpdateStream};
 use std::time::{Duration, Instant};
 
@@ -23,47 +23,50 @@ pub fn median_duration(reps: usize, mut run: impl FnMut() -> Duration) -> Durati
     ds[ds.len() / 2]
 }
 
-/// Replay a stream into the batch-dynamic structure; returns total time.
-pub fn replay(g: &mut BatchDynamicConnectivity, stream: &UpdateStream) -> Duration {
+/// Replay a stream into **any** backend through the workspace-wide
+/// [`BatchDynamic`] trait; returns total time. One replay routine serves
+/// the parallel structure, the sequential HDT baseline (whose trait impl
+/// loops one op at a time, as the sequential algorithm requires), the
+/// static-recompute baseline and every future backend — the per-backend
+/// replay glue this harness used to carry is gone.
+pub fn replay(g: &mut dyn BatchDynamic, stream: &UpdateStream) -> Duration {
     let t = Instant::now();
     for b in &stream.batches {
         match b {
             Batch::Insert(v) => {
-                g.batch_insert(v);
+                g.batch_insert(v).expect("replay: insert batch rejected");
             }
             Batch::Delete(v) => {
-                g.batch_delete(v);
+                g.batch_delete(v).expect("replay: delete batch rejected");
             }
             Batch::Query(v) => {
-                g.batch_connected(v);
+                std::hint::black_box(g.batch_connected(v));
             }
         }
     }
     t.elapsed()
 }
 
-/// Replay a stream into the sequential HDT baseline (one op at a time, as
-/// the sequential algorithm requires); returns total time.
-pub fn replay_hdt(g: &mut dyncon_hdt::HdtConnectivity, stream: &UpdateStream) -> Duration {
+/// Flatten an [`UpdateStream`] into per-batch mixed-op slices for
+/// [`BatchDynamic::apply`] (one `Vec<Op>` per source batch).
+pub fn stream_ops(stream: &UpdateStream) -> Vec<Vec<Op>> {
+    stream
+        .batches
+        .iter()
+        .map(|b| match b {
+            Batch::Insert(v) => v.iter().map(|&(u, w)| Op::Insert(u, w)).collect(),
+            Batch::Delete(v) => v.iter().map(|&(u, w)| Op::Delete(u, w)).collect(),
+            Batch::Query(v) => v.iter().map(|&(u, w)| Op::Query(u, w)).collect(),
+        })
+        .collect()
+}
+
+/// Replay a stream through [`BatchDynamic::apply`] (the mixed-op entry
+/// point); returns total time.
+pub fn replay_ops(g: &mut dyn BatchDynamic, batches: &[Vec<Op>]) -> Duration {
     let t = Instant::now();
-    for b in &stream.batches {
-        match b {
-            Batch::Insert(v) => {
-                for &(u, w) in v {
-                    g.insert(u, w);
-                }
-            }
-            Batch::Delete(v) => {
-                for &(u, w) in v {
-                    g.delete(u, w);
-                }
-            }
-            Batch::Query(v) => {
-                for &(u, w) in v {
-                    std::hint::black_box(g.connected(u, w));
-                }
-            }
-        }
+    for ops in batches {
+        std::hint::black_box(g.apply(ops).expect("replay: batch rejected"));
     }
     t.elapsed()
 }

@@ -62,11 +62,11 @@ impl BatchDynamicConnectivity {
         // Drop all records (tree-edge records die with the ETT nodes).
         self.edges.remove_batch(&slots);
 
-        self.stats.edges_deleted += k as u64;
+        self.stat(|s| s.edges_deleted += k as u64);
         if tree_dels.is_empty() {
             return k;
         }
-        self.stats.tree_edges_deleted += tree_dels.len() as u64;
+        self.stat(|s| s.tree_edges_deleted += tree_dels.len() as u64);
 
         // Lines 3-4: a level-j tree edge is present in forests j..L-1; cut
         // it from each.
@@ -114,7 +114,7 @@ impl BatchDynamicConnectivity {
         c_handles: &[u32],
         s_slots: &[u32],
     ) -> LevelPrep {
-        self.stats.levels_searched += 1;
+        self.stat(|s| s.levels_searched += 1);
         // Line 2: F_i.BatchInsert(S). None of S is in F_li yet (each found
         // edge was linked only into forests up to its discovery level).
         if !s_slots.is_empty() {
@@ -176,7 +176,7 @@ impl BatchDynamicConnectivity {
         self.levels[li].set_tree_flags(&tree_edges, false);
         let flags = vec![true; tree_edges.len()];
         self.levels[li - 1].batch_link(&tree_edges, &flags);
-        self.stats.tree_pushes += tree_edges.len() as u64;
+        self.stat(|s| s.tree_pushes += tree_edges.len() as u64);
     }
 
     /// Move non-tree edges from level `li` to `li - 1` (the level-decrease
@@ -191,7 +191,7 @@ impl BatchDynamicConnectivity {
             self.edges.set_level(s, li - 1);
         }
         self.add_nontree_at(li - 1, slots);
-        self.stats.nontree_pushes += slots.len() as u64;
+        self.stat(|s| s.nontree_pushes += slots.len() as u64);
     }
 
     /// Promote non-tree edges at level `li` to tree edges of `F_li` (their
@@ -208,7 +208,7 @@ impl BatchDynamicConnectivity {
         let flags = vec![true; edges.len()];
         self.levels[li].batch_link(&edges, &flags);
         s_slots.extend_from_slice(slots);
-        self.stats.replacements += slots.len() as u64;
+        self.stat(|s| s.replacements += slots.len() as u64);
     }
 
     /// The non-tree occurrence list of a piece: the first `take` level-`li`

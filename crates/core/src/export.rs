@@ -1,7 +1,7 @@
 //! Bulk read-out APIs: component labellings, members and forest exports.
 //!
 //! These are the interfaces downstream graph-analytics users actually
-//! consume (the clustering primitive of [52] in the paper's motivation):
+//! consume (the clustering primitive of \[52\] in the paper's motivation):
 //! a full component labelling, the members of one cluster, and the
 //! certifying spanning forest.
 

@@ -59,7 +59,7 @@ impl BatchDynamicConnectivity {
             .collect();
         self.add_nontree_at(top, &nontree_slots);
 
-        self.stats.edges_inserted += k as u64;
+        self.stat(|s| s.edges_inserted += k as u64);
         k
     }
 

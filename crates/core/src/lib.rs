@@ -19,6 +19,13 @@
 //!   (Algorithm 5: `O(lg³ n)` depth and the improved
 //!   `O(lg n · lg(1 + n/Δ))` amortized work bound, Thms 7–9).
 //!
+//! Construction goes through the workspace-wide [`Builder`]
+//! (`dyncon-api`), which also selects the deletion algorithm, toggles
+//! statistics and drives the E9 ablation; the structure implements the
+//! [`dyncon_api::Connectivity`] and [`dyncon_api::BatchDynamic`] traits,
+//! whose mixed-op [`dyncon_api::BatchDynamic::apply`] entry point
+//! validates vertex ids and returns typed errors (see [`mod@api`]).
+//!
 //! ## Structure (§2.2, §3)
 //!
 //! Edges carry levels `1..=L`, `L = ⌈lg n⌉` (level *indices* `0..L` in
@@ -34,6 +41,7 @@
 //! (Appendix 8) mirrored into the forests' augmented counts (Appendix 9).
 
 pub mod adjacency;
+pub mod api;
 pub mod delete;
 pub mod edges;
 pub mod export;
@@ -44,19 +52,19 @@ pub mod stats;
 pub mod validate;
 
 use adjacency::AdjacencyStore;
+pub use dyncon_api::{Builder, DeletionAlgorithm};
 use dyncon_ett::EulerTourForest;
 use edges::EdgeIndex;
 pub use stats::Stats;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Which replacement-edge search runs per level during deletions.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum DeletionAlgorithm {
-    /// Algorithm 4, `ParallelLevelSearch`: doubling restarts every round.
-    Simple,
-    /// Algorithm 5, `InterleavedLevelSearch`: one doubling sequence per
-    /// level with deferred tree insertion and deferred pushes (the
-    /// improved work bound of §4.3).
-    Interleaved,
+/// Per-level RNG seed for the level-`li` Euler tour forest of a graph
+/// over `n` vertices. The golden-ratio constant is perturbed by the whole
+/// `(level, n)` pair so every forest (across levels *and* across
+/// structures of different sizes) draws distinct treap priorities.
+#[inline]
+pub(crate) fn level_seed(li: usize, n: usize) -> u64 {
+    0x9e37_79b9 ^ (((li as u64) << 32) | n as u64)
 }
 
 /// The paper's batch-dynamic connectivity structure.
@@ -74,6 +82,10 @@ pub enum DeletionAlgorithm {
 /// assert!(g.connected(1, 2));
 /// assert_eq!(g.num_components(), 3); // {0,1,2}, {4,5}, {3}
 /// ```
+///
+/// The inherent methods are the unchecked fast path (out-of-range vertex
+/// ids panic); the [`dyncon_api::BatchDynamic`] trait impl layers
+/// validated, mixed-op batches with typed errors on top.
 pub struct BatchDynamicConnectivity {
     n: usize,
     num_levels: usize,
@@ -83,24 +95,50 @@ pub struct BatchDynamicConnectivity {
     pub(crate) edges: EdgeIndex,
     pub(crate) algo: DeletionAlgorithm,
     pub(crate) stats: Stats,
+    /// Query counter, separate from [`Stats`] so `batch_connected` can
+    /// take `&self` (queries never need exclusive access).
+    pub(crate) queries: AtomicU64,
+    pub(crate) stats_enabled: bool,
     /// When true, Algorithm 4 scans all non-tree edges at once instead of
-    /// doubling (the E9 ablation knob; never an asymptotic win).
-    pub scan_all_ablation: bool,
+    /// doubling (the E9 ablation knob; never an asymptotic win). Set via
+    /// [`Builder::scan_all`].
+    pub(crate) scan_all_ablation: bool,
 }
 
 impl BatchDynamicConnectivity {
-    /// Empty graph over `n` vertices using the improved deletion algorithm.
+    /// Empty graph over `n` vertices with the default configuration (the
+    /// improved deletion algorithm, statistics on). Panics on unusable
+    /// `n`; use [`BatchDynamicConnectivity::builder`] for a fallible,
+    /// fully configurable construction.
     pub fn new(n: usize) -> Self {
-        Self::with_algorithm(n, DeletionAlgorithm::Interleaved)
+        Self::builder(n)
+            .build()
+            .expect("vertex count out of the supported range")
     }
 
-    /// Empty graph with an explicit deletion algorithm.
-    pub fn with_algorithm(n: usize, algo: DeletionAlgorithm) -> Self {
-        assert!(n >= 1, "need at least one vertex");
-        assert!(n <= u32::MAX as usize / 2, "vertex ids must fit u32");
+    /// A [`Builder`] over `n` vertices: the configuration surface for
+    /// this structure (deletion algorithm, stats, ablation knobs).
+    ///
+    /// ```
+    /// use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+    ///
+    /// let g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(16)
+    ///     .algorithm(DeletionAlgorithm::Simple)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(g.num_vertices(), 16);
+    /// ```
+    pub fn builder(n: usize) -> Builder {
+        Builder::new(n)
+    }
+
+    /// Construct from a validated [`Builder`] (the
+    /// [`dyncon_api::BuildFrom`] entry point).
+    pub(crate) fn from_builder(b: &Builder) -> Self {
+        let n = b.num_vertices;
         let num_levels = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
         let levels = (0..num_levels)
-            .map(|li| EulerTourForest::new(n, 0x9e37_79b9 ^ (li as u64) << 32 | n as u64))
+            .map(|li| EulerTourForest::new(n, level_seed(li, n)))
             .collect();
         Self {
             n,
@@ -108,9 +146,11 @@ impl BatchDynamicConnectivity {
             levels,
             adj: AdjacencyStore::new(n),
             edges: EdgeIndex::new(),
-            algo,
+            algo: b.algorithm,
             stats: Stats::default(),
-            scan_all_ablation: false,
+            queries: AtomicU64::new(0),
+            stats_enabled: b.stats_enabled,
+            scan_all_ablation: b.scan_all_ablation,
         }
     }
 
@@ -149,19 +189,42 @@ impl BatchDynamicConnectivity {
         u != v && self.edges.contains(u, v)
     }
 
-    /// Operation statistics.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// The deletion algorithm this instance runs.
+    pub fn algorithm(&self) -> DeletionAlgorithm {
+        self.algo
+    }
+
+    /// Snapshot of the operation statistics. All zeros when statistics
+    /// were disabled via [`Builder::stats`].
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        s.queries = self.queries.load(Ordering::Relaxed);
+        s
     }
 
     /// Reset operation statistics.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        self.queries.store(0, Ordering::Relaxed);
+    }
+
+    /// Record statistics, if enabled. Mutation-path counters funnel
+    /// through here so disabling stats removes the bookkeeping.
+    #[inline]
+    pub(crate) fn stat(&mut self, f: impl FnOnce(&mut Stats)) {
+        if self.stats_enabled {
+            f(&mut self.stats);
+        }
     }
 
     /// Algorithm 1: answer a batch of connectivity queries against `F_L`.
-    pub fn batch_connected(&mut self, pairs: &[(u32, u32)]) -> Vec<bool> {
-        self.stats.queries += pairs.len() as u64;
+    /// Takes `&self` — concurrent query batches never contend on the
+    /// structure itself (the query counter is a relaxed atomic).
+    pub fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        if self.stats_enabled {
+            self.queries
+                .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        }
         let top = self.top();
         self.levels[top].batch_connected(pairs)
     }
@@ -191,5 +254,64 @@ impl BatchDynamicConnectivity {
             .collect();
         dyncon_primitives::sort_dedup(&mut es);
         es
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the seed-precedence fix: the original
+    /// expression `0x9e37_79b9 ^ (li as u64) << 32 | n as u64` parsed as
+    /// `(0x9e37_79b9 ^ (li << 32)) | n` — OR-ing `n` into the constant —
+    /// rather than the intended XOR of the whole `(li, n)` pair. The
+    /// parenthesized form must keep seeds distinct per level and mix `n`
+    /// reversibly (XOR, not OR).
+    #[test]
+    fn level_seeds_are_distinct_per_level() {
+        for n in [2usize, 3, 7, 1024, 1 << 20] {
+            let levels = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
+            let mut seeds: Vec<u64> = (0..levels).map(|li| level_seed(li, n)).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), levels, "duplicate per-level seed for n={n}");
+        }
+    }
+
+    #[test]
+    fn level_seeds_mix_n_by_xor_not_or() {
+        // XOR keeps different n distinguishable at every level; the old
+        // OR-parse collapsed any n whose bits were covered by the
+        // constant's low word.
+        let (a, b) = (level_seed(0, 0x1000_0b99), level_seed(0, 0x1000_0b9b));
+        assert_ne!(a, b, "distinct n must give distinct seeds");
+        assert_eq!(level_seed(3, 100) ^ level_seed(0, 100), 3u64 << 32);
+    }
+
+    #[test]
+    fn builder_configures_the_structure() {
+        let g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(10)
+            .algorithm(DeletionAlgorithm::Simple)
+            .stats(false)
+            .build()
+            .unwrap();
+        assert_eq!(g.algorithm(), DeletionAlgorithm::Simple);
+        assert_eq!(g.num_vertices(), 10);
+        // Stats disabled: querying leaves the counter at zero.
+        g.batch_connected(&[(0, 1)]);
+        assert_eq!(g.stats().queries, 0);
+    }
+
+    #[test]
+    fn queries_take_shared_reference() {
+        let mut g = BatchDynamicConnectivity::new(8);
+        g.batch_insert(&[(0, 1)]);
+        let shared = &g;
+        let (a, b) = (
+            shared.batch_connected(&[(0, 1)]),
+            shared.batch_connected(&[(0, 2)]),
+        );
+        assert_eq!((a, b), (vec![true], vec![false]));
+        assert_eq!(g.stats().queries, 2);
     }
 }

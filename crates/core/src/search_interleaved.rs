@@ -113,8 +113,10 @@ impl BatchDynamicConnectivity {
 
         // Line 8: while |C| > 0.
         while !active.is_empty() {
-            self.stats.rounds += 1;
-            self.stats.phases += 1;
+            self.stat(|s| {
+                s.rounds += 1;
+                s.phases += 1;
+            });
             phases_this_level += 1;
             let sz = 1u64 << r.min(62);
 
@@ -130,7 +132,7 @@ impl BatchDynamicConnectivity {
             let mut cand_slots: Vec<u32> = Vec::new();
             for (occs, _, _) in &fetches {
                 cand_slots.extend_from_slice(occs);
-                self.stats.edges_examined += occs.len() as u64;
+                self.stat(|s| s.edges_examined += occs.len() as u64);
             }
             sort_dedup(&mut cand_slots);
             let cand_reps: Vec<(CompId, CompId)> = par_map_collect(&cand_slots, |&s| {
@@ -234,7 +236,7 @@ impl BatchDynamicConnectivity {
             }
             r += 1;
         }
-        self.stats.max_phases_in_level = self.stats.max_phases_in_level.max(phases_this_level);
+        self.stat(|s| s.max_phases_in_level = s.max_phases_in_level.max(phases_this_level));
 
         // ---- Lines 33-35: end of level. Commit T and land EP. ----
         sort_dedup(&mut t_slots);
@@ -256,7 +258,7 @@ impl BatchDynamicConnectivity {
             let edges: Vec<(u32, u32)> = t_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
             let flags: Vec<bool> = t_slots.iter().map(|&s| self.edges.level(s) == li).collect();
             self.levels[li].batch_link(&edges, &flags);
-            self.stats.replacements += t_slots.len() as u64;
+            self.stat(|s| s.replacements += t_slots.len() as u64);
         }
         // Line 35: land the pushed edges on level i-1.
         let t_pushed: Vec<u32> = t_slots
@@ -279,8 +281,10 @@ impl BatchDynamicConnectivity {
         if !pushed_nontree.is_empty() {
             self.add_nontree_at(li - 1, &pushed_nontree);
         }
-        self.stats.nontree_pushes += pushed_nontree.len() as u64;
-        self.stats.tree_pushes += t_pushed.len() as u64;
+        self.stat(|s| {
+            s.nontree_pushes += pushed_nontree.len() as u64;
+            s.tree_pushes += t_pushed.len() as u64;
+        });
 
         // Line 36: S ∪ T.
         s_slots.extend_from_slice(&t_slots);

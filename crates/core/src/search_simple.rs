@@ -48,7 +48,7 @@ impl BatchDynamicConnectivity {
 
         // Line 6: while |C| > 0.
         while !active.is_empty() {
-            self.stats.rounds += 1;
+            self.stat(|s| s.rounds += 1);
             // ---- Lines 8-21: synchronized doubling over the pieces. ----
             let mut searching: Vec<Doubling> = Vec::new();
             for comp in active.drain(..) {
@@ -64,7 +64,7 @@ impl BatchDynamicConnectivity {
             // Pieces that find a replacement this round (rep, handle, slot).
             let mut found: Vec<(Comp, u32)> = Vec::new();
             while !searching.is_empty() {
-                self.stats.phases += 1;
+                self.stat(|s| s.phases += 1);
                 phases_this_level += 1;
                 // Fetch and check in parallel (read-only).
                 let results: Vec<(Option<u32>, Vec<u32>, u64)> =
@@ -94,7 +94,7 @@ impl BatchDynamicConnectivity {
                 let mut push_now: Vec<u32> = Vec::new();
                 let mut still = Vec::with_capacity(searching.len());
                 for (st, (hit, prefix, examined)) in searching.into_iter().zip(results) {
-                    self.stats.edges_examined += examined;
+                    self.stat(|s| s.edges_examined += examined);
                     let csz = if self.scan_all_ablation {
                         st.cmax
                     } else {
@@ -168,7 +168,7 @@ impl BatchDynamicConnectivity {
             // `push_level_tree_edges`).
             self.push_level_tree_edges(li, &active);
         }
-        self.stats.max_phases_in_level = self.stats.max_phases_in_level.max(phases_this_level);
+        self.stat(|s| s.max_phases_in_level = s.max_phases_in_level.max(phases_this_level));
         deferred
     }
 }

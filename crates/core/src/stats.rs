@@ -15,7 +15,11 @@ pub struct Stats {
     pub edges_deleted: u64,
     /// Tree edges deleted (those that trigger replacement searches).
     pub tree_edges_deleted: u64,
-    /// Connectivity queries answered.
+    /// Connectivity queries answered. Snapshot-only: the live counter is
+    /// a relaxed atomic beside the struct (so `batch_connected` can take
+    /// `&self`), and this field is filled in by
+    /// [`crate::BatchDynamicConnectivity::stats`]; inside the structure
+    /// it stays zero.
     pub queries: u64,
     /// Levels entered by replacement searches.
     pub levels_searched: u64,

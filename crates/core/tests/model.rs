@@ -8,7 +8,10 @@ use dyncon_spanning::NaiveDynamicGraph;
 
 fn random_mixed(seed: u64, n: usize, rounds: usize, max_batch: usize, algo: DeletionAlgorithm) {
     let mut rng = SplitMix64::new(seed);
-    let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+    let mut g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(n)
+        .algorithm(algo)
+        .build()
+        .unwrap();
     let mut oracle = NaiveDynamicGraph::new(n);
 
     for round in 0..rounds {
@@ -112,7 +115,10 @@ fn simple_denser() {
 fn delete_every_edge_of_a_path() {
     for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
         let n = 32u32;
-        let mut g = BatchDynamicConnectivity::with_algorithm(n as usize, algo);
+        let mut g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(n as usize)
+            .algorithm(algo)
+            .build()
+            .unwrap();
         let path: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         g.batch_insert(&path);
         assert!(g.connected(0, n - 1));
@@ -127,7 +133,10 @@ fn delete_every_edge_of_a_path() {
 fn cycle_deletion_finds_replacement() {
     for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
         let n = 16u32;
-        let mut g = BatchDynamicConnectivity::with_algorithm(n as usize, algo);
+        let mut g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(n as usize)
+            .algorithm(algo)
+            .build()
+            .unwrap();
         // A cycle: deleting any one tree edge must find the remaining
         // non-tree edge as a replacement.
         let mut cyc: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
@@ -147,7 +156,10 @@ fn cycle_deletion_finds_replacement() {
 fn dense_clique_torture() {
     for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
         let n = 12u32;
-        let mut g = BatchDynamicConnectivity::with_algorithm(n as usize, algo);
+        let mut g: BatchDynamicConnectivity = BatchDynamicConnectivity::builder(n as usize)
+            .algorithm(algo)
+            .build()
+            .unwrap();
         let mut all = Vec::new();
         for u in 0..n {
             for v in u + 1..n {

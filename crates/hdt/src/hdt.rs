@@ -40,7 +40,7 @@ impl HdtConnectivity {
         assert!(n >= 1);
         let num_levels = (usize::BITS - (n - 1).leading_zeros()).max(1) as usize;
         let forests = (0..num_levels)
-            .map(|li| SeqEtt::new(n, 0xfeed_beef ^ (li as u64) << 24 ^ n as u64))
+            .map(|li| SeqEtt::new(n, 0xfeed_beef ^ (((li as u64) << 24) ^ n as u64)))
             .collect();
         let mut adj = Vec::with_capacity(n);
         adj.resize_with(n, VertexAdj::default);
@@ -76,6 +76,11 @@ impl HdtConnectivity {
     /// Number of connected components.
     pub fn num_components(&self) -> usize {
         self.n - self.edges.values().filter(|r| r.tree).count()
+    }
+
+    /// Number of vertices in `v`'s component (≥ 1).
+    pub fn component_size(&self, v: u32) -> u64 {
+        self.forests[self.top()].component_size(v)
     }
 
     // ---- adjacency helpers -------------------------------------------

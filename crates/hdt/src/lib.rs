@@ -14,6 +14,7 @@
 //! over randomized treaps ([`treap`]), augmented with per-level non-tree
 //! edge counts and tree-edge-at-level counts for the replacement search.
 
+pub mod api;
 pub mod ett;
 pub mod hdt;
 pub mod treap;

@@ -3,7 +3,7 @@
 //!
 //! Open-addressing table over `u64` keys and `u64` values with linear
 //! probing and CAS slot claiming, in the style of Shun–Blelloch
-//! phase-concurrent hash tables [55]: within one *phase* only one kind of
+//! phase-concurrent hash tables \[55\]: within one *phase* only one kind of
 //! operation runs (a batch of inserts, a batch of deletes, or a batch of
 //! lookups), which is exactly how the connectivity algorithms use it.
 //!

@@ -1,7 +1,7 @@
 //! Deterministic 64-bit mixing and a fast non-cryptographic hasher.
 //!
-//! The paper's randomized primitives (semisort [24], dictionaries [23],
-//! skip-list heights [47]) all assume access to a uniformly random hash
+//! The paper's randomized primitives (semisort \[24\], dictionaries \[23\],
+//! skip-list heights \[47\]) all assume access to a uniformly random hash
 //! function into `[1, n^O(1)]`. We use the SplitMix64 finalizer, whose output
 //! passes avalanche tests and is cheap enough for hot loops, and an
 //! Fx-style multiply hasher for std `HashMap`s in non-critical paths.

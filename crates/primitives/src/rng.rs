@@ -60,7 +60,7 @@ impl SplitMix64 {
 
     /// Geometric(1/2) height in `[1, max_h]`: counts trailing ones of a
     /// uniform word. This is the skip-list tower height distribution of
-    /// Pugh [47] used by the batch-parallel ETT.
+    /// Pugh \[47\] used by the batch-parallel ETT.
     #[inline]
     pub fn geometric_height(bits: u64, max_h: u8) -> u8 {
         let h = (bits.trailing_ones() as u8) + 1;

@@ -2,7 +2,7 @@
 //!
 //! `pack` takes a sequence `A` and booleans `B` and returns the elements of
 //! `A` whose flag is true, preserving order — `O(n)` work, `O(lg n)` depth
-//! [34]. We implement it with a chunked two-pass scan: per-chunk counts,
+//! \[34\]. We implement it with a chunked two-pass scan: per-chunk counts,
 //! a (short) sequential scan over chunk totals, then a parallel scatter.
 
 use rayon::prelude::*;

@@ -1,4 +1,4 @@
-//! A true hash-based semisort (Gu–Shun–Sun–Blelloch [24] role).
+//! A true hash-based semisort (Gu–Shun–Sun–Blelloch \[24\] role).
 //!
 //! [`crate::group::group_pairs_by_key`] realizes grouping with a parallel
 //! comparison sort (`O(k lg k)` work); this module provides the

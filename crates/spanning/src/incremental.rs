@@ -1,7 +1,8 @@
-//! Insertion-only batch-parallel connectivity (the Simsiri et al. [57]
+//! Insertion-only batch-parallel connectivity (the Simsiri et al. \[57\]
 //! setting the paper cites as prior batch-dynamic work).
 
 use crate::unionfind::ConcurrentUnionFind;
+use dyncon_api::{validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError};
 use dyncon_primitives::{par_for, par_map_collect};
 
 /// Work-efficient parallel union-find over an insert-only edge stream:
@@ -50,6 +51,66 @@ impl IncrementalConnectivity {
     }
 }
 
+impl Connectivity for IncrementalConnectivity {
+    fn backend_name(&self) -> &'static str {
+        "incremental-unionfind"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.uf.len()
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        IncrementalConnectivity::connected(self, u, v)
+    }
+
+    fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        IncrementalConnectivity::batch_connected(self, pairs)
+    }
+
+    /// `O(n)`: counts union-find roots (a baseline, not a fast path).
+    fn num_components(&self) -> usize {
+        (0..self.uf.len() as u32)
+            .filter(|&x| self.uf.find(x) == x)
+            .count()
+    }
+
+    /// `O(n)`: scans the whole universe (a baseline, not a fast path).
+    fn component_size(&self, v: u32) -> u64 {
+        let root = self.uf.find(v);
+        (0..self.uf.len() as u32)
+            .filter(|&x| self.uf.find(x) == root)
+            .count() as u64
+    }
+}
+
+impl BatchDynamic for IncrementalConnectivity {
+    /// Counts accepted (non-self-loop) operations: a union-find tracks no
+    /// edge set, so duplicates cannot be distinguished from fresh edges.
+    fn batch_insert(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+        validate_pairs(self.uf.len(), edges)?;
+        IncrementalConnectivity::batch_insert(self, edges);
+        Ok(edges.iter().filter(|&&(u, v)| u != v).count())
+    }
+
+    /// Always fails: this is the insert-only setting the SPAA 2019 paper
+    /// lifts. The typed error is the honest answer.
+    fn batch_delete(&mut self, _edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+        Err(DynConError::Unsupported {
+            backend: "incremental-unionfind",
+            operation: "batch_delete",
+        })
+    }
+}
+
+impl BuildFrom for IncrementalConnectivity {
+    fn build_from(builder: &Builder) -> Result<Self, DynConError> {
+        // Re-validate (callers can reach this without `Builder::build`).
+        builder.validate()?;
+        Ok(IncrementalConnectivity::new(builder.num_vertices))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +127,22 @@ mod tests {
             vec![true, false, true]
         );
         assert_eq!(ic.num_inserted(), 3);
+    }
+
+    #[test]
+    fn trait_surface_insert_only() {
+        use dyncon_api::Op;
+        let mut ic: IncrementalConnectivity = Builder::new(8).build().unwrap();
+        let res = ic
+            .apply(&[Op::Insert(0, 1), Op::Insert(1, 1), Op::Query(0, 1)])
+            .unwrap();
+        assert_eq!(res.inserted, 1, "self-loop not accepted");
+        assert_eq!(res.answers, vec![true]);
+        assert_eq!(Connectivity::num_components(&ic), 7);
+        assert_eq!(ic.component_size(0), 2);
+        // Deletions are a typed refusal, not a panic or a silent no-op.
+        let err = ic.apply(&[Op::Delete(0, 1)]).unwrap_err();
+        assert!(matches!(err, DynConError::Unsupported { .. }));
     }
 
     #[test]

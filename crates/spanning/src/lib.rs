@@ -4,7 +4,7 @@
 //!
 //! * [`ConcurrentUnionFind`] — lock-free union-find (CAS linking with
 //!   random priorities + path halving). This plays the role of Gazit's
-//!   randomized parallel connectivity algorithm [22] in the paper: both of
+//!   randomized parallel connectivity algorithm \[22\] in the paper: both of
 //!   the batch algorithms call a static `SpanningForest(...)` subroutine on
 //!   `O(k)`-sized edge sets (Algorithm 2 line 5, Algorithm 4 line 23,
 //!   Algorithm 5 line 18), and the contract they need — a spanning forest
@@ -18,9 +18,17 @@
 //!   against: recompute components from scratch on every batch (`O(m+n)`
 //!   per batch, the worst-case behaviour of existing streaming systems).
 //! * [`IncrementalConnectivity`] — insertion-only union-find baseline
-//!   (the Simsiri et al. [57] setting).
+//!   (the Simsiri et al. \[57\] setting).
 //! * [`NaiveDynamicGraph`] — a slow, obviously-correct dynamic-connectivity
 //!   oracle used by every test suite in the workspace.
+//!
+//! [`IncrementalConnectivity`], [`StaticRecompute`] and
+//! [`NaiveDynamicGraph`] all implement the workspace-wide
+//! `dyncon_api::{Connectivity, BatchDynamic}` contract, so they slot into
+//! differential tests and experiment panels as `Box<dyn BatchDynamic>`
+//! alongside the real structures ([`IncrementalConnectivity`] answers
+//! deletions with a typed `Unsupported` error — that restriction is the
+//! point of the baseline).
 
 pub mod incremental;
 pub mod oracle;

@@ -1,7 +1,7 @@
 //! Shiloach–Vishkin style parallel connectivity (hook-and-compress).
 //!
 //! The paper's related-work section traces parallel connectivity to
-//! Shiloach–Vishkin [54] and its descendants; our spanning-forest oracle
+//! Shiloach–Vishkin \[54\] and its descendants; our spanning-forest oracle
 //! uses lock-free union-find instead (DESIGN.md §3). This module provides
 //! the classic hook-and-compress algorithm as an *independent alternative
 //! implementation* of the same contract — used to cross-validate the

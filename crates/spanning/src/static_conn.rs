@@ -2,7 +2,9 @@
 //! recompute-from-scratch baseline.
 
 use crate::unionfind::ConcurrentUnionFind;
+use dyncon_api::{validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError};
 use dyncon_primitives::{par_for, par_map_collect, sort_dedup, FxHashMap, FxHashSet, SyncSlice};
+use std::sync::Mutex;
 
 /// Choose a spanning forest of `edges` over vertices `0..n`: `chosen[i]` is
 /// true for a subset of edges forming a forest that spans every component
@@ -84,10 +86,14 @@ pub fn spanning_forest_sparse(edges: &[(u64, u64)]) -> RelabeledForest {
 /// component labelling from scratch whenever a query arrives after a
 /// mutation. This is what the paper's introduction says existing
 /// batch-processing systems effectively do in the worst case.
+///
+/// Queries take `&self` (the labelling cache sits behind a mutex), so the
+/// type satisfies the workspace [`Connectivity`] contract and slots into
+/// differential experiments as the static reference backend.
 pub struct StaticRecompute {
     n: usize,
     edges: FxHashSet<u64>,
-    labels: Option<Vec<u32>>,
+    labels: Mutex<Option<Vec<u32>>>,
 }
 
 #[inline]
@@ -102,7 +108,7 @@ impl StaticRecompute {
         Self {
             n,
             edges: FxHashSet::default(),
-            labels: None,
+            labels: Mutex::new(None),
         }
     }
 
@@ -111,45 +117,113 @@ impl StaticRecompute {
         self.edges.len()
     }
 
-    /// Insert a batch of edges (duplicates/self-loops ignored).
-    pub fn batch_insert(&mut self, batch: &[(u32, u32)]) {
+    /// Insert a batch of edges (duplicates/self-loops ignored); returns
+    /// the number of edges actually added.
+    pub fn batch_insert(&mut self, batch: &[(u32, u32)]) -> usize {
+        let mut added = 0;
         for &(u, v) in batch {
-            if u != v {
-                self.edges.insert(key(u, v));
+            if u != v && self.edges.insert(key(u, v)) {
+                added += 1;
             }
         }
-        self.labels = None;
-    }
-
-    /// Delete a batch of edges (absent edges ignored).
-    pub fn batch_delete(&mut self, batch: &[(u32, u32)]) {
-        for &(u, v) in batch {
-            self.edges.remove(&key(u, v));
+        if added > 0 {
+            *self.labels.get_mut().unwrap() = None;
         }
-        self.labels = None;
+        added
     }
 
-    /// Answer connectivity queries, recomputing labels if stale.
-    pub fn batch_connected(&mut self, pairs: &[(u32, u32)]) -> Vec<bool> {
-        let labels = self.labels_mut();
-        pairs
-            .iter()
-            .map(|&(u, v)| labels[u as usize] == labels[v as usize])
-            .collect()
+    /// Delete a batch of edges (absent edges ignored); returns the number
+    /// of edges actually removed.
+    pub fn batch_delete(&mut self, batch: &[(u32, u32)]) -> usize {
+        let mut removed = 0;
+        for &(u, v) in batch {
+            if self.edges.remove(&key(u, v)) {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            *self.labels.get_mut().unwrap() = None;
+        }
+        removed
     }
 
-    /// Current labelling (recomputed if stale): the full static
-    /// connectivity pass the baseline pays per batch.
-    pub fn labels_mut(&mut self) -> &Vec<u32> {
-        if self.labels.is_none() {
+    /// Run `f` on the current labelling, recomputing it first if stale:
+    /// the full static connectivity pass the baseline pays per batch.
+    pub fn with_labels<R>(&self, f: impl FnOnce(&[u32]) -> R) -> R {
+        let mut cache = self.labels.lock().unwrap();
+        let labels = cache.get_or_insert_with(|| {
             let edge_list: Vec<(u32, u32)> = self
                 .edges
                 .iter()
                 .map(|&k| ((k >> 32) as u32, k as u32))
                 .collect();
-            self.labels = Some(connectivity_labels(self.n, &edge_list));
-        }
-        self.labels.as_ref().unwrap()
+            connectivity_labels(self.n, &edge_list)
+        });
+        f(labels)
+    }
+
+    /// Answer connectivity queries, recomputing labels if stale.
+    pub fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        self.with_labels(|labels| {
+            pairs
+                .iter()
+                .map(|&(u, v)| labels[u as usize] == labels[v as usize])
+                .collect()
+        })
+    }
+}
+
+impl Connectivity for StaticRecompute {
+    fn backend_name(&self) -> &'static str {
+        "static-recompute"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        self.with_labels(|labels| labels[u as usize] == labels[v as usize])
+    }
+
+    fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
+        StaticRecompute::batch_connected(self, pairs)
+    }
+
+    fn num_components(&self) -> usize {
+        self.with_labels(|labels| {
+            let mut distinct: Vec<u32> = labels.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct.len()
+        })
+    }
+
+    fn component_size(&self, v: u32) -> u64 {
+        self.with_labels(|labels| {
+            let mine = labels[v as usize];
+            labels.iter().filter(|&&l| l == mine).count() as u64
+        })
+    }
+}
+
+impl BatchDynamic for StaticRecompute {
+    fn batch_insert(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+        validate_pairs(self.n, edges)?;
+        Ok(StaticRecompute::batch_insert(self, edges))
+    }
+
+    fn batch_delete(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+        validate_pairs(self.n, edges)?;
+        Ok(StaticRecompute::batch_delete(self, edges))
+    }
+}
+
+impl BuildFrom for StaticRecompute {
+    fn build_from(builder: &Builder) -> Result<Self, DynConError> {
+        // Re-validate (callers can reach this without `Builder::build`).
+        builder.validate()?;
+        Ok(StaticRecompute::new(builder.num_vertices))
     }
 }
 
@@ -218,7 +292,27 @@ mod tests {
         s.batch_insert(&[(2, 4), (4, 0)]);
         assert_eq!(s.batch_connected(&[(0, 2), (0, 3)]), vec![true, true]);
         // Duplicate & self-loop tolerance: {0-1,3-4,2-4,4-0} stays 4 edges.
-        s.batch_insert(&[(0, 0), (0, 1)]);
+        assert_eq!(s.batch_insert(&[(0, 0), (0, 1)]), 0);
         assert_eq!(s.num_edges(), 4);
+    }
+
+    #[test]
+    fn recompute_trait_surface() {
+        use dyncon_api::{BatchDynamic, Builder, Connectivity, Op};
+        let mut s: StaticRecompute = Builder::new(6).build().unwrap();
+        let res = s
+            .apply(&[
+                Op::Insert(0, 1),
+                Op::Insert(1, 2),
+                Op::Query(0, 2),
+                Op::Delete(1, 2),
+                Op::Query(0, 2),
+            ])
+            .unwrap();
+        assert_eq!((res.inserted, res.deleted), (2, 1));
+        assert_eq!(res.answers, vec![true, false]);
+        assert_eq!(Connectivity::num_components(&s), 5);
+        assert_eq!(s.component_size(1), 2);
+        assert!(s.apply(&[Op::Query(0, 6)]).is_err());
     }
 }

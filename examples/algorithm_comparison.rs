@@ -1,36 +1,91 @@
-//! Head-to-head: Algorithm 4 vs Algorithm 5 vs sequential HDT vs static
-//! recompute on one identical workload, with the instrumentation counters
-//! that expose the paper's round/phase structure.
+//! Head-to-head over the unified trait: Algorithm 4 vs Algorithm 5 vs
+//! sequential HDT vs static recompute, all driven through **one** replay
+//! routine on `&mut dyn BatchDynamic` — no per-backend adapter glue —
+//! followed by the instrumentation counters that expose the paper's
+//! round/phase structure.
 //!
 //! ```text
 //! cargo run --release --example algorithm_comparison
 //! ```
 
-use dyncon_bench::{replay, replay_hdt};
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_api::{BatchDynamic, Builder, DeletionAlgorithm};
+use dyncon_bench::replay;
+use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{erdos_renyi, Batch, UpdateStream};
 use dyncon_hdt::HdtConnectivity;
 use dyncon_spanning::StaticRecompute;
-use std::time::Instant;
+
+/// Interleave a query batch after every mutation batch so the static
+/// baseline pays its per-round relabel (its honest worst case) and every
+/// backend answers the same probes.
+fn with_queries(stream: UpdateStream, n: usize, per_batch: usize) -> UpdateStream {
+    let mut out = UpdateStream::default();
+    for (i, b) in stream.batches.into_iter().enumerate() {
+        out.batches.push(b);
+        out.batches.push(Batch::Query(UpdateStream::random_queries(
+            n,
+            per_batch,
+            0x9e00 + i as u64,
+        )));
+    }
+    out
+}
 
 fn main() {
     let n = 1 << 13;
     let m = 2 * n;
     let edges = erdos_renyi(n, m, 21);
-    let stream = UpdateStream::insert_then_delete(&edges, 1024, 512, 22);
+    let stream = with_queries(
+        UpdateStream::insert_then_delete(&edges, 1024, 512, 22),
+        n,
+        64,
+    );
     let ops = stream.total_ops();
     let (del_batches, delta) = stream.deletion_delta();
     println!(
-        "workload: n = {n}, m = {m}; insert in 1024-batches, delete in {del_batches} batches (Δ = {delta:.0}); {ops} ops total\n"
+        "workload: n = {n}, m = {m}; insert in 1024-batches, delete in {del_batches} batches (Δ = {delta:.0}), 64 queries per batch; {ops} ops total\n"
     );
 
+    let builder = Builder::new(n);
+    let backends: Vec<Box<dyn BatchDynamic>> = vec![
+        Box::new(
+            builder
+                .clone()
+                .algorithm(DeletionAlgorithm::Simple)
+                .build::<BatchDynamicConnectivity>()
+                .unwrap(),
+        ),
+        Box::new(
+            builder
+                .clone()
+                .algorithm(DeletionAlgorithm::Interleaved)
+                .build::<BatchDynamicConnectivity>()
+                .unwrap(),
+        ),
+        Box::new(builder.build::<HdtConnectivity>().unwrap()),
+        Box::new(builder.build::<StaticRecompute>().unwrap()),
+    ];
+
+    for mut g in backends {
+        let dt = replay(g.as_mut(), &stream);
+        println!(
+            "{:<28} total {dt:>9.2?}  ({:.0} ns/op)",
+            g.backend_name(),
+            dt.as_secs_f64() * 1e9 / ops as f64,
+        );
+        assert_eq!(g.num_components(), n, "every edge was deleted again");
+        g.check().expect("backend invariants hold after replay");
+    }
+
+    // Deep dive: the round/phase counters behind the two deletion
+    // algorithms (Theorems 5 vs 7).
+    println!("\ninstrumentation (replayed once more per algorithm):");
     for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
-        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
-        let dt = replay(&mut g, &stream);
+        let mut g: BatchDynamicConnectivity = Builder::new(n).algorithm(algo).build().unwrap();
+        replay(&mut g, &stream);
         let s = g.stats();
         println!(
-            "{algo:?}:\n  total {dt:.2?} ({:.0} ns/op)\n  levels searched {}, rounds {}, phases {} (max {} per level)\n  examined {}, pushes {} (tree {}), replacements {}",
-            dt.as_secs_f64() * 1e9 / ops as f64,
+            "{algo:?}:\n  levels searched {}, rounds {}, phases {} (max {} per level)\n  examined {}, pushes {} (tree {}), replacements {}",
             s.levels_searched,
             s.rounds,
             s.phases,
@@ -40,35 +95,5 @@ fn main() {
             s.tree_pushes,
             s.replacements,
         );
-        assert_eq!(g.num_components(), n);
     }
-
-    let mut h = HdtConnectivity::new(n);
-    let dt = replay_hdt(&mut h, &stream);
-    println!(
-        "HDT (sequential, one op at a time):\n  total {dt:.2?} ({:.0} ns/op), {} candidate edges examined",
-        dt.as_secs_f64() * 1e9 / ops as f64,
-        h.edges_examined
-    );
-    assert_eq!(h.num_components(), n);
-
-    // Static recompute pays a full relabel per batch boundary.
-    let mut s = StaticRecompute::new(n);
-    let t = Instant::now();
-    for b in &stream.batches {
-        match b {
-            Batch::Insert(v) => s.batch_insert(v),
-            Batch::Delete(v) => s.batch_delete(v),
-            Batch::Query(v) => {
-                s.batch_connected(v);
-            }
-        }
-        // Force the per-batch relabel the worst case implies.
-        s.batch_connected(&[(0, 1)]);
-    }
-    let dt = t.elapsed();
-    println!(
-        "StaticRecompute (relabel per batch):\n  total {dt:.2?} ({:.0} ns/op)",
-        dt.as_secs_f64() * 1e9 / ops as f64
-    );
 }

@@ -1,40 +1,40 @@
 //! The incremental (insert-only) setting: prior batch-dynamic work
 //! (Simsiri et al., cited as [57]) handles insertions only — union-find is
-//! unbeatable there. This example shows (a) how close the fully dynamic
-//! structure stays on insert-only streams, and (b) the moment deletions
-//! enter, union-find has no answer while the batch-dynamic structure keeps
-//! serving exact connectivity.
+//! unbeatable there. Both structures implement the same `BatchDynamic`
+//! trait, so one loop drives them through an identical insert+query
+//! script; the moment deletions enter, the union-find backend answers
+//! with a **typed `Unsupported` error** while the batch-dynamic structure
+//! keeps serving exact connectivity.
 //!
 //! ```text
 //! cargo run --release --example incremental_comparison
 //! ```
 
+use dyncon_api::{BatchDynamic, Builder, DynConError};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{erdos_renyi, UpdateStream};
 use dyncon_spanning::IncrementalConnectivity;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let n = 1 << 16;
     let edges = erdos_renyi(n, 2 * n, 31);
     let queries = UpdateStream::random_queries(n, 1 << 14, 32);
 
-    // Phase 1: insert-only — both structures, identical stream.
-    let t = Instant::now();
-    let mut uf = IncrementalConnectivity::new(n);
-    for chunk in edges.chunks(4096) {
-        uf.batch_insert(chunk);
-    }
-    let uf_ans = uf.batch_connected(&queries);
-    let uf_time = t.elapsed();
-
-    let t = Instant::now();
-    let mut g = BatchDynamicConnectivity::new(n);
-    for chunk in edges.chunks(4096) {
-        g.batch_insert(chunk);
-    }
-    let g_ans = g.batch_connected(&queries);
-    let g_time = t.elapsed();
+    // Phase 1: insert-only — both backends through the trait, identical
+    // script, no per-backend glue.
+    let ingest = |g: &mut dyn BatchDynamic| -> (Duration, Vec<bool>) {
+        let t = Instant::now();
+        for chunk in edges.chunks(4096) {
+            g.batch_insert(chunk).expect("in-range edges");
+        }
+        let answers = g.batch_connected(&queries);
+        (t.elapsed(), answers)
+    };
+    let mut uf: IncrementalConnectivity = Builder::new(n).build().unwrap();
+    let mut g: BatchDynamicConnectivity = Builder::new(n).build().unwrap();
+    let (uf_time, uf_ans) = ingest(&mut uf);
+    let (g_time, g_ans) = ingest(&mut g);
 
     assert_eq!(uf_ans, g_ans, "both structures agree on every query");
     println!(
@@ -48,17 +48,25 @@ fn main() {
         g_time.as_secs_f64() / uf_time.as_secs_f64()
     );
 
-    // Phase 2: deletions arrive. Union-find cannot process them at all —
-    // its only recourse is a full rebuild from the survivor set, whose
-    // cost is O(m) *per deletion batch*. The dynamic structure's cost
-    // tracks the batch, so small batches on a large graph are its regime.
+    // Phase 2: deletions arrive. The union-find backend refuses with a
+    // typed error — its only recourse is a full rebuild from the survivor
+    // set, whose cost is O(m) *per deletion batch*. The dynamic
+    // structure's cost tracks the batch, so small batches on a large
+    // graph are its regime.
     let doomed: Vec<(u32, u32)> = edges.iter().copied().step_by(257).collect();
+    match uf.batch_delete(&doomed) {
+        Err(DynConError::Unsupported { backend, operation }) => {
+            println!("\ndeletions arrive: `{backend}` refuses {operation} (typed, not a panic)")
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+
     let doomed_set: std::collections::HashSet<(u32, u32)> = doomed.iter().copied().collect();
     let t = Instant::now();
     g.batch_delete(&doomed);
     let del_time = t.elapsed();
     let t = Instant::now();
-    let mut rebuilt = IncrementalConnectivity::new(n);
+    let mut rebuilt: IncrementalConnectivity = Builder::new(n).build().unwrap();
     let survivors: Vec<(u32, u32)> = edges
         .iter()
         .copied()
@@ -71,7 +79,7 @@ fn main() {
     let uf_ans = rebuilt.batch_connected(&queries);
     assert_eq!(g_ans, uf_ans, "agreement after deletions too");
     println!(
-        "\ndeletion phase: {} edges deleted in one small batch (m = {})",
+        "deletion phase: {} edges deleted in one small batch (m = {})",
         doomed.len(),
         edges.len()
     );

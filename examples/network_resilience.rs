@@ -6,6 +6,8 @@
 //! operator asks: is the fabric still fully connected? Which racks are
 //! stranded, and how big is the largest surviving island?
 //!
+//! Each wave is one mixed batch through `BatchDynamic::apply`: the link
+//! failures and the reachability probes that assess them travel together.
 //! This exercises exactly the regime the batch-dynamic structure is built
 //! for: large correlated deletion batches with interleaved queries.
 //!
@@ -13,6 +15,7 @@
 //! cargo run --release --example network_resilience
 //! ```
 
+use dyncon_api::{BatchDynamic, Builder, Op};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{erdos_renyi, grid2d};
 use dyncon_primitives::SplitMix64;
@@ -35,7 +38,7 @@ fn main() {
         "fabric: {n} racks, {grid_edges} mesh links + {} shortcuts",
         shortcuts.len()
     );
-    let mut g = BatchDynamicConnectivity::new(n);
+    let mut g: BatchDynamicConnectivity = Builder::new(n).build().unwrap();
     let t = Instant::now();
     g.batch_insert(&fabric);
     println!(
@@ -66,23 +69,22 @@ fn main() {
             }
         }
         failures.retain(|e| !down.contains(e) && g.has_edge(e.0, e.1));
+
+        // One mixed batch: the failures plus the impact-assessment probes.
+        let mut ops: Vec<Op> = failures.iter().map(|&(u, v)| Op::Delete(u, v)).collect();
+        for _ in 0..256 {
+            ops.push(Op::Query(0, rng.next_below(n as u64) as u32));
+        }
         let t = Instant::now();
-        let removed = g.batch_delete(&failures);
+        let result = g.apply(&ops).expect("rack ids are in range");
         let dt = t.elapsed();
         down.extend_from_slice(&failures);
 
-        // Impact assessment.
         let comps = g.num_components();
-        let probes: Vec<(u32, u32)> = (0..256)
-            .map(|_| (0, rng.next_below(n as u64) as u32))
-            .collect();
-        let reachable = g
-            .batch_connected(&probes)
-            .into_iter()
-            .filter(|&a| a)
-            .count();
+        let reachable = result.answers.iter().filter(|&&a| a).count();
         println!(
-            "wave {wave}: {removed} links down in {dt:.2?} → {comps} islands; {reachable}/256 probed racks reach rack 0; rack-0 island = {}",
+            "wave {wave}: {} links down in {dt:.2?} → {comps} islands; {reachable}/256 probed racks reach rack 0; rack-0 island = {}",
+            result.deleted,
             g.component_size(0)
         );
 
@@ -111,5 +113,5 @@ fn main() {
     g.batch_insert(&down);
     assert_eq!(g.num_components(), 1, "full repair reconnects the fabric");
     println!("\nfull repair: fabric connected again ✓");
-    g.check_invariants().expect("invariants hold");
+    BatchDynamic::check(&g).expect("invariants hold");
 }

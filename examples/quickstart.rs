@@ -1,61 +1,96 @@
 //! Quickstart: the batch-dynamic connectivity API in one minute.
 //!
+//! Construction goes through the workspace-wide `Builder`; operations go
+//! through the `Connectivity`/`BatchDynamic` traits, whose mixed-op
+//! `apply` validates vertex ids and returns typed errors.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use dyncon_api::{BatchDynamic, Builder, DynConError, Op};
 use dyncon_core::BatchDynamicConnectivity;
 
 fn main() {
     // A graph over 10 fixed vertices (0..10), initially edgeless.
-    let mut g = BatchDynamicConnectivity::new(10);
+    let mut g: BatchDynamicConnectivity = Builder::new(10)
+        .build()
+        .expect("10 vertices is a valid configuration");
 
-    // Batch-insert edges: two triangles and a bridge between them.
-    g.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
-    g.batch_insert(&[(5, 6), (6, 7), (7, 5)]);
-    g.batch_insert(&[(2, 5)]);
-
-    // Batch connectivity queries (Algorithm 1).
-    let answers = g.batch_connected(&[(0, 7), (0, 9), (3, 4)]);
+    // One mixed batch: ingest two triangles and a bridge, then probe the
+    // result — no caller-managed phase splitting.
+    let result = g
+        .apply(&[
+            Op::Insert(0, 1),
+            Op::Insert(1, 2),
+            Op::Insert(2, 0),
+            Op::Insert(5, 6),
+            Op::Insert(6, 7),
+            Op::Insert(7, 5),
+            Op::Insert(2, 5),
+            Op::Query(0, 7),
+            Op::Query(0, 9),
+            Op::Query(3, 4),
+        ])
+        .expect("all vertex ids are in range");
     println!(
-        "0~7: {}  0~9: {}  3~4: {}",
-        answers[0], answers[1], answers[2]
+        "inserted {} edges; 0~7: {}  0~9: {}  3~4: {}",
+        result.inserted, result.answers[0], result.answers[1], result.answers[2]
     );
-    assert_eq!(answers, vec![true, false, false]);
+    assert_eq!(result.answers, vec![true, false, false]);
     println!(
         "components: {} (the merged triangles + 4 isolated vertices)",
         g.num_components()
     );
 
-    // Delete the bridge: the triangles separate again.
-    g.batch_delete(&[(2, 5)]);
-    assert!(!g.connected(0, 7));
-    println!("after deleting the bridge, 0~7: {}", g.connected(0, 7));
-
-    // Delete a triangle edge: connectivity survives through the rest of
-    // the triangle — the structure finds a replacement edge internally.
-    g.batch_delete(&[(0, 1)]);
-    assert!(
-        g.connected(0, 1),
-        "replacement edge keeps 0 and 1 connected"
-    );
+    // Delete the bridge and a triangle edge in one batch: the triangles
+    // separate, but 0–1 survives through the rest of its triangle — the
+    // structure finds the replacement edge internally.
+    let result = g
+        .apply(&[
+            Op::Delete(2, 5),
+            Op::Query(0, 7),
+            Op::Delete(0, 1),
+            Op::Query(0, 1),
+        ])
+        .unwrap();
+    assert_eq!(result.answers, vec![false, true]);
     println!(
-        "after deleting (0,1), 0~1 still connected: {}",
-        g.connected(0, 1)
+        "after deleting the bridge and (0,1): 0~7: {}, 0~1: {} (replacement found)",
+        result.answers[0], result.answers[1]
     );
+
+    // Out-of-range vertices are typed errors at the API boundary, not
+    // panics deep inside the Euler-tour forest — and validation happens
+    // before anything mutates.
+    match g.apply(&[Op::Insert(0, 3), Op::Query(4, 99)]) {
+        Err(DynConError::VertexOutOfRange {
+            vertex,
+            num_vertices,
+        }) => println!("rejected wholesale: vertex {vertex} out of range 0..{num_vertices}"),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    assert!(!g.has_edge(0, 3), "failed batches must not mutate");
+
+    // The unchecked inherent API is still there for hot paths, and
+    // queries only need a shared reference.
+    let shared = &g;
+    assert!(shared.connected(0, 2));
+    assert_eq!(shared.component_size(5), 3);
 
     // Inspect the work the structure did.
     let s = g.stats();
     println!(
-        "stats: {} inserted, {} deleted, {} replacements committed, {} edge pushes",
+        "stats: {} inserted, {} deleted, {} queries, {} replacements committed, {} edge pushes",
         s.edges_inserted,
         s.edges_deleted,
+        s.queries,
         s.replacements,
         s.total_pushes()
     );
 
-    // The full invariant checker is available for debugging.
-    g.check_invariants()
-        .expect("structure is internally consistent");
+    // The full invariant checker is available for debugging (also via the
+    // trait's `check` hook).
+    BatchDynamic::check(&g).expect("structure is internally consistent");
     println!("all invariants hold ✓");
 }

@@ -3,15 +3,16 @@
 //! make phone calls at the same time".
 //!
 //! A skewed (R-MAT) interaction graph is ingested as a sliding window of
-//! batches: every round a batch of fresh interactions arrives, the oldest
-//! batch expires, and an analytics tier asks connectivity questions
-//! ("are these two accounts in the same interaction cluster?") plus
-//! community-size probes.
+//! batches. Every round is **one mixed-operation batch** through
+//! `BatchDynamic::apply`: the expiring interactions, the fresh ones and
+//! the analytics tier's connectivity probes travel together, in order —
+//! exactly how a stream processor hands work to the structure.
 //!
 //! ```text
 //! cargo run --release --example social_stream
 //! ```
 
+use dyncon_api::{BatchDynamic, Builder, Op};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::rmat;
 use dyncon_primitives::SplitMix64;
@@ -25,47 +26,45 @@ fn main() {
     let rounds = 30;
 
     println!("ingesting a {n}-account interaction stream, {batch} edges/round, window {window}");
-    let mut g = BatchDynamicConnectivity::new(n);
+    let mut g: BatchDynamicConnectivity = Builder::new(n).build().unwrap();
     let mut live: VecDeque<Vec<(u32, u32)>> = VecDeque::new();
     let mut rng = SplitMix64::new(99);
     let t0 = Instant::now();
     let mut total_ops = 0usize;
 
     for round in 0..rounds {
-        // Fresh skewed interactions (distinct seeds per round).
+        // Assemble the round's mixed batch: expire, ingest, probe.
+        let mut ops: Vec<Op> = Vec::with_capacity(2 * batch + 512);
+        if live.len() >= window {
+            for (u, v) in live.pop_front().unwrap() {
+                ops.push(Op::Delete(u, v));
+            }
+        }
         let fresh: Vec<(u32, u32)> = rmat(n, batch, 1000 + round as u64)
             .into_iter()
             .filter(|&(u, v)| !g.has_edge(u, v))
             .collect();
-        total_ops += fresh.len();
-        g.batch_insert(&fresh);
+        ops.extend(fresh.iter().map(|&(u, v)| Op::Insert(u, v)));
         live.push_back(fresh);
-
-        // Expire the oldest batch.
-        if live.len() > window {
-            let old = live.pop_front().unwrap();
-            total_ops += old.len();
-            g.batch_delete(&old);
+        for _ in 0..512 {
+            ops.push(Op::Query(
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            ));
         }
 
-        // Analytics: random pair queries + a community-size probe.
-        let queries: Vec<(u32, u32)> = (0..512)
-            .map(|_| {
-                (
-                    rng.next_below(n as u64) as u32,
-                    rng.next_below(n as u64) as u32,
-                )
-            })
-            .collect();
-        let answers = g.batch_connected(&queries);
-        total_ops += answers.len();
-        let connected_pairs = answers.iter().filter(|&&a| a).count();
+        // One call applies the whole round.
+        let result = g.apply(&ops).expect("stream vertices are in range");
+        total_ops += ops.len();
+        let connected_pairs = result.answers.iter().filter(|&&a| a).count();
 
         if round % 5 == 4 {
             let hub = 0u32; // R-MAT's heaviest hub is vertex 0
             println!(
-                "round {round:>2}: edges={:<6} components={:<6} hub-cluster={:<6} {}/512 random pairs connected",
+                "round {round:>2}: edges={:<6} (+{} -{}) components={:<6} hub-cluster={:<6} {}/512 random pairs connected",
                 g.num_edges(),
+                result.inserted,
+                result.deleted,
                 g.num_components(),
                 g.component_size(hub),
                 connected_pairs
@@ -74,14 +73,14 @@ fn main() {
     }
 
     let dt = t0.elapsed();
+    let stats = g.stats();
     println!(
         "\nprocessed {total_ops} operations in {:.2?} ({:.0} kops/s) — replacements: {}, level pushes: {}",
         dt,
         total_ops as f64 / dt.as_secs_f64() / 1000.0,
-        g.stats().replacements,
-        g.stats().total_pushes(),
+        stats.replacements,
+        stats.total_pushes(),
     );
-    g.check_invariants()
-        .expect("invariants hold after the stream");
+    BatchDynamic::check(&g).expect("invariants hold after the stream");
     println!("invariants hold ✓");
 }

@@ -3,8 +3,35 @@
 //! Workspace umbrella for the SPAA 2019 *Parallel Batch-Dynamic Graph
 //! Connectivity* reproduction. Re-exports every member crate and hosts the
 //! runnable examples (`examples/`) and cross-crate integration tests
-//! (`tests/`). Start with [`core`]'s `BatchDynamicConnectivity`.
+//! (`tests/`).
+//!
+//! **Start with [`api`]**: the [`api::Builder`] constructs any backend,
+//! and the [`api::Connectivity`] / [`api::BatchDynamic`] traits are the
+//! workspace-wide contract — `&self` batch queries, validated mutations
+//! with typed [`api::DynConError`]s, and mixed-operation batches via
+//! [`api::BatchDynamic::apply`]. The paper's structure is
+//! [`core::BatchDynamicConnectivity`]; the sequential HDT baseline
+//! ([`hdt::HdtConnectivity`]) and the baselines/oracles in [`spanning`]
+//! implement the same traits, so they interchange as
+//! `Box<dyn BatchDynamic>`.
+//!
+//! ```
+//! use dyncon::api::{BatchDynamic, Builder, Op};
+//! use dyncon::core::BatchDynamicConnectivity;
+//!
+//! let mut g: BatchDynamicConnectivity = Builder::new(6).build()?;
+//! let result = g.apply(&[
+//!     Op::Insert(0, 1),
+//!     Op::Insert(1, 2),
+//!     Op::Query(0, 2),
+//!     Op::Delete(1, 2),
+//!     Op::Query(0, 2),
+//! ])?;
+//! assert_eq!(result.answers, vec![true, false]);
+//! # Ok::<(), dyncon::api::DynConError>(())
+//! ```
 
+pub use dyncon_api as api;
 pub use dyncon_core as core;
 pub use dyncon_ett as ett;
 pub use dyncon_graphgen as graphgen;

@@ -1,86 +1,96 @@
-//! Cross-structure validation: the parallel batch-dynamic structure (both
-//! deletion algorithms), the sequential HDT baseline, the static-recompute
-//! baseline and the naive oracle must agree on identical operation
-//! streams across qualitatively different workloads.
+//! Cross-backend differential validation through the unified
+//! `dyncon-api` contract: every fully dynamic backend — the parallel
+//! batch-dynamic structure (both deletion algorithms), the sequential HDT
+//! baseline, the static-recompute baseline and the naive oracle — is
+//! driven through **identical mixed-operation batches** as a
+//! `Box<dyn BatchDynamic>` trait object, and every `BatchResult`
+//! (insert/delete counts *and* query answers, byte for byte) must match
+//! the oracle's. No per-backend adapter glue: one loop drives the panel.
+//!
+//! The structured churn workloads of the seed suite are kept, now
+//! expressed as mixed batches; a proptest generator adds arbitrary random
+//! mixed-op batches on top.
 
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
-use dyncon_graphgen::{cycle, erdos_renyi, grid2d, path, rmat, star, Batch, UpdateStream};
+use dyncon_api::{BatchDynamic, Builder, DeletionAlgorithm, Op};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{cycle, erdos_renyi, grid2d, path, rmat, star, UpdateStream};
 use dyncon_hdt::HdtConnectivity;
 use dyncon_primitives::SplitMix64;
-use dyncon_spanning::{NaiveDynamicGraph, StaticRecompute};
+use dyncon_spanning::{IncrementalConnectivity, NaiveDynamicGraph, StaticRecompute};
+use proptest::prelude::*;
 
-fn agree_on_stream(n: usize, stream: &UpdateStream, tag: &str) {
-    let mut simple = BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Simple);
-    let mut inter = BatchDynamicConnectivity::with_algorithm(n, DeletionAlgorithm::Interleaved);
-    let mut hdt = HdtConnectivity::new(n);
-    let mut stat = StaticRecompute::new(n);
-    let mut oracle = NaiveDynamicGraph::new(n);
-
-    for (bi, b) in stream.batches.iter().enumerate() {
-        match b {
-            Batch::Insert(v) => {
-                simple.batch_insert(v);
-                inter.batch_insert(v);
-                stat.batch_insert(v);
-                oracle.batch_insert(v);
-                for &(x, y) in v {
-                    hdt.insert(x, y);
-                }
-            }
-            Batch::Delete(v) => {
-                simple.batch_delete(v);
-                inter.batch_delete(v);
-                stat.batch_delete(v);
-                oracle.batch_delete(v);
-                for &(x, y) in v {
-                    hdt.delete(x, y);
-                }
-            }
-            Batch::Query(v) => {
-                let expect = oracle.batch_connected(v);
-                assert_eq!(
-                    simple.batch_connected(v),
-                    expect,
-                    "{tag}: Simple, batch {bi}"
-                );
-                assert_eq!(
-                    inter.batch_connected(v),
-                    expect,
-                    "{tag}: Interleaved, batch {bi}"
-                );
-                assert_eq!(stat.batch_connected(v), expect, "{tag}: static, batch {bi}");
-                let hdt_ans: Vec<bool> = v.iter().map(|&(x, y)| hdt.connected(x, y)).collect();
-                assert_eq!(hdt_ans, expect, "{tag}: HDT, batch {bi}");
-            }
-        }
-    }
-    assert_eq!(simple.num_edges(), oracle.num_edges(), "{tag}: edges");
-    assert_eq!(inter.num_edges(), oracle.num_edges(), "{tag}: edges");
-    assert_eq!(
-        inter.num_components(),
-        oracle.num_components(),
-        "{tag}: components"
-    );
-    simple
-        .check_invariants()
-        .unwrap_or_else(|e| panic!("{tag}: Simple invariants: {e}"));
-    inter
-        .check_invariants()
-        .unwrap_or_else(|e| panic!("{tag}: Interleaved invariants: {e}"));
+/// The fully dynamic backend panel. Index 0 is the trusted reference
+/// (the naive oracle); everything else must agree with it byte for byte.
+fn panel(n: usize) -> Vec<Box<dyn BatchDynamic>> {
+    let b = Builder::new(n);
+    vec![
+        Box::new(b.build::<NaiveDynamicGraph>().unwrap()),
+        Box::new(
+            b.clone()
+                .algorithm(DeletionAlgorithm::Simple)
+                .build::<BatchDynamicConnectivity>()
+                .unwrap(),
+        ),
+        Box::new(
+            b.clone()
+                .algorithm(DeletionAlgorithm::Interleaved)
+                .build::<BatchDynamicConnectivity>()
+                .unwrap(),
+        ),
+        Box::new(b.build::<HdtConnectivity>().unwrap()),
+        Box::new(b.build::<StaticRecompute>().unwrap()),
+    ]
 }
 
-/// Insert a structured graph in batches, then churn it down with a query
-/// batch between every mutation.
-fn churn_stream(n: usize, edges: &[(u32, u32)], batch: usize, seed: u64) -> UpdateStream {
-    let mut s = UpdateStream::default();
+/// Drive the whole panel through identical mixed-op batches: identical
+/// `BatchResult`s per batch, identical final component structure, and
+/// every backend's own invariant checker must pass.
+fn agree_on_batches(n: usize, batches: &[Vec<Op>], tag: &str) {
+    let mut panel = panel(n);
+    for (bi, ops) in batches.iter().enumerate() {
+        let reference = panel[0]
+            .apply(ops)
+            .unwrap_or_else(|e| panic!("{tag}: oracle rejected batch {bi}: {e}"));
+        for g in panel.iter_mut().skip(1) {
+            let name = g.backend_name();
+            let got = g
+                .apply(ops)
+                .unwrap_or_else(|e| panic!("{tag}: {name} rejected batch {bi}: {e}"));
+            assert_eq!(got, reference, "{tag}: {name} diverged on batch {bi}");
+        }
+    }
+    let comps = panel[0].num_components();
+    for g in &panel {
+        let name = g.backend_name();
+        assert_eq!(g.num_components(), comps, "{tag}: {name} component count");
+        g.check()
+            .unwrap_or_else(|e| panic!("{tag}: {name} invariants: {e}"));
+    }
+}
+
+/// Build a structured graph in chunks with queries *interleaved inside*
+/// every mutation batch, then churn it back down the same way.
+fn churn_batches(n: usize, edges: &[(u32, u32)], batch: usize, seed: u64) -> Vec<Vec<Op>> {
     let mut rng = SplitMix64::new(seed);
+    let rand_query = |rng: &mut SplitMix64, ops: &mut Vec<Op>| {
+        ops.push(Op::Query(
+            rng.next_below(n as u64) as u32,
+            rng.next_below(n as u64) as u32,
+        ));
+    };
+    let mut batches = Vec::new();
     for chunk in edges.chunks(batch) {
-        s.batches.push(Batch::Insert(chunk.to_vec()));
-        s.batches.push(Batch::Query(UpdateStream::random_queries(
-            n,
-            16,
-            rng.next_u64(),
-        )));
+        let mut ops = Vec::with_capacity(2 * chunk.len());
+        for (i, &(u, v)) in chunk.iter().enumerate() {
+            ops.push(Op::Insert(u, v));
+            if i % 3 == 0 {
+                rand_query(&mut rng, &mut ops);
+            }
+        }
+        for _ in 0..8 {
+            rand_query(&mut rng, &mut ops);
+        }
+        batches.push(ops);
     }
     let mut order: Vec<(u32, u32)> = edges.to_vec();
     for i in (1..order.len()).rev() {
@@ -88,64 +98,172 @@ fn churn_stream(n: usize, edges: &[(u32, u32)], batch: usize, seed: u64) -> Upda
         order.swap(i, j);
     }
     for chunk in order.chunks(batch) {
-        s.batches.push(Batch::Delete(chunk.to_vec()));
-        s.batches.push(Batch::Query(UpdateStream::random_queries(
-            n,
-            16,
-            rng.next_u64(),
-        )));
+        let mut ops = Vec::with_capacity(2 * chunk.len());
+        for (i, &(u, v)) in chunk.iter().enumerate() {
+            ops.push(Op::Delete(u, v));
+            if i % 3 == 1 {
+                rand_query(&mut rng, &mut ops);
+            }
+        }
+        for _ in 0..8 {
+            rand_query(&mut rng, &mut ops);
+        }
+        batches.push(ops);
     }
-    s
+    batches
 }
 
 #[test]
 fn path_graph_churn() {
     let n = 128;
-    agree_on_stream(n, &churn_stream(n, &path(n), 17, 1), "path");
+    agree_on_batches(n, &churn_batches(n, &path(n), 17, 1), "path");
 }
 
 #[test]
 fn cycle_graph_churn() {
     let n = 96;
-    agree_on_stream(n, &churn_stream(n, &cycle(n), 13, 2), "cycle");
+    agree_on_batches(n, &churn_batches(n, &cycle(n), 13, 2), "cycle");
 }
 
 #[test]
 fn star_graph_churn() {
     let n = 128;
-    agree_on_stream(n, &churn_stream(n, &star(n), 19, 3), "star");
+    agree_on_batches(n, &churn_batches(n, &star(n), 19, 3), "star");
 }
 
 #[test]
 fn grid_graph_churn() {
     let n = 8 * 16;
-    agree_on_stream(n, &churn_stream(n, &grid2d(8, 16), 23, 4), "grid");
+    agree_on_batches(n, &churn_batches(n, &grid2d(8, 16), 23, 4), "grid");
 }
 
 #[test]
 fn er_graph_churn() {
     let n = 120;
     let edges = erdos_renyi(n, 3 * n, 5);
-    agree_on_stream(n, &churn_stream(n, &edges, 31, 6), "er");
+    agree_on_batches(n, &churn_batches(n, &edges, 31, 6), "er");
 }
 
 #[test]
 fn rmat_graph_churn() {
     let n = 128;
     let edges = rmat(n, 2 * n, 7);
-    agree_on_stream(n, &churn_stream(n, &edges, 29, 8), "rmat");
+    agree_on_batches(n, &churn_batches(n, &edges, 29, 8), "rmat");
 }
 
 #[test]
 fn sliding_window_agreement() {
     let n = 100;
     let stream = UpdateStream::sliding_window(n, 14, 24, 4, 12, 9);
-    agree_on_stream(n, &stream, "sliding-window");
+    agree_on_batches(n, &dyncon_bench::stream_ops(&stream), "sliding-window");
 }
 
 #[test]
 fn dense_graph_full_teardown() {
     let n = 24;
     let edges = dyncon_graphgen::complete(n);
-    agree_on_stream(n, &churn_stream(n, &edges, 37, 10), "clique");
+    agree_on_batches(n, &churn_batches(n, &edges, 37, 10), "clique");
+}
+
+#[test]
+fn insert_only_panel_includes_union_find() {
+    // The insert-only union-find baseline joins the panel for streams
+    // without deletions. Its `inserted` counts are op-counts (a DSU
+    // tracks no edge set), so only query answers are compared for it.
+    let n = 64;
+    let b = Builder::new(n);
+    let mut oracle: Box<dyn BatchDynamic> = Box::new(b.build::<NaiveDynamicGraph>().unwrap());
+    let mut others: Vec<Box<dyn BatchDynamic>> = vec![
+        Box::new(b.build::<BatchDynamicConnectivity>().unwrap()),
+        Box::new(b.build::<HdtConnectivity>().unwrap()),
+        Box::new(b.build::<StaticRecompute>().unwrap()),
+    ];
+    let mut uf: Box<dyn BatchDynamic> = Box::new(b.build::<IncrementalConnectivity>().unwrap());
+
+    let mut rng = SplitMix64::new(77);
+    for round in 0..12 {
+        let mut ops = Vec::new();
+        for _ in 0..10 {
+            let (u, v) = (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            );
+            ops.push(Op::Insert(u, v));
+            ops.push(Op::Query(u, rng.next_below(n as u64) as u32));
+        }
+        let reference = oracle.apply(&ops).unwrap();
+        for g in &mut others {
+            let got = g.apply(&ops).unwrap();
+            assert_eq!(got, reference, "{}: round {round}", g.backend_name());
+        }
+        let got = uf.apply(&ops).unwrap();
+        assert_eq!(
+            got.answers, reference.answers,
+            "union-find answers, round {round}"
+        );
+    }
+    assert_eq!(uf.num_components(), oracle.num_components());
+    for v in [0u32, 17, 63] {
+        assert_eq!(
+            uf.component_size(v),
+            oracle.component_size(v),
+            "size of {v}"
+        );
+    }
+}
+
+const N: u32 = 12;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..N).prop_map(|(u, v)| Op::Insert(u, v)),
+        (0..N, 0..N).prop_map(|(u, v)| Op::Delete(u, v)),
+        (0..N, 0..N).prop_map(|(u, v)| Op::Query(u, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The differential property test of the unified API: arbitrary
+    /// random mixed-op batches (inserts, deletes — present or absent —
+    /// and queries interleaved freely, self-loops and duplicates
+    /// included) produce byte-identical `BatchResult`s across the whole
+    /// trait-object panel.
+    #[test]
+    fn differential_random_mixed_batches(
+        batches in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 1..16),
+            1..24,
+        )
+    ) {
+        let mut panel = panel(N as usize);
+        for (bi, ops) in batches.iter().enumerate() {
+            let reference = panel[0].apply(ops).unwrap();
+            for g in panel.iter_mut().skip(1) {
+                let got = g.apply(ops).unwrap();
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "{} diverged on batch {}",
+                    g.backend_name(),
+                    bi
+                );
+            }
+        }
+        let comps = panel[0].num_components();
+        for g in &panel {
+            prop_assert_eq!(g.num_components(), comps, "{}", g.backend_name());
+            for v in 0..N {
+                prop_assert_eq!(
+                    g.component_size(v),
+                    panel[0].component_size(v),
+                    "{} size of {}",
+                    g.backend_name(),
+                    v
+                );
+            }
+            g.check().map_err(TestCaseError::fail)?;
+        }
+    }
 }

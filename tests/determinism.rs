@@ -2,14 +2,14 @@
 //! identical observable behaviour across runs — the property every
 //! "reproducible experiments" claim in EXPERIMENTS.md rests on.
 
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_graphgen::{erdos_renyi, rmat, UpdateStream};
 
 fn observe(algo: DeletionAlgorithm, seed: u64) -> (Vec<bool>, usize, Vec<u64>, u64) {
     let n = 256;
     let edges = erdos_renyi(n, 3 * n, seed);
     let stream = UpdateStream::insert_then_delete(&edges, 64, 32, seed ^ 1);
-    let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+    let mut g: BatchDynamicConnectivity = Builder::new(n).algorithm(algo).build().unwrap();
     for b in &stream.batches {
         match b {
             dyncon_graphgen::Batch::Insert(v) => {

@@ -1,16 +1,23 @@
 //! Failure injection and boundary conditions across the public API:
 //! degenerate graphs, hostile batches, boundary vertex ids, level-edge
-//! cases. Every case also runs the full invariant checker.
+//! cases, and the typed-error contract of the `dyncon-api` boundary.
+//! Every case also runs the full invariant checker.
 
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_api::{BatchDynamic, Builder, DeletionAlgorithm, DynConError, Op};
+use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{complete, path};
+use dyncon_spanning::IncrementalConnectivity;
 
 const ALGOS: [DeletionAlgorithm; 2] = [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved];
+
+fn build(n: usize, algo: DeletionAlgorithm) -> BatchDynamicConnectivity {
+    Builder::new(n).algorithm(algo).build().unwrap()
+}
 
 #[test]
 fn two_vertex_graph() {
     for algo in ALGOS {
-        let mut g = BatchDynamicConnectivity::with_algorithm(2, algo);
+        let mut g = build(2, algo);
         assert_eq!(g.num_levels(), 1);
         assert!(g.insert(0, 1));
         assert!(g.connected(0, 1));
@@ -26,7 +33,7 @@ fn two_vertex_graph() {
 #[test]
 fn three_vertex_triangle_churn() {
     for algo in ALGOS {
-        let mut g = BatchDynamicConnectivity::with_algorithm(3, algo);
+        let mut g = build(3, algo);
         for _ in 0..10 {
             g.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
             g.batch_delete(&[(0, 1)]);
@@ -70,19 +77,95 @@ fn boundary_vertex_ids() {
     g.check_invariants().unwrap();
 }
 
+// ---- The typed-error contract of the API boundary ---------------------
+
+#[test]
+fn out_of_range_vertices_are_typed_errors() {
+    let mut g = BatchDynamicConnectivity::new(4);
+    // Every op kind is validated, including queries.
+    for ops in [
+        vec![Op::Insert(0, 4)],
+        vec![Op::Delete(4, 0)],
+        vec![Op::Query(2, u32::MAX)],
+    ] {
+        let err = g.apply(&ops).unwrap_err();
+        match err {
+            DynConError::VertexOutOfRange { num_vertices, .. } => assert_eq!(num_vertices, 4),
+            other => panic!("expected VertexOutOfRange, got {other:?}"),
+        }
+    }
+    // Trait-level batch mutations validate too.
+    assert!(BatchDynamic::batch_insert(&mut g, &[(1, 9)]).is_err());
+    assert!(BatchDynamic::batch_delete(&mut g, &[(9, 1)]).is_err());
+    assert_eq!(g.num_edges(), 0);
+}
+
+#[test]
+fn apply_rejects_wholesale_without_mutating() {
+    let mut g = BatchDynamicConnectivity::new(4);
+    g.insert(0, 1);
+    // Valid prefix + invalid tail: the whole batch must be rejected and
+    // the structure left exactly as it was.
+    let err = g
+        .apply(&[Op::Insert(1, 2), Op::Delete(0, 1), Op::Query(0, 4)])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        DynConError::VertexOutOfRange {
+            vertex: 4,
+            num_vertices: 4
+        }
+    );
+    assert_eq!(g.num_edges(), 1);
+    assert!(g.has_edge(0, 1));
+    assert!(!g.has_edge(1, 2));
+    g.check_invariants().unwrap();
+}
+
 #[test]
 #[should_panic(expected = "out of range")]
-fn out_of_range_vertex_panics() {
+fn inherent_fast_path_still_panics() {
+    // The unchecked inherent API keeps its documented panic contract;
+    // the trait boundary is where validation lives.
     let mut g = BatchDynamicConnectivity::new(4);
     g.batch_insert(&[(0, 4)]);
 }
+
+#[test]
+fn builder_rejects_unusable_vertex_counts() {
+    match Builder::new(0).build::<BatchDynamicConnectivity>() {
+        Err(e) => assert_eq!(e, DynConError::InvalidVertexCount { requested: 0 }),
+        Ok(_) => panic!("0 vertices must be rejected"),
+    }
+    assert!(Builder::new(usize::MAX)
+        .build::<BatchDynamicConnectivity>()
+        .is_err());
+}
+
+#[test]
+fn insert_only_backend_refuses_deletions() {
+    let mut uf: IncrementalConnectivity = Builder::new(8).build().unwrap();
+    uf.apply(&[Op::Insert(0, 1)]).unwrap();
+    let err = uf.apply(&[Op::Delete(0, 1)]).unwrap_err();
+    assert_eq!(
+        err,
+        DynConError::Unsupported {
+            backend: "incremental-unionfind",
+            operation: "batch_delete",
+        }
+    );
+    // The error message owns up to partial application semantics.
+    assert!(err.to_string().contains("does not support"));
+}
+
+// ---- Level-edge and churn cases ---------------------------------------
 
 #[test]
 fn interleaved_delete_and_reinsert_same_batch_boundary() {
     // Delete a bridge and re-insert it in the very next batch, repeatedly;
     // exercises record slot reuse and level reset to top.
     for algo in ALGOS {
-        let mut g = BatchDynamicConnectivity::with_algorithm(32, algo);
+        let mut g = build(32, algo);
         g.batch_insert(&path(32));
         for _ in 0..8 {
             g.batch_delete(&[(15, 16)]);
@@ -95,12 +178,34 @@ fn interleaved_delete_and_reinsert_same_batch_boundary() {
 }
 
 #[test]
+fn delete_and_reinsert_within_one_mixed_batch() {
+    // The same bridge cycle as above, but as ONE mixed-op batch: the
+    // run-splitting of `apply` must preserve operation order.
+    for algo in ALGOS {
+        let mut g = build(32, algo);
+        g.batch_insert(&path(32));
+        let res = g
+            .apply(&[
+                Op::Query(0, 31),
+                Op::Delete(15, 16),
+                Op::Query(0, 31),
+                Op::Insert(15, 16),
+                Op::Query(0, 31),
+            ])
+            .unwrap();
+        assert_eq!(res.answers, vec![true, false, true], "{algo:?}");
+        assert_eq!((res.inserted, res.deleted), (1, 1));
+        g.check_invariants().unwrap();
+    }
+}
+
+#[test]
 fn deep_level_descent() {
     // A clique forces edges to sink through many levels as it is chewed
     // away edge by edge — the worst case for level bookkeeping.
     for algo in ALGOS {
         let n = 16;
-        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+        let mut g = build(n, algo);
         let edges = complete(n);
         g.batch_insert(&edges);
         for e in &edges {
@@ -123,7 +228,7 @@ fn alternating_algorithms_on_same_graph_agree() {
     let script_ins: Vec<(u32, u32)> = complete(12);
     let mut results = Vec::new();
     for algo in ALGOS {
-        let mut g = BatchDynamicConnectivity::with_algorithm(12, algo);
+        let mut g = build(12, algo);
         g.batch_insert(&script_ins);
         g.batch_delete(&script_ins[0..30]);
         let mut obs = Vec::new();
@@ -144,7 +249,7 @@ fn massive_single_batch_teardown() {
     for algo in ALGOS {
         let n = 512;
         let edges = dyncon_graphgen::erdos_renyi(n, 3 * n, 77);
-        let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+        let mut g = build(n, algo);
         g.batch_insert(&edges);
         g.batch_delete(&edges);
         assert_eq!(g.num_edges(), 0);
@@ -157,12 +262,28 @@ fn massive_single_batch_teardown() {
 fn queries_do_not_mutate() {
     let mut g = BatchDynamicConnectivity::new(16);
     g.batch_insert(&path(16));
-    let before = g.stats().clone();
+    let before = g.stats();
+    // Queries only need a shared reference now.
+    let shared = &g;
     for _ in 0..5 {
-        g.batch_connected(&[(0, 15), (3, 9)]);
+        shared.batch_connected(&[(0, 15), (3, 9)]);
     }
     assert_eq!(g.num_edges(), 15);
     assert_eq!(g.stats().edges_inserted, before.edges_inserted);
     assert_eq!(g.stats().queries, before.queries + 10);
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn disabled_stats_stay_zero() {
+    let mut g: BatchDynamicConnectivity = Builder::new(16).stats(false).build().unwrap();
+    g.batch_insert(&path(16));
+    g.batch_delete(&[(3, 4)]);
+    g.batch_connected(&[(0, 15)]);
+    let s = g.stats();
+    assert_eq!(
+        (s.edges_inserted, s.edges_deleted, s.queries, s.rounds),
+        (0, 0, 0, 0)
+    );
     g.check_invariants().unwrap();
 }

@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the whole stack: arbitrary
 //! operation sequences shrink to minimal counterexamples on failure.
 
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_hdt::HdtConnectivity;
 use dyncon_spanning::NaiveDynamicGraph;
 use proptest::prelude::*;
@@ -35,8 +35,14 @@ proptest! {
     /// operation sequence, and its invariants hold throughout.
     #[test]
     fn core_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        let mut simple = BatchDynamicConnectivity::with_algorithm(N as usize, DeletionAlgorithm::Simple);
-        let mut inter = BatchDynamicConnectivity::with_algorithm(N as usize, DeletionAlgorithm::Interleaved);
+        let mut simple: BatchDynamicConnectivity = Builder::new(N as usize)
+            .algorithm(DeletionAlgorithm::Simple)
+            .build()
+            .unwrap();
+        let mut inter: BatchDynamicConnectivity = Builder::new(N as usize)
+            .algorithm(DeletionAlgorithm::Interleaved)
+            .build()
+            .unwrap();
         let mut oracle = NaiveDynamicGraph::new(N as usize);
         for op in &ops {
             match op {

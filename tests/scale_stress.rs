@@ -3,7 +3,7 @@
 //! checkpoints. Complements the small exhaustive model tests (which check
 //! invariants after *every* batch) with sheer volume.
 
-use dyncon_core::{BatchDynamicConnectivity, DeletionAlgorithm};
+use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_graphgen::{erdos_renyi, grid2d, UpdateStream};
 use dyncon_primitives::SplitMix64;
 use dyncon_spanning::NaiveDynamicGraph;
@@ -16,7 +16,7 @@ fn churn(
     seed: u64,
     checkpoints: usize,
 ) {
-    let mut g = BatchDynamicConnectivity::with_algorithm(n, algo);
+    let mut g: BatchDynamicConnectivity = Builder::new(n).algorithm(algo).build().unwrap();
     let mut oracle = NaiveDynamicGraph::new(n);
     let mut rng = SplitMix64::new(seed);
 

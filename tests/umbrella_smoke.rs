@@ -30,6 +30,38 @@ fn umbrella_reexports_build_a_graph() {
 }
 
 #[test]
+fn umbrella_exposes_the_unified_api() {
+    use dyncon::api::{BatchDynamic, Builder, Op};
+
+    let mut backends: Vec<Box<dyn BatchDynamic>> = vec![
+        Box::new(
+            Builder::new(8)
+                .build::<dyncon::core::BatchDynamicConnectivity>()
+                .unwrap(),
+        ),
+        Box::new(
+            Builder::new(8)
+                .build::<dyncon::hdt::HdtConnectivity>()
+                .unwrap(),
+        ),
+        Box::new(
+            Builder::new(8)
+                .build::<dyncon::spanning::StaticRecompute>()
+                .unwrap(),
+        ),
+    ];
+    for g in &mut backends {
+        let res = g
+            .apply(&[Op::Insert(0, 1), Op::Query(0, 1), Op::Delete(0, 1)])
+            .unwrap();
+        assert_eq!(res.answers, vec![true], "{}", g.backend_name());
+        assert_eq!(g.num_components(), 8);
+    }
+    // The typed error type is reachable through the umbrella too.
+    let _ = dyncon::api::DynConError::InvalidVertexCount { requested: 0 };
+}
+
+#[test]
 fn umbrella_reexports_cover_every_member() {
     // Touch one symbol from each re-exported member crate so a dropped
     // `pub use` in src/lib.rs cannot slip through.
