@@ -1,7 +1,17 @@
-//! E7: self-relative thread scaling of the three batch operations
-//! (this machine has 2 cores; the depth bounds predict scalability).
+//! E7: self-relative thread scaling of the three batch operations.
+//!
+//! The thread matrix comes from `DYNCON_THREADS` (comma-separated,
+//! default `1,2` — see [`dyncon_bench::thread_counts`]); the depth bounds
+//! predict scalability up to whatever the hardware offers.
+//!
+//! Each operation benches against a structure in a consistent state:
+//! `query` reuses one immutable forest per thread count (queries never
+//! mutate), while `insert_tree` and `delete_tree` rebuild via
+//! `iter_batched` setup so every measurement sees the same fresh input
+//! structure — never a stale one left over from a previous iteration —
+//! and the rebuild cost stays **outside** the timed routine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{random_tree, UpdateStream};
 
@@ -9,9 +19,13 @@ fn bench(c: &mut Criterion) {
     let n = 1 << 15;
     let tree = random_tree(n, 13);
     let qs = UpdateStream::random_queries(n, 1 << 14, 14);
+    // Delete a quarter of the tree edges in one batch: tree deletions are
+    // the expensive path (replacement search), and a partial batch leaves
+    // surviving components to search.
+    let dels: Vec<(u32, u32)> = tree.iter().copied().step_by(4).collect();
     let mut group = c.benchmark_group("e7_thread_scaling");
     group.sample_size(10);
-    for threads in [1usize, 2] {
+    for threads in dyncon_bench::thread_counts() {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -25,13 +39,38 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("insert_tree", threads),
             &threads,
             |b, _| {
-                b.iter(|| {
-                    pool.install(|| {
-                        let mut g2 = BatchDynamicConnectivity::new(n);
-                        g2.batch_insert(&tree);
-                        g2.num_components()
-                    })
-                });
+                b.iter_batched(
+                    || BatchDynamicConnectivity::new(n),
+                    |mut g2| {
+                        pool.install(|| {
+                            g2.batch_insert(&tree);
+                            g2.num_components()
+                        })
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delete_tree", threads),
+            &threads,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        pool.install(|| {
+                            let mut g2 = BatchDynamicConnectivity::new(n);
+                            g2.batch_insert(&tree);
+                            g2
+                        })
+                    },
+                    |mut g2| {
+                        pool.install(|| {
+                            g2.batch_delete(&dels);
+                            g2.num_components()
+                        })
+                    },
+                    BatchSize::PerIteration,
+                );
             },
         );
     }

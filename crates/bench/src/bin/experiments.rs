@@ -262,7 +262,9 @@ fn e6(cfg: &Cfg) {
     );
 }
 
-/// E7 — self-relative parallel speedup (1 vs 2 threads on this machine).
+/// E7 — self-relative parallel speedup across the `DYNCON_THREADS` matrix
+/// (comma-separated list, default `1,2`; speedups are relative to the
+/// first entry).
 fn e7(cfg: &Cfg) {
     let n = (1 << 16) / cfg.scale;
     let edges = erdos_renyi(n, 2 * n, 13);
@@ -294,34 +296,37 @@ fn e7(cfg: &Cfg) {
             (ti, tq, td)
         })
     };
-    let (i1, q1, d1) = run(1);
-    let (i2, q2, d2) = run(2);
-    let rows = vec![
-        vec![
-            "insert (k=2^14)".into(),
-            us(i1),
-            us(i2),
-            format!("{:.2}×", i1.as_secs_f64() / i2.as_secs_f64()),
-        ],
-        vec![
-            "query (k=2^15)".into(),
-            us(q1),
-            us(q2),
-            format!("{:.2}×", q1.as_secs_f64() / q2.as_secs_f64()),
-        ],
-        vec![
-            "delete (k=2^13)".into(),
-            us(d1),
-            us(d2),
-            format!("{:.2}×", d1.as_secs_f64() / d2.as_secs_f64()),
-        ],
-    ];
+    let counts = dyncon_bench::thread_counts();
+    let results: Vec<(usize, _)> = counts.iter().map(|&t| (t, run(t))).collect();
+    let (_, (i1, q1, d1)) = results[0];
+    let mut rows = Vec::new();
+    for &(t, (ti, tq, td)) in &results {
+        rows.push(vec![
+            t.to_string(),
+            us(ti),
+            format!("{:.2}×", i1.as_secs_f64() / ti.as_secs_f64()),
+            us(tq),
+            format!("{:.2}×", q1.as_secs_f64() / tq.as_secs_f64()),
+            us(td),
+            format!("{:.2}×", d1.as_secs_f64() / td.as_secs_f64()),
+        ]);
+    }
     print_table(
         &format!(
-            "E7 — thread scaling, n = {n}, m = {} (this machine has 2 cores)",
-            edges.len()
+            "E7 — thread scaling, n = {n}, m = {}, insert k=2^14 / query k=2^15 / delete k=2^13 (speedup vs {} thread{})",
+            edges.len(),
+            counts[0],
+            if counts[0] == 1 { "" } else { "s" }
         ),
-        &["operation", "1 thread µs", "2 threads µs", "speedup"],
+        &[
+            "threads",
+            "insert µs",
+            "speedup",
+            "query µs",
+            "speedup",
+            "delete µs",
+            "speedup",
+        ],
         &rows,
     );
 }

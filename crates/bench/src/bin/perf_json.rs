@@ -1,0 +1,152 @@
+//! Machine-readable perf smoke: the `bench-perf` CI job's artifact writer.
+//!
+//! Runs the three batch operations (insert / connected / delete) on CI
+//! smoke sizes across the `DYNCON_THREADS` matrix and writes one JSON
+//! record per `(op, threads)` cell:
+//!
+//! ```text
+//! {"op":"batch_insert","n":16384,"batch":4096,"threads":2,"median_ns":1234567}
+//! ```
+//!
+//! Usage: `perf_json [output-path]` (default `BENCH_PR.json`). The binary
+//! **validates its own output** — no records, a zero/unparseable median,
+//! or a non-finite value is a hard failure — so a broken measurement
+//! pipeline fails the job instead of uploading garbage. This file seeds
+//! the repository's perf trajectory: one artifact per PR, comparable
+//! across commits.
+
+use dyncon_bench::{median_duration, thread_counts, time};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{erdos_renyi, UpdateStream};
+use std::time::Duration;
+
+struct Record {
+    op: &'static str,
+    n: usize,
+    batch: usize,
+    threads: usize,
+    median_ns: u128,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            r#"{{"op":"{}","n":{},"batch":{},"threads":{},"median_ns":{}}}"#,
+            self.op, self.n, self.batch, self.threads, self.median_ns
+        )
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR.json".to_string());
+
+    // CI smoke sizes: large enough that every parallel path engages
+    // (≫ SEQ_THRESHOLD per batch), small enough for a sub-minute job.
+    let n = 1 << 14;
+    let insert_batch = 1 << 12;
+    let query_batch = 1 << 14;
+    let delete_batch = 1 << 11;
+    let reps = 3;
+
+    let edges = erdos_renyi(n, 2 * n, 13);
+    let qs = UpdateStream::random_queries(n, query_batch, 14);
+
+    let mut records: Vec<Record> = Vec::new();
+    for threads in thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+
+        let insert_run = || {
+            pool.install(|| {
+                let mut g = BatchDynamicConnectivity::new(n);
+                time(|| {
+                    for chunk in edges.chunks(insert_batch) {
+                        g.batch_insert(chunk);
+                    }
+                })
+                .0
+            })
+        };
+        let query_run = || {
+            pool.install(|| {
+                let mut g = BatchDynamicConnectivity::new(n);
+                g.batch_insert(&edges);
+                time(|| std::hint::black_box(g.batch_connected(&qs))).0
+            })
+        };
+        let delete_run = || {
+            pool.install(|| {
+                let mut g = BatchDynamicConnectivity::new(n);
+                g.batch_insert(&edges);
+                time(|| {
+                    for chunk in edges.chunks(delete_batch) {
+                        g.batch_delete(chunk);
+                    }
+                })
+                .0
+            })
+        };
+
+        type Cell<'a> = (&'static str, usize, Box<dyn FnMut() -> Duration + 'a>);
+        let cells: [Cell<'_>; 3] = [
+            ("batch_insert", insert_batch, Box::new(insert_run)),
+            ("batch_connected", query_batch, Box::new(query_run)),
+            ("batch_delete", delete_batch, Box::new(delete_run)),
+        ];
+        for (op, batch, mut run) in cells {
+            let median = median_duration(reps, &mut run);
+            records.push(Record {
+                op,
+                n,
+                batch,
+                threads,
+                median_ns: median.as_nanos(),
+            });
+            eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
+        }
+    }
+
+    // Validation: obviously broken output must fail the job.
+    if records.is_empty() {
+        eprintln!("perf_json: no records produced");
+        std::process::exit(1);
+    }
+    for r in &records {
+        if r.median_ns == 0 {
+            eprintln!(
+                "perf_json: zero median for {} at {} threads — timer broken?",
+                r.op, r.threads
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    let json = format!(
+        "{{\n\"schema\": \"dyncon-bench-v1\",\n\"records\": [\n{}\n]\n}}\n",
+        body.join(",\n")
+    );
+    // Round-trip sanity: the artifact must contain every op at every
+    // thread count and no NaN/inf artifacts from formatting.
+    assert!(!json.to_ascii_lowercase().contains("nan") && !json.contains("inf"));
+    for op in ["batch_insert", "batch_connected", "batch_delete"] {
+        assert_eq!(
+            json.matches(&format!("\"op\":\"{op}\"")).count(),
+            thread_counts().len(),
+            "missing records for {op}"
+        );
+    }
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("perf_json: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {} records to {out_path}", records.len());
+}

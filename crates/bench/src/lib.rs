@@ -9,6 +9,30 @@ use dyncon_api::{BatchDynamic, Op};
 use dyncon_graphgen::{Batch, UpdateStream};
 use std::time::{Duration, Instant};
 
+/// The thread matrix for the scaling experiments (E7 and the perf-artifact
+/// pipeline): parsed from `DYNCON_THREADS` as a comma-separated list of
+/// positive integers (e.g. `DYNCON_THREADS=1,2,4`), defaulting to `[1, 2]`.
+///
+/// A single-integer `DYNCON_THREADS` also pins the vendored rayon pool's
+/// *default* thread count, so `cargo test` runs under the same bound —
+/// that is what the CI thread matrix exercises.
+pub fn thread_counts() -> Vec<usize> {
+    parse_thread_counts(std::env::var("DYNCON_THREADS").ok().as_deref())
+}
+
+fn parse_thread_counts(raw: Option<&str>) -> Vec<usize> {
+    let parsed: Vec<usize> = raw
+        .unwrap_or("")
+        .split(',')
+        .filter_map(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+        .collect();
+    if parsed.is_empty() {
+        vec![1, 2]
+    } else {
+        parsed
+    }
+}
+
 /// Wall-clock a closure.
 pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     let t = Instant::now();
@@ -97,4 +121,19 @@ pub fn ns_per(d: Duration, items: usize) -> String {
 /// `lg(1 + n/k)` — the per-item factor every batch bound predicts.
 pub fn lg_factor(n: usize, k: usize) -> f64 {
     (1.0 + n as f64 / k.max(1) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_thread_counts;
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(parse_thread_counts(None), vec![1, 2]);
+        assert_eq!(parse_thread_counts(Some("")), vec![1, 2]);
+        assert_eq!(parse_thread_counts(Some("4")), vec![4]);
+        assert_eq!(parse_thread_counts(Some("1,2,4")), vec![1, 2, 4]);
+        assert_eq!(parse_thread_counts(Some(" 1 , 8 ")), vec![1, 8]);
+        assert_eq!(parse_thread_counts(Some("0,junk")), vec![1, 2]);
+    }
 }

@@ -3,7 +3,7 @@
 
 use crate::{BatchDynamicConnectivity, DeletionAlgorithm};
 use dyncon_ett::CompId;
-use dyncon_primitives::par_map_collect;
+use dyncon_primitives::{pack_by, par_expand2, par_for_each, par_map_collect};
 
 /// A disconnected piece under consideration at the current level.
 #[derive(Clone, Debug)]
@@ -30,24 +30,25 @@ impl BatchDynamicConnectivity {
     /// Delete a batch of edges. Self-loops, duplicates and absent edges
     /// are ignored; returns the number of edges actually deleted.
     pub fn batch_delete(&mut self, batch: &[(u32, u32)]) -> usize {
-        let mut es = Self::normalize(batch);
-        es.retain(|&(u, v)| self.edges.contains(u, v));
+        let normalized = Self::normalize(batch);
+        // Parallel dictionary filter + slot lookup.
+        let es = pack_by(&normalized, |&(u, v)| self.edges.contains(u, v));
         if es.is_empty() {
             return 0;
         }
         let k = es.len();
-        let slots: Vec<u32> = es
-            .iter()
-            .map(|&(u, v)| self.edges.slot_of(u, v).unwrap())
-            .collect();
+        let slots: Vec<u32> = par_map_collect(&es, |&(u, v)| self.edges.slot_of(u, v).unwrap());
 
-        // Partition into tree and non-tree deletions.
+        // Partition into tree and non-tree deletions. Tags are read in
+        // parallel; the level fan-out is a short sequential pass (levels
+        // are few and the order fixes downstream tie-breaks).
+        let tags: Vec<(usize, bool)> =
+            par_map_collect(&slots, |&s| (self.edges.level(s), self.edges.is_tree(s)));
         let mut nontree_by_level: Vec<Vec<u32>> = vec![Vec::new(); self.num_levels];
         // (level, endpoints) of each deleted tree edge.
         let mut tree_dels: Vec<(usize, u32, u32)> = Vec::new();
-        for (&s, &(u, v)) in slots.iter().zip(&es) {
-            let li = self.edges.level(s);
-            if self.edges.is_tree(s) {
+        for ((&s, &(u, v)), &(li, is_tree)) in slots.iter().zip(&es).zip(&tags) {
+            if is_tree {
                 tree_dels.push((li, u, v));
             } else {
                 nontree_by_level[li].push(s);
@@ -83,11 +84,7 @@ impl BatchDynamicConnectivity {
 
         // Lines 5-8: the disconnected pieces, as vertex handles (their
         // representatives are recomputed per level).
-        let mut c_handles: Vec<u32> = Vec::with_capacity(2 * tree_dels.len());
-        for &(_, u, v) in &tree_dels {
-            c_handles.push(u);
-            c_handles.push(v);
-        }
+        let mut c_handles: Vec<u32> = par_expand2(&tree_dels, |&(_, u, v)| [u, v]);
 
         // Lines 9-11: ascend the levels searching for replacements. `s`
         // buffers the found tree edges (slots) for insertion into each
@@ -118,9 +115,8 @@ impl BatchDynamicConnectivity {
         // Line 2: F_i.BatchInsert(S). None of S is in F_li yet (each found
         // edge was linked only into forests up to its discovery level).
         if !s_slots.is_empty() {
-            let s_edges: Vec<(u32, u32)> =
-                s_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
-            let flags: Vec<bool> = s_slots.iter().map(|&s| self.edges.level(s) == li).collect();
+            let s_edges: Vec<(u32, u32)> = par_map_collect(s_slots, |&s| self.edges.endpoints(s));
+            let flags: Vec<bool> = par_map_collect(s_slots, |&s| self.edges.level(s) == li);
             self.levels[li].batch_link(&s_edges, &flags);
         }
 
@@ -169,10 +165,12 @@ impl BatchDynamicConnectivity {
             return;
         }
         debug_assert!(li > 0, "level-1 active pieces are singletons");
-        for &(u, v) in &tree_edges {
+        // Distinct edges, distinct slots: the relaxed per-slot stores are
+        // data-disjoint, so this fans out safely.
+        par_for_each(&tree_edges, |&(u, v)| {
             let s = self.edges.slot_of(u, v).expect("tree edge recorded");
             self.edges.set_level(s, li - 1);
-        }
+        });
         self.levels[li].set_tree_flags(&tree_edges, false);
         let flags = vec![true; tree_edges.len()];
         self.levels[li - 1].batch_link(&tree_edges, &flags);
@@ -187,9 +185,7 @@ impl BatchDynamicConnectivity {
         }
         debug_assert!(li > 0, "cannot push below the bottom level");
         self.remove_nontree_at(li, slots);
-        for &s in slots {
-            self.edges.set_level(s, li - 1);
-        }
+        par_for_each(slots, |&s| self.edges.set_level(s, li - 1));
         self.add_nontree_at(li - 1, slots);
         self.stat(|s| s.nontree_pushes += slots.len() as u64);
     }
@@ -201,10 +197,8 @@ impl BatchDynamicConnectivity {
             return;
         }
         self.remove_nontree_at(li, slots);
-        let edges: Vec<(u32, u32)> = slots.iter().map(|&s| self.edges.endpoints(s)).collect();
-        for &s in slots {
-            self.edges.set_tree(s, true);
-        }
+        let edges: Vec<(u32, u32)> = par_map_collect(slots, |&s| self.edges.endpoints(s));
+        par_for_each(slots, |&s| self.edges.set_tree(s, true));
         let flags = vec![true; edges.len()];
         self.levels[li].batch_link(&edges, &flags);
         s_slots.extend_from_slice(slots);

@@ -9,7 +9,7 @@
 //! endpoints' adjacency compactions move the same edge in two different
 //! arrays).
 
-use dyncon_primitives::{par_for, ConcurrentDict};
+use dyncon_primitives::{par_for, par_map_collect, par_tabulate, ConcurrentDict};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Pack an undirected edge into a dictionary key.
@@ -180,11 +180,10 @@ impl EdgeIndex {
             self.pos_min[s].store(u32::MAX, Ordering::Relaxed);
             self.pos_max[s].store(u32::MAX, Ordering::Relaxed);
         });
-        let entries: Vec<(u64, u64)> = edges
-            .iter()
-            .zip(&slots)
-            .map(|(&(u, v), &s)| (edge_key(u, v), s as u64))
-            .collect();
+        let entries: Vec<(u64, u64)> = par_tabulate(k, |i| {
+            let (u, v) = edges[i];
+            (edge_key(u, v), slots[i] as u64)
+        });
         self.dict.insert_batch(&entries);
         self.len += k;
         slots
@@ -192,15 +191,13 @@ impl EdgeIndex {
 
     /// Remove a batch of slots (must be live and distinct).
     pub fn remove_batch(&mut self, slots: &[u32]) {
-        let keys: Vec<u64> = slots
-            .iter()
-            .map(|&s| self.keys[s as usize].load(Ordering::Relaxed))
-            .collect();
+        let keys: Vec<u64> =
+            par_map_collect(slots, |&s| self.keys[s as usize].load(Ordering::Relaxed));
         let removed = self.dict.remove_batch(&keys);
         debug_assert_eq!(removed, slots.len(), "removing absent edge slots");
-        for &s in slots {
-            self.keys[s as usize].store(u64::MAX, Ordering::Relaxed);
-        }
+        par_for(slots.len(), |i| {
+            self.keys[slots[i] as usize].store(u64::MAX, Ordering::Relaxed);
+        });
         self.free.extend_from_slice(slots);
         self.len -= slots.len();
     }

@@ -8,16 +8,24 @@
 
 use crate::adjacency::VertexBatch;
 use crate::BatchDynamicConnectivity;
-use dyncon_primitives::semisort_pairs;
+use dyncon_primitives::{
+    pack, pack_by, par_expand2, par_map_collect, par_tabulate, semisort_pairs,
+};
 use dyncon_spanning::spanning_forest_sparse;
 
 impl BatchDynamicConnectivity {
     /// Insert a batch of edges. Self-loops, duplicates within the batch,
     /// and edges already present are ignored. Returns the number of edges
     /// actually inserted.
+    ///
+    /// Every phase is a parallel combinator (map / pack / expand /
+    /// semisort) over the deterministic normalized edge order, so the
+    /// resulting structure is byte-identical across thread counts.
     pub fn batch_insert(&mut self, batch: &[(u32, u32)]) -> usize {
-        let mut es = Self::normalize(batch);
-        es.retain(|&(u, v)| {
+        let normalized = Self::normalize(batch);
+        // Parallel dedup against the current edge set (the paper's
+        // dictionary lookup phase).
+        let es = pack_by(&normalized, |&(u, v)| {
             assert!((v as usize) < self.n, "vertex {v} out of range");
             !self.edges.contains(u, v)
         });
@@ -28,35 +36,24 @@ impl BatchDynamicConnectivity {
         let k = es.len();
 
         // Lines 4-5: contracted spanning forest over component reps.
-        let mut flat: Vec<u32> = Vec::with_capacity(2 * k);
-        for &(u, v) in &es {
-            flat.push(u);
-            flat.push(v);
-        }
+        let flat: Vec<u32> = par_expand2(&es, |&(u, v)| [u, v]);
         let reps = self.levels[top].batch_find_rep(&flat);
-        let rep_pairs: Vec<(u64, u64)> = (0..k).map(|i| (reps[2 * i], reps[2 * i + 1])).collect();
+        let rep_pairs: Vec<(u64, u64)> = par_tabulate(k, |i| (reps[2 * i], reps[2 * i + 1]));
         let rf = spanning_forest_sparse(&rep_pairs);
 
         // Record all edges at the top level with their tree status.
         let slots = self.edges.insert_batch(&es, top, &rf.chosen);
 
         // Lines 6-8: promote the forest edges into F_L.
-        let tree_edges: Vec<(u32, u32)> = es
-            .iter()
-            .zip(&rf.chosen)
-            .filter_map(|(&e, &c)| c.then_some(e))
-            .collect();
+        let tree_edges: Vec<(u32, u32)> = pack(&es, &rf.chosen);
         if !tree_edges.is_empty() {
             let flags = vec![true; tree_edges.len()];
             self.levels[top].batch_link(&tree_edges, &flags);
         }
 
         // Line 3: the rest join the level-L adjacency structure.
-        let nontree_slots: Vec<u32> = slots
-            .iter()
-            .zip(&rf.chosen)
-            .filter_map(|(&s, &c)| (!c).then_some(s))
-            .collect();
+        let nontree_flags: Vec<bool> = par_map_collect(&rf.chosen, |&c| !c);
+        let nontree_slots: Vec<u32> = pack(&slots, &nontree_flags);
         self.add_nontree_at(top, &nontree_slots);
 
         self.stat(|s| s.edges_inserted += k as u64);
@@ -85,32 +82,29 @@ impl BatchDynamicConnectivity {
         self.refresh_counts(li, &groups);
     }
 
-    /// Both-endpoint occurrences of `slots` grouped by vertex.
+    /// Both-endpoint occurrences of `slots` grouped by vertex (the
+    /// Algorithm 2 line-3 semisort, endpoint fan-out and group extraction
+    /// all parallel; the semisort's canonical within-group order makes the
+    /// adjacency array layout thread-count independent).
     fn vertex_groups(&self, li: usize, slots: &[u32]) -> Vec<VertexBatch> {
-        let mut occ: Vec<(u32, u32)> = Vec::with_capacity(slots.len() * 2);
-        for &s in slots {
+        let mut occ: Vec<(u32, u32)> = par_expand2(slots, |&s| {
             let (u, v) = self.edges.endpoints(s);
-            occ.push((u, s));
-            occ.push((v, s));
-        }
+            [(u, s), (v, s)]
+        });
         let ranges = semisort_pairs(&mut occ);
-        ranges
-            .into_iter()
-            .map(|(vertex, range)| VertexBatch {
-                vertex,
-                level: li as u8,
-                slots: occ[range].iter().map(|&(_, s)| s).collect(),
-            })
-            .collect()
+        par_map_collect(&ranges, |(vertex, range)| VertexBatch {
+            vertex: *vertex,
+            level: li as u8,
+            slots: occ[range.clone()].iter().map(|&(_, s)| s).collect(),
+        })
     }
 
     /// Push the adjacency lengths of the touched vertices into the
     /// forest's augmented counts (Appendix 9 / Lemma 11 bookkeeping).
     fn refresh_counts(&mut self, li: usize, groups: &[VertexBatch]) {
-        let updates: Vec<(u32, u64)> = groups
-            .iter()
-            .map(|g| (g.vertex, self.adj.len(g.vertex, li as u8) as u64))
-            .collect();
+        let adj = &self.adj;
+        let updates: Vec<(u32, u64)> =
+            par_map_collect(groups, |g| (g.vertex, adj.len(g.vertex, li as u8) as u64));
         self.levels[li].set_nontree_counts(&updates);
     }
 }

@@ -246,13 +246,13 @@ impl BatchDynamicConnectivity {
     }
 
     /// Normalize a user batch: order endpoints, drop self loops, dedup.
+    /// Fully parallel (map + pack + parallel sort); the sorted result also
+    /// fixes the edge order every downstream tie-break is resolved in.
     pub(crate) fn normalize(batch: &[(u32, u32)]) -> Vec<(u32, u32)> {
-        let mut es: Vec<(u32, u32)> = batch
-            .iter()
-            .filter(|&&(u, v)| u != v)
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
-        dyncon_primitives::sort_dedup(&mut es);
+        use dyncon_primitives::{pack_by, par_map_collect, sort_dedup};
+        let oriented: Vec<(u32, u32)> = par_map_collect(batch, |&(u, v)| (u.min(v), u.max(v)));
+        let mut es = pack_by(&oriented, |&(u, v)| u != v);
+        sort_dedup(&mut es);
         es
     }
 }

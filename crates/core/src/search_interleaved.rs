@@ -22,7 +22,7 @@
 
 use crate::BatchDynamicConnectivity;
 use dyncon_ett::CompId;
-use dyncon_primitives::{par_map_collect, sort_dedup, FxHashMap, FxHashSet};
+use dyncon_primitives::{pack_by, par_for_each, par_map_collect, sort_dedup, FxHashMap, FxHashSet};
 use dyncon_spanning::spanning_forest_sparse;
 
 /// The paper's `M`: map of pieces to supercomponents and their sizes.
@@ -229,9 +229,7 @@ impl BatchDynamicConnectivity {
             if !push_now.is_empty() {
                 debug_assert!(li > 0, "level-0 pieces cannot push");
                 self.remove_nontree_at(li, &push_now);
-                for &s in &push_now {
-                    self.edges.set_level(s, li - 1);
-                }
+                par_for_each(&push_now, |&s| self.edges.set_level(s, li - 1));
                 pushed.extend_from_slice(&push_now);
             }
             r += 1;
@@ -243,41 +241,26 @@ impl BatchDynamicConnectivity {
         let pushed_set: FxHashSet<u32> = pushed.iter().copied().collect();
         // Chosen tree edges never pushed are still in the level-i
         // adjacency: remove them (they are tree edges now).
-        let t_unpushed: Vec<u32> = t_slots
-            .iter()
-            .copied()
-            .filter(|s| !pushed_set.contains(s))
-            .collect();
+        let t_unpushed: Vec<u32> = pack_by(&t_slots, |s| !pushed_set.contains(s));
         self.remove_nontree_at(li, &t_unpushed);
-        for &s in &t_slots {
-            self.edges.set_tree(s, true);
-        }
+        par_for_each(&t_slots, |&s| self.edges.set_tree(s, true));
         // Line 34: F_i.BatchInsert(T). Pushed members of T carry level
         // i-1 (flag false here, true below); unpushed carry level i.
         if !t_slots.is_empty() {
-            let edges: Vec<(u32, u32)> = t_slots.iter().map(|&s| self.edges.endpoints(s)).collect();
-            let flags: Vec<bool> = t_slots.iter().map(|&s| self.edges.level(s) == li).collect();
+            let edges: Vec<(u32, u32)> = par_map_collect(&t_slots, |&s| self.edges.endpoints(s));
+            let flags: Vec<bool> = par_map_collect(&t_slots, |&s| self.edges.level(s) == li);
             self.levels[li].batch_link(&edges, &flags);
             self.stat(|s| s.replacements += t_slots.len() as u64);
         }
         // Line 35: land the pushed edges on level i-1.
-        let t_pushed: Vec<u32> = t_slots
-            .iter()
-            .copied()
-            .filter(|s| pushed_set.contains(s))
-            .collect();
+        let t_pushed: Vec<u32> = pack_by(&t_slots, |s| pushed_set.contains(s));
         if !t_pushed.is_empty() {
-            let edges: Vec<(u32, u32)> =
-                t_pushed.iter().map(|&s| self.edges.endpoints(s)).collect();
+            let edges: Vec<(u32, u32)> = par_map_collect(&t_pushed, |&s| self.edges.endpoints(s));
             let flags = vec![true; edges.len()];
             self.levels[li - 1].batch_link(&edges, &flags);
         }
         let t_set: FxHashSet<u32> = t_slots.iter().copied().collect();
-        let pushed_nontree: Vec<u32> = pushed
-            .iter()
-            .copied()
-            .filter(|s| !t_set.contains(s))
-            .collect();
+        let pushed_nontree: Vec<u32> = pack_by(&pushed, |s| !t_set.contains(s));
         if !pushed_nontree.is_empty() {
             self.add_nontree_at(li - 1, &pushed_nontree);
         }

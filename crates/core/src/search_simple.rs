@@ -16,6 +16,15 @@
 //! a spanning forest over the found replacement edges (on the contracted
 //! piece graph) is committed as tree edges, and the piece set is
 //! recomputed.
+//!
+//! **Parallelism and determinism.** Every doubling phase fans the
+//! fetch-and-check work out over all searching pieces at once
+//! (`par_map_collect` below), and the phase's pushes are applied as one
+//! deduplicated batch at the barrier. The pieces' fetch results depend
+//! only on adjacency-array order (canonical by the semisort contract),
+//! and the committed replacement set comes from the deterministic
+//! spanning forest, so the whole search — like the rest of the structure
+//! — is byte-identical across thread counts.
 
 use crate::delete::Comp;
 use crate::BatchDynamicConnectivity;

@@ -7,7 +7,11 @@
 //! per level against Algorithm 5's `O(lg n)` rounds per level.
 
 /// Cumulative operation statistics of a [`crate::BatchDynamicConnectivity`].
-#[derive(Clone, Debug, Default)]
+///
+/// Under the workspace determinism contract every counter is a pure
+/// function of the operation history — `PartialEq` lets the determinism
+/// suite compare whole snapshots across thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Edges inserted (after dedup/filtering).
     pub edges_inserted: u64,

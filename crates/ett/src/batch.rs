@@ -29,7 +29,9 @@
 
 use crate::aug::EttVal;
 use crate::forest::{edge_key, EulerTourForest, Payload};
-use dyncon_primitives::{par_for, resolve_chains, semisort_pairs, FxHashMap, SyncSlice};
+use dyncon_primitives::{
+    par_for, par_map_collect, par_tabulate, resolve_chains, semisort_pairs, FxHashMap, SyncSlice,
+};
 use dyncon_skiplist::{NodeId, NIL};
 
 impl EulerTourForest {
@@ -71,12 +73,14 @@ impl EulerTourForest {
         }
 
         // Directed copies grouped by source vertex: (source, (dep, ret)).
-        let mut directed: Vec<(u32, (NodeId, NodeId))> = Vec::with_capacity(2 * k);
-        for i in 0..k {
-            let (u, v) = edges[i];
-            directed.push((u, (fwd_nodes[i], rev_nodes[i])));
-            directed.push((v, (rev_nodes[i], fwd_nodes[i])));
-        }
+        let mut directed: Vec<(u32, (NodeId, NodeId))> = par_tabulate(2 * k, |j| {
+            let (u, v) = edges[j / 2];
+            if j % 2 == 0 {
+                (u, (fwd_nodes[j / 2], rev_nodes[j / 2]))
+            } else {
+                (v, (rev_nodes[j / 2], fwd_nodes[j / 2]))
+            }
+        });
         let groups = semisort_pairs(&mut directed);
 
         // One cut per touched vertex; `range.len() + 1` links per group laid
@@ -115,16 +119,15 @@ impl EulerTourForest {
         self.sl.batch_reconnect(&cuts, &links);
 
         // Record the edge → node mapping.
-        let mut dict_entries = Vec::with_capacity(k);
-        for i in 0..k {
+        let dict_entries: Vec<(u64, u64)> = par_tabulate(k, |i| {
             let (u, v) = edges[i];
             let (fwd, rev) = if u < v {
                 (fwd_nodes[i], rev_nodes[i])
             } else {
                 (rev_nodes[i], fwd_nodes[i])
             };
-            dict_entries.push((edge_key(u, v), ((fwd as u64) << 32) | rev as u64));
-        }
+            (edge_key(u, v), ((fwd as u64) << 32) | rev as u64)
+        });
         self.edge_nodes.insert_batch(&dict_entries);
         self.add_edge_count(k as isize);
     }
@@ -137,19 +140,22 @@ impl EulerTourForest {
             return;
         }
         let k = edges.len();
-        // Removed nodes: 2 per edge, fwd at 2i, rev at 2i+1.
-        let mut removed: Vec<NodeId> = Vec::with_capacity(2 * k);
-        let mut keys: Vec<u64> = Vec::with_capacity(k);
-        for &(u, v) in edges {
-            let key = edge_key(u, v);
-            let packed = self
-                .edge_nodes
-                .get(key)
-                .unwrap_or_else(|| panic!("batch_cut: edge ({u},{v}) not in forest"));
-            removed.push((packed >> 32) as NodeId);
-            removed.push(packed as NodeId);
-            keys.push(key);
-        }
+        // Removed nodes: 2 per edge, fwd at 2i, rev at 2i+1 (parallel
+        // dictionary lookup phase).
+        let packed: Vec<u64> = par_map_collect(edges, |&(u, v)| {
+            self.edge_nodes
+                .get(edge_key(u, v))
+                .unwrap_or_else(|| panic!("batch_cut: edge ({u},{v}) not in forest"))
+        });
+        let removed: Vec<NodeId> = par_tabulate(2 * k, |j| {
+            let p = packed[j / 2];
+            if j % 2 == 0 {
+                (p >> 32) as NodeId
+            } else {
+                p as NodeId
+            }
+        });
+        let keys: Vec<u64> = par_map_collect(edges, |&(u, v)| edge_key(u, v));
         let member: FxHashMap<NodeId, usize> =
             removed.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         debug_assert_eq!(member.len(), 2 * k, "duplicate edge in batch_cut");
@@ -171,11 +177,14 @@ impl EulerTourForest {
 
         // Cuts: after every removed node, plus after each live predecessor.
         // Links: (live predecessor of a removed run) → (resolved exit).
+        // Predecessor scans (the expensive part) fan out; the short stitch
+        // loop stays sequential to keep the batch order canonical.
+        let preds: Vec<NodeId> = par_map_collect(&removed, |&r| self.sl.predecessor(r));
         let mut cuts: Vec<NodeId> = Vec::with_capacity(4 * k);
         let mut links: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * k);
         for (i, &r) in removed.iter().enumerate() {
             cuts.push(r);
-            let pred = self.sl.predecessor(r);
+            let pred = preds[i];
             if !member.contains_key(&pred) {
                 cuts.push(pred);
                 links.push((pred, exits[i] as NodeId));

@@ -1,7 +1,7 @@
 //! The forest container: vertices, payload mapping, queries.
 
 use crate::aug::{EttAug, EttVal};
-use dyncon_primitives::{par_map_collect, ConcurrentDict};
+use dyncon_primitives::{par_expand2, par_map_collect, par_tabulate, ConcurrentDict};
 use dyncon_skiplist::{NodeId, SkipList, NIL};
 
 /// What a skip-list node represents in the Euler tour.
@@ -135,9 +135,13 @@ impl EulerTourForest {
     }
 
     /// Batch connectivity queries (`BatchConnected`, §2.1): `O(k lg(1+n/k))`
-    /// expected work, `O(lg n)` depth w.h.p. (Theorem 2).
+    /// expected work, `O(lg n)` depth w.h.p. (Theorem 2). Runs as one
+    /// chunked parallel root lookup over the `2k` flattened endpoints plus
+    /// a parallel compare — Algorithm 1's shape exactly.
     pub fn batch_connected(&self, pairs: &[(u32, u32)]) -> Vec<bool> {
-        par_map_collect(pairs, |&(u, v)| self.connected(u, v))
+        let flat = par_expand2(pairs, |&(u, v)| [u, v]);
+        let reps = self.batch_find_rep(&flat);
+        par_tabulate(pairs.len(), |i| reps[2 * i] == reps[2 * i + 1])
     }
 
     /// Aggregated augmented value of `v`'s component.

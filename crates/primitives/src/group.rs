@@ -9,19 +9,25 @@
 use rayon::prelude::*;
 use std::ops::Range;
 
-/// Sort `pairs` by key and return one `(key, range)` per distinct key, where
+/// Sort `pairs` and return one `(key, range)` per distinct key, where
 /// `range` indexes the now-contiguous group inside `pairs`.
 ///
 /// Postcondition: concatenating the ranges covers `0..pairs.len()` in order.
+///
+/// The sort is over the **full pair** (hence `V: Ord`): the parallel sort
+/// pre-sorts thread-count-dependent blocks, so a key-only sort would leave
+/// equal-key elements in a scheduling-dependent order. Sorting the whole
+/// pair makes the layout a pure function of the input — the same
+/// determinism contract as [`crate::semisort::semisort_pairs`].
 pub fn group_pairs_by_key<K, V>(pairs: &mut [(K, V)]) -> Vec<(K, Range<usize>)>
 where
     K: Ord + Copy + Send + Sync,
-    V: Send + Sync + Copy,
+    V: Ord + Send + Sync + Copy,
 {
     if pairs.len() < crate::SEQ_THRESHOLD {
-        pairs.sort_unstable_by_key(|p| p.0);
+        pairs.sort_unstable();
     } else {
-        pairs.par_sort_unstable_by_key(|p| p.0);
+        pairs.par_sort_unstable();
     }
     group_ranges_of_sorted(pairs)
 }

@@ -34,7 +34,9 @@ pub use group::{dedup_sorted, group_pairs_by_key, sort_dedup};
 pub use hash::{hash64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use listrank::resolve_chains;
 pub use rng::SplitMix64;
-pub use scan::{exclusive_scan_usize, pack, pack_index, par_map_collect};
+pub use scan::{
+    exclusive_scan_usize, pack, pack_by, pack_index, par_expand2, par_map_collect, par_tabulate,
+};
 pub use semisort::{semisort_pairs, KeyHash};
 pub use sync_cell::SyncSlice;
 

@@ -100,6 +100,61 @@ pub fn par_map_collect<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync
     }
 }
 
+/// `[f(0), f(1), …, f(n-1)]`, evaluated in parallel (stable order) — the
+/// "build an array by index" idiom every batch phase starts with.
+pub fn par_tabulate<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync + Send) -> Vec<U> {
+    if n < crate::SEQ_THRESHOLD {
+        (0..n).map(f).collect()
+    } else {
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+/// Fixed-arity parallel flat-map: each item expands to exactly two outputs,
+/// laid out at `[2i, 2i+1]` — deterministic order regardless of scheduling.
+/// This is the "both endpoints of every edge" fan-out of Algorithms 2–5.
+pub fn par_expand2<T: Sync, U: Copy + Send + Sync>(
+    items: &[T],
+    f: impl Fn(&T) -> [U; 2] + Sync + Send,
+) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < crate::SEQ_THRESHOLD {
+        let mut out = Vec::with_capacity(2 * n);
+        for it in items {
+            let [a, b] = f(it);
+            out.push(a);
+            out.push(b);
+        }
+        return out;
+    }
+    let first = f(&items[0]);
+    let mut out = vec![first[0]; 2 * n];
+    let slots = crate::sync_cell::SyncSlice::new(&mut out);
+    items.par_iter().enumerate().for_each(|(i, it)| {
+        let [a, b] = f(it);
+        // SAFETY: iteration i exclusively owns slots 2i and 2i+1.
+        unsafe {
+            slots.write(2 * i, a);
+            slots.write(2 * i + 1, b);
+        }
+    });
+    out
+}
+
+/// Parallel filter with a computed predicate: evaluate `keep` on every item
+/// in parallel, then `pack` the survivors (order preserved). The parallel
+/// replacement for sequential `Vec::retain` on the batch hot paths.
+pub fn pack_by<T: Copy + Send + Sync>(
+    items: &[T],
+    keep: impl Fn(&T) -> bool + Sync + Send,
+) -> Vec<T> {
+    let flags: Vec<bool> = par_map_collect(items, keep);
+    pack(items, &flags)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +226,36 @@ mod tests {
         let items: Vec<u64> = (0..10_000).collect();
         let out = par_map_collect(&items, |x| x * 3);
         assert!(out.iter().enumerate().all(|(i, &v)| v == 3 * i as u64));
+    }
+
+    #[test]
+    fn par_tabulate_matches_range_map() {
+        for n in [0usize, 5, 3000] {
+            let out = par_tabulate(n, |i| i * i);
+            let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn par_expand2_interleaves_in_order() {
+        for n in [0usize, 7, 4000] {
+            let items: Vec<u32> = (0..n as u32).collect();
+            let out = par_expand2(&items, |&x| [x, x + 100_000]);
+            assert_eq!(out.len(), 2 * n);
+            for (i, &x) in items.iter().enumerate() {
+                assert_eq!(out[2 * i], x);
+                assert_eq!(out[2 * i + 1], x + 100_000);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_by_matches_retain() {
+        let mut r = SplitMix64::new(3);
+        let items: Vec<u64> = (0..20_000).map(|_| r.next_below(1 << 20)).collect();
+        let keep = |x: &u64| x % 7 < 3;
+        let expect: Vec<u64> = items.iter().copied().filter(|x| keep(x)).collect();
+        assert_eq!(pack_by(&items, keep), expect);
     }
 }

@@ -23,10 +23,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// `O(k)` expected work, `O(lg k)` depth w.h.p. Falls back to the sorting
 /// grouper below a size threshold (counting buckets don't pay off there).
+///
+/// **Determinism contract:** the output layout — bucket order, group order
+/// and the element order *inside* each group — is a pure function of the
+/// input, independent of thread count and scheduling. The scatter pass
+/// below races for slots, so each bucket is canonicalized afterwards by
+/// sorting on the full `(key, value)` pair (hence the `V: Ord` bound);
+/// batch-dynamic connectivity routes all tie-breaking through this order
+/// (fixed vertex-id / slot order), which is what makes whole-structure
+/// byte-determinism across `DYNCON_THREADS` settings possible.
 pub fn semisort_pairs<K, V>(pairs: &mut Vec<(K, V)>) -> Vec<(K, Range<usize>)>
 where
     K: Copy + Eq + Ord + Send + Sync + KeyHash,
-    V: Copy + Send + Sync,
+    V: Copy + Ord + Send + Sync,
 {
     let k = pairs.len();
     if k < crate::SEQ_THRESHOLD {
@@ -84,7 +93,9 @@ where
             let slice = unsafe {
                 std::slice::from_raw_parts_mut(pairs_ref.as_ptr().add(lo) as *mut (K, V), hi - lo)
             };
-            slice.sort_unstable_by_key(|p| p.0);
+            // Full-pair sort: erases the scatter pass's scheduling-dependent
+            // slot order (see the determinism contract above).
+            slice.sort_unstable();
             let mut start = 0usize;
             for i in 1..=slice.len() {
                 if i == slice.len() || slice[i].0 != slice[start].0 {
@@ -192,6 +203,34 @@ mod tests {
     fn empty_and_singleton() {
         check(vec![]);
         check(vec![(9, 9)]);
+    }
+
+    #[test]
+    fn layout_is_identical_across_thread_counts() {
+        // The full determinism contract: array layout AND group descriptors
+        // must be byte-identical whether the scatter ran on 1, 2 or 4
+        // threads. (20k elements ≫ SEQ_THRESHOLD, so the bucket path runs.)
+        let mut rng = SplitMix64::new(11);
+        let pairs: Vec<(u32, u64)> = (0..20_000)
+            .map(|i| (rng.next_below(300) as u32, i % 97))
+            .collect();
+        type Layout = (Vec<(u32, u64)>, Vec<(u32, Range<usize>)>);
+        let mut reference: Option<Layout> = None;
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut p = pairs.clone();
+            let groups = pool.install(|| semisort_pairs(&mut p));
+            match &reference {
+                None => reference = Some((p, groups)),
+                Some((rp, rg)) => {
+                    assert_eq!(&p, rp, "array layout diverged at {threads} threads");
+                    assert_eq!(&groups, rg, "group ranges diverged at {threads} threads");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Deterministic parallel spanning forest (Borůvka hooking).
+//!
+//! The racy CAS union-find of [`crate::ConcurrentUnionFind`] picks a valid
+//! spanning forest, but *which* edges it picks depends on scheduling — two
+//! runs of the same batch on different thread counts can disagree. The
+//! batch-dynamic connectivity structure routes every tie-break (which
+//! inserted edge becomes a tree edge, which replacement edge is promoted)
+//! through its `SpanningForest(...)` subroutine, so forest choice is the
+//! one place where scheduling could leak into the structure's state. This
+//! module makes that choice a pure function of the input edge order:
+//!
+//! * every round, each component selects its **minimum-index** incident
+//!   live edge. The reduction runs as a racy `fetch_min` — min is
+//!   commutative and associative, so the result is scheduling-independent;
+//! * a pair of components selecting the same edge (a "mutual" pair) hooks
+//!   larger root onto smaller root; a one-sided selection hooks the
+//!   selecting root onto the other endpoint's root. Distinct edge indices
+//!   make every other pointer cycle impossible (along a hooking chain the
+//!   selected indices strictly decrease);
+//! * hooked roots are flattened by pointer doubling over the (sorted,
+//!   deduplicated) touched-root set — again a fixed function of the input.
+//!
+//! `O(m lg n)` work worst case, `O(lg² n)` depth — each round is a constant
+//! number of parallel loops and halves the number of live components.
+//! Rounds after the first touch only still-crossing edges, so the common
+//! near-forest batches of Algorithms 2/4/5 finish in one or two rounds.
+
+use dyncon_primitives::{
+    pack, par_expand2, par_for, par_for_each, par_map_collect, par_tabulate, sort_dedup, SyncSlice,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Root of `x` under the frozen `parent` array. Chains are short (one hop
+/// per completed round — every round ends by flattening the roots it
+/// touched), so a read-only walk is `O(lg n)`.
+#[inline]
+fn find(parent: &[u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        x = parent[x as usize];
+    }
+    x
+}
+
+/// Deterministic spanning forest over dense vertex ids `0..n`.
+///
+/// Returns `(chosen, parent)`: `chosen[i]` marks a subset of `edges`
+/// forming a maximal forest, and `parent` is a shallow union-find forest
+/// over `0..n` (follow [`root_of`] chains of length `O(lg n)` for
+/// labels). Both outputs are **byte-identical across thread counts**:
+/// `chosen` prefers the smallest edge index available to each component,
+/// ties between components break by smaller root id.
+pub fn deterministic_forest_dense(n: usize, edges: &[(u32, u32)]) -> (Vec<bool>, Vec<u32>) {
+    let m = edges.len();
+    let mut chosen = vec![false; m];
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    // Live edges: still cross two components (self-loops never do).
+    let mut live: Vec<u32> = pack(
+        &par_tabulate(m, |i| i as u32),
+        &par_map_collect(edges, |&(u, v)| u != v),
+    );
+    // best[r]: packed (edge index << 32 | other root) — minimized by edge
+    // index first, reset after every round for the roots it touched.
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+
+    while !live.is_empty() {
+        // Phase 1: roots of every live edge; drop settled edges.
+        let ends: Vec<(u32, u32)> = par_map_collect(&live, |&i| {
+            let (u, v) = edges[i as usize];
+            (find(&parent, u), find(&parent, v))
+        });
+        let crossing: Vec<bool> = par_map_collect(&ends, |&(ru, rv)| ru != rv);
+        let ends = pack(&ends, &crossing);
+        live = pack(&live, &crossing);
+        if live.is_empty() {
+            break;
+        }
+
+        // Phase 2: minimum-index selection per root (deterministic racy min).
+        par_for(live.len(), |j| {
+            let i = live[j] as u64;
+            let (ru, rv) = ends[j];
+            best[ru as usize].fetch_min((i << 32) | rv as u64, Ordering::Relaxed);
+            best[rv as usize].fetch_min((i << 32) | ru as u64, Ordering::Relaxed);
+        });
+
+        // Phase 3: hook. Touched roots, sorted so ownership is canonical.
+        let mut roots: Vec<u32> = par_expand2(&ends, |&(ru, rv)| [ru, rv]);
+        sort_dedup(&mut roots);
+        {
+            let parent_out = SyncSlice::new(&mut parent);
+            let chosen_out = SyncSlice::new(&mut chosen);
+            // The closure reads only `best` entries and writes only
+            // `parent[r]` / `chosen[e]` slots it exclusively owns (the
+            // edge's two endpoint-roots are the only candidates, and the
+            // mutual rule picks exactly one writer).
+            par_for_each(&roots, |&r| {
+                let b = best[r as usize].load(Ordering::Relaxed);
+                debug_assert_ne!(b, u64::MAX, "touched root without a candidate");
+                let e = (b >> 32) as usize;
+                let other = b as u32;
+                let mutual = (best[other as usize].load(Ordering::Relaxed) >> 32) as usize == e;
+                if !mutual || r > other {
+                    // SAFETY: only root `r` writes parent[r]; `chosen[e]` is
+                    // written by at most one of the edge's two roots (the
+                    // non-mutual selector, or the larger of a mutual pair).
+                    unsafe {
+                        parent_out.write(r as usize, other);
+                        chosen_out.write(e, true);
+                    }
+                }
+            });
+        }
+
+        // Phase 4: flatten — every touched root points at its final root.
+        // Hooking chains live entirely inside `roots`, so pointer-double
+        // over that compact index space.
+        let root_slot = |x: u32| {
+            roots
+                .binary_search(&x)
+                .expect("hook target is a touched root")
+        };
+        let mut ptr: Vec<u32> = par_map_collect(&roots, |&r| root_slot(parent[r as usize]) as u32);
+        loop {
+            let next: Vec<u32> = par_map_collect(&ptr, |&j| ptr[j as usize]);
+            if next == ptr {
+                break;
+            }
+            ptr = next;
+        }
+        {
+            let parent_out = SyncSlice::new(&mut parent);
+            par_for(roots.len(), |j| {
+                // SAFETY: slot roots[j] written only by iteration j.
+                unsafe { parent_out.write(roots[j] as usize, roots[ptr[j] as usize]) };
+            });
+        }
+
+        // Phase 5: reset the touched `best` entries for the next round.
+        par_for_each(&roots, |&r| {
+            best[r as usize].store(u64::MAX, Ordering::Relaxed)
+        });
+    }
+    (chosen, parent)
+}
+
+/// Component label (root id) of every vertex under the forest returned by
+/// [`deterministic_forest_dense`].
+pub fn labels_of(parent: &[u32]) -> Vec<u32> {
+    par_map_collect(&(0..parent.len() as u32).collect::<Vec<_>>(), |&v| {
+        find(parent, v)
+    })
+}
+
+/// Root of `v` in a parent forest produced by
+/// [`deterministic_forest_dense`].
+pub fn root_of(parent: &[u32], v: u32) -> u32 {
+    find(parent, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncon_primitives::SplitMix64;
+
+    fn oracle_components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut uf = crate::UnionFind::new(n);
+        for &(u, v) in edges {
+            if u != v {
+                uf.union(u, v);
+            }
+        }
+        (0..n as u32).map(|v| uf.find(v)).collect()
+    }
+
+    fn check_valid_forest(n: usize, edges: &[(u32, u32)], chosen: &[bool]) {
+        // Chosen edges are cycle-free and span every component.
+        let mut uf = crate::UnionFind::new(n);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if chosen[i] {
+                assert!(uf.union(u, v), "chosen edge {i} closes a cycle");
+            }
+        }
+        let all = oracle_components(n, edges);
+        for &(u, v) in edges {
+            if u != v {
+                assert!(uf.same(u, v), "({u},{v}) not spanned");
+            }
+        }
+        // Same partition as the oracle.
+        for u in 0..n as u32 {
+            for w in (u + 1..n as u32).step_by(17) {
+                assert_eq!(
+                    uf.same(u, w),
+                    all[u as usize] == all[w as usize],
+                    "partition mismatch at ({u},{w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_is_valid_on_random_graphs() {
+        let mut rng = SplitMix64::new(42);
+        for &(n, m) in &[(1usize, 0usize), (2, 1), (50, 200), (300, 1000)] {
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| {
+                    (
+                        rng.next_below(n as u64) as u32,
+                        rng.next_below(n as u64) as u32,
+                    )
+                })
+                .collect();
+            let (chosen, parent) = deterministic_forest_dense(n, &edges);
+            check_valid_forest(n, &edges, &chosen);
+            // Labels agree with the oracle partition.
+            let labels = labels_of(&parent);
+            let oracle = oracle_components(n, &edges);
+            for u in 0..n {
+                for v in 0..n {
+                    assert_eq!(
+                        labels[u] == labels[v],
+                        oracle[u] == oracle[v],
+                        "labels partition mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_hooking_is_handled() {
+        // A path graph makes round 1 hook every root into one long chain —
+        // the pointer-doubling flatten must converge, and every edge joins.
+        let n = 5000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let (chosen, parent) = deterministic_forest_dense(n, &edges);
+        assert!(chosen.iter().all(|&c| c), "every path edge is a tree edge");
+        let r = root_of(&parent, 0);
+        assert!((0..n as u32).all(|v| root_of(&parent, v) == r));
+    }
+
+    #[test]
+    fn prefers_smaller_edge_indices() {
+        // Triangle: the third edge loses to the two earlier ones.
+        let (chosen, _) = deterministic_forest_dense(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(chosen, vec![true, true, false]);
+        // Duplicate edges: first copy wins.
+        let (chosen, _) = deterministic_forest_dense(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(chosen, vec![true, false, false]);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let mut rng = SplitMix64::new(7);
+        let n = 4000;
+        let edges: Vec<(u32, u32)> = (0..3 * n)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as u32,
+                    rng.next_below(n as u64) as u32,
+                )
+            })
+            .collect();
+        let mut reference: Option<(Vec<bool>, Vec<u32>)> = None;
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got = pool.install(|| deterministic_forest_dense(n, &edges));
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "forest diverged at {threads} threads"),
+            }
+        }
+    }
+}

@@ -2,16 +2,22 @@
 //!
 //! Static parallel connectivity building blocks and baselines:
 //!
+//! * [`boruvka`] — the **deterministic** parallel spanning forest playing
+//!   the role of Gazit's randomized parallel connectivity algorithm \[22\]
+//!   in the paper: both batch algorithms call a static
+//!   `SpanningForest(...)` subroutine on `O(k)`-sized edge sets
+//!   (Algorithm 2 line 5, Algorithm 4 line 23, Algorithm 5 line 18), and
+//!   because those calls decide every tree-edge tie-break, the forest's
+//!   scheduling independence (min-edge-index hooking, `fetch_min`
+//!   reductions) is what makes the connectivity structures byte-identical
+//!   across thread counts.
 //! * [`ConcurrentUnionFind`] — lock-free union-find (CAS linking with
-//!   random priorities + path halving). This plays the role of Gazit's
-//!   randomized parallel connectivity algorithm \[22\] in the paper: both of
-//!   the batch algorithms call a static `SpanningForest(...)` subroutine on
-//!   `O(k)`-sized edge sets (Algorithm 2 line 5, Algorithm 4 line 23,
-//!   Algorithm 5 line 18), and the contract they need — a spanning forest
-//!   plus component labels in expected near-linear work and low depth — is
-//!   exactly what a parallel union-find provides (see DESIGN.md §3).
+//!   random priorities + path halving); still the engine behind the
+//!   recompute baselines, where label *values* may be scheduling-dependent
+//!   but the partition never is.
 //! * [`spanning_forest`] / [`connectivity_labels`] — one-shot parallel
-//!   spanning forest and labelling over dense vertex ids.
+//!   spanning forest (deterministic, via [`boruvka`]) and labelling over
+//!   dense vertex ids.
 //! * [`spanning_forest_sparse`] — the same over sparse `u64` ids (the
 //!   connectivity core runs it over *component representatives*).
 //! * [`StaticRecompute`] — the baseline the paper's introduction compares
@@ -30,12 +36,14 @@
 //! deletions with a typed `Unsupported` error — that restriction is the
 //! point of the baseline).
 
+pub mod boruvka;
 pub mod incremental;
 pub mod oracle;
 pub mod shiloach_vishkin;
 pub mod static_conn;
 pub mod unionfind;
 
+pub use boruvka::deterministic_forest_dense;
 pub use incremental::IncrementalConnectivity;
 pub use oracle::NaiveDynamicGraph;
 pub use shiloach_vishkin::{sv_labels, sv_num_components};

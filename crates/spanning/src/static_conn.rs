@@ -3,27 +3,16 @@
 
 use crate::unionfind::ConcurrentUnionFind;
 use dyncon_api::{validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError};
-use dyncon_primitives::{par_for, par_map_collect, sort_dedup, FxHashMap, FxHashSet, SyncSlice};
+use dyncon_primitives::{par_expand2, par_for, par_map_collect, sort_dedup, FxHashMap, FxHashSet};
 use std::sync::Mutex;
 
 /// Choose a spanning forest of `edges` over vertices `0..n`: `chosen[i]` is
 /// true for a subset of edges forming a forest that spans every component
-/// of the input graph. Nondeterministic tie-breaking (racy unions), always
-/// a valid maximal forest. `O(k α)` expected work, low depth.
+/// of the input graph. **Deterministic**: tie-breaking prefers the smallest
+/// edge index (then smaller root id), so the mask is a pure function of the
+/// input — byte-identical across thread counts (see [`crate::boruvka`]).
 pub fn spanning_forest(n: usize, edges: &[(u32, u32)]) -> Vec<bool> {
-    let uf = ConcurrentUnionFind::new(n);
-    let mut chosen = vec![false; edges.len()];
-    {
-        let out = SyncSlice::new(&mut chosen);
-        par_for(edges.len(), |i| {
-            let (u, v) = edges[i];
-            if u != v && uf.union(u, v) {
-                // SAFETY: slot i written only by iteration i.
-                unsafe { out.write(i, true) };
-            }
-        });
-    }
-    chosen
+    crate::boruvka::deterministic_forest_dense(n, edges).0
 }
 
 /// Connected-component labels of the graph `(0..n, edges)`: `label[u] ==
@@ -52,32 +41,27 @@ pub struct RelabeledForest {
 /// Spanning forest over sparse `u64` vertex ids (the connectivity core runs
 /// this over ETT component representatives, treating each current
 /// component as a contracted vertex — Algorithm 2 line 5).
+///
+/// Deterministic like [`spanning_forest`]: the batch algorithms route all
+/// tree-edge tie-breaking through this call, so its scheduling independence
+/// is what makes the whole connectivity structure byte-identical across
+/// thread counts.
 pub fn spanning_forest_sparse(edges: &[(u64, u64)]) -> RelabeledForest {
     // Compact ids.
-    let mut ids: Vec<u64> = Vec::with_capacity(edges.len() * 2);
-    for &(a, b) in edges {
-        ids.push(a);
-        ids.push(b);
-    }
+    let mut ids: Vec<u64> = par_expand2(edges, |&(a, b)| [a, b]);
     sort_dedup(&mut ids);
     let index = |x: u64| ids.binary_search(&x).expect("endpoint indexed") as u32;
     let dense: Vec<(u32, u32)> = par_map_collect(edges, |&(a, b)| (index(a), index(b)));
-    let uf = ConcurrentUnionFind::new(ids.len());
-    let mut chosen = vec![false; edges.len()];
-    {
-        let out = SyncSlice::new(&mut chosen);
-        par_for(dense.len(), |i| {
-            let (u, v) = dense[i];
-            if u != v && uf.union(u, v) {
-                // SAFETY: slot i written only by iteration i.
-                unsafe { out.write(i, true) };
-            }
-        });
-    }
+    let (chosen, parent) = crate::boruvka::deterministic_forest_dense(ids.len(), &dense);
     let labels: FxHashMap<u64, u64> = ids
         .iter()
         .enumerate()
-        .map(|(i, &orig)| (orig, ids[uf.find(i as u32) as usize]))
+        .map(|(i, &orig)| {
+            (
+                orig,
+                ids[crate::boruvka::root_of(&parent, i as u32) as usize],
+            )
+        })
         .collect();
     RelabeledForest { chosen, labels }
 }

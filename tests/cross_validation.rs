@@ -212,6 +212,118 @@ fn insert_only_panel_includes_union_find() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cross-thread-count determinism: the tentpole contract of the parallel
+// hot paths. Identical mixed-op batches through `apply()` must produce
+// **byte-identical** `BatchResult`s at 1, 2 and 4 threads — and, beyond
+// the letter of the contract, the whole observable structure must match:
+// component count, size distribution, the certifying spanning forest and
+// every statistics counter. Any unordered concurrent write or racy
+// tie-break anywhere in the batch pipeline shows up here.
+// ---------------------------------------------------------------------
+
+/// Everything observable about a structure after a script.
+type Observation = (
+    Vec<dyncon_api::BatchResult>,
+    usize,
+    Vec<u64>,
+    Vec<(u32, u32)>,
+    dyncon_core::Stats,
+);
+
+/// Run `batches` through a fresh structure under a pool pinned to
+/// `threads` workers.
+fn observe_at_threads(
+    threads: usize,
+    algo: DeletionAlgorithm,
+    n: usize,
+    batches: &[Vec<Op>],
+) -> Observation {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let mut g = Builder::new(n)
+            .algorithm(algo)
+            .build::<BatchDynamicConnectivity>()
+            .unwrap();
+        let results: Vec<dyncon_api::BatchResult> = batches
+            .iter()
+            .map(|ops| g.apply(ops).expect("valid batch"))
+            .collect();
+        g.check_invariants().expect("invariants");
+        let mut forest = g.spanning_forest_edges();
+        forest.sort_unstable();
+        let comps = BatchDynamicConnectivity::num_components(&g);
+        (
+            results,
+            comps,
+            g.component_size_distribution(),
+            forest,
+            g.stats(),
+        )
+    })
+}
+
+fn assert_thread_invariant(algo: DeletionAlgorithm, n: usize, batches: &[Vec<Op>], tag: &str) {
+    let reference = observe_at_threads(1, algo, n, batches);
+    for threads in [2usize, 4] {
+        let got = observe_at_threads(threads, algo, n, batches);
+        assert_eq!(
+            got.0, reference.0,
+            "{tag}/{algo:?}: BatchResults diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.1, reference.1,
+            "{tag}/{algo:?}: component count diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.2, reference.2,
+            "{tag}/{algo:?}: size distribution diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.3, reference.3,
+            "{tag}/{algo:?}: spanning forest diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.4, reference.4,
+            "{tag}/{algo:?}: statistics diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cross_thread_determinism_large_batches() {
+    // Batches well above the sequential threshold (1024), so every
+    // parallel path — semisort scatter, pack, spanning forest hooking,
+    // replacement search fan-out — actually runs multi-threaded.
+    let n = 4096;
+    let edges = erdos_renyi(n, 3 * n, 21);
+    let mut batches: Vec<Vec<Op>> = Vec::new();
+    // One giant insert batch, then chunked deletions with queries mixed in.
+    batches.push(edges.iter().map(|&(u, v)| Op::Insert(u, v)).collect());
+    let queries = UpdateStream::random_queries(n, 64, 22);
+    for chunk in edges.chunks(2048).take(3) {
+        let mut ops: Vec<Op> = chunk.iter().map(|&(u, v)| Op::Delete(u, v)).collect();
+        ops.extend(queries.iter().map(|&(u, v)| Op::Query(u, v)));
+        batches.push(ops);
+    }
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        assert_thread_invariant(algo, n, &batches, "large-batch");
+    }
+}
+
+#[test]
+fn cross_thread_determinism_structured_churn() {
+    let n = 512;
+    let edges = grid2d(16, 32);
+    let batches = churn_batches(n, &edges, 256, 23);
+    for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+        assert_thread_invariant(algo, n, &batches, "grid-churn");
+    }
+}
+
 const N: u32 = 12;
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -264,6 +376,31 @@ proptest! {
                 );
             }
             g.check().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// The determinism contract at property-test scale: arbitrary mixed
+    /// batches observe the same results, forest and statistics at 1, 2
+    /// and 4 threads.
+    #[test]
+    fn cross_thread_determinism_random_batches(
+        batches in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 1..16),
+            1..12,
+        )
+    ) {
+        for algo in [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved] {
+            let reference = observe_at_threads(1, algo, N as usize, &batches);
+            for threads in [2usize, 4] {
+                let got = observe_at_threads(threads, algo, N as usize, &batches);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "{:?} diverged at {} threads",
+                    algo,
+                    threads
+                );
+            }
         }
     }
 }

@@ -186,6 +186,20 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`]. The stub times one
+/// routine call per sample regardless, so the variants only mirror the
+/// upstream API surface.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    /// One input per timed call (the only behaviour the stub implements).
+    #[default]
+    PerIteration,
+    /// Accepted for API parity; treated as `PerIteration`.
+    SmallInput,
+    /// Accepted for API parity; treated as `PerIteration`.
+    LargeInput,
+}
+
 /// Passed to benchmark closures; measures the routine.
 pub struct Bencher {
     samples: Vec<Duration>,
@@ -199,6 +213,24 @@ impl Bencher {
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` input per sample, **excluding
+    /// the setup cost from the measurement** — the upstream
+    /// `iter_batched` contract the scaling benches rely on to time an
+    /// operation against a rebuilt structure without timing the rebuild.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
             self.samples.push(start.elapsed());
         }
     }

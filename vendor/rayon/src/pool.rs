@@ -7,14 +7,51 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::OnceLock;
 
 thread_local! {
     /// 0 means "no override": use the machine's available parallelism.
     static CURRENT_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Environment-driven default thread count, read once per process:
+///
+/// 1. `DYNCON_THREADS` — the dyncon suite's thread-matrix variable. A
+///    single integer pins the default pool size (what the CI test matrix
+///    exports); a comma-separated list (what the scaling benches consume
+///    via `dyncon_bench::thread_counts`) pins it to the list's **first
+///    valid** entry so a plain `cargo test` under a matrix entry observes
+///    the intended bound.
+/// 2. `RAYON_NUM_THREADS` — honoured for parity with real rayon.
+///
+/// Explicit `ThreadPoolBuilder::num_threads` / `ThreadPool::install`
+/// bounds always win over the environment.
+fn env_num_threads() -> Option<usize> {
+    ["DYNCON_THREADS", "RAYON_NUM_THREADS"]
+        .iter()
+        .find_map(|var| {
+            std::env::var(var)
+                .ok()
+                .and_then(|raw| parse_thread_env(&raw))
+        })
+}
+
+/// Parse a thread-count environment value: the first comma-separated
+/// entry that is a positive integer (the same "skip invalid entries"
+/// rule `dyncon_bench::thread_counts` applies to the full list, so a
+/// value like `"0,2"` pins the pool to the same bound the bench matrix
+/// reports); `None` when no entry qualifies.
+fn parse_thread_env(raw: &str) -> Option<usize> {
+    raw.split(',')
+        .find_map(|entry| entry.trim().parse::<usize>().ok().filter(|&n| n > 0))
+}
+
 fn default_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        env_num_threads()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// Number of threads parallel operations on this thread may use.
@@ -125,6 +162,21 @@ impl ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_thread_env("4"), Some(4));
+        assert_eq!(parse_thread_env(" 2 "), Some(2));
+        assert_eq!(parse_thread_env("1,2,4"), Some(1));
+        assert_eq!(parse_thread_env("8, 16"), Some(8));
+        assert_eq!(parse_thread_env("0"), None);
+        assert_eq!(parse_thread_env(""), None);
+        assert_eq!(parse_thread_env("auto"), None);
+        // Invalid entries are skipped, matching the bench-matrix parser:
+        // "0,2" pins the same bound thread_counts() reports ([2]).
+        assert_eq!(parse_thread_env("0,2"), Some(2));
+        assert_eq!(parse_thread_env("junk, 4"), Some(4));
+    }
 
     #[test]
     fn install_overrides_and_restores() {
