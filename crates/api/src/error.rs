@@ -33,6 +33,19 @@ pub enum DynConError {
         /// The refused operation.
         operation: &'static str,
     },
+    /// A serving frontend's admission queue is full: the request was
+    /// rejected *before* being enqueued, so nothing about it will ever be
+    /// applied. Retry after draining tickets (or use a blocking submit).
+    Backpressure {
+        /// The queue's request capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The serving frontend has shut down. On submission it means the
+    /// request was rejected and never enqueued; on a ticket it means the
+    /// service failed (e.g. the backend panicked) before the request's
+    /// round could commit. After an orderly `close()`, requests accepted
+    /// earlier still commit and their tickets resolve normally.
+    ServiceClosed,
 }
 
 impl fmt::Display for DynConError {
@@ -54,6 +67,13 @@ impl fmt::Display for DynConError {
                 f,
                 "backend `{backend}` does not support {operation}; operations earlier in the batch have been applied"
             ),
+            DynConError::Backpressure { capacity } => write!(
+                f,
+                "service queue full ({capacity} pending requests): request rejected, retry after the current round commits"
+            ),
+            DynConError::ServiceClosed => {
+                write!(f, "service closed: request rejected, not enqueued")
+            }
         }
     }
 }
@@ -80,6 +100,20 @@ mod tests {
             operation: "batch_delete",
         };
         assert!(u.to_string().contains("incremental-unionfind"));
+    }
+
+    #[test]
+    fn service_errors_display() {
+        let b = DynConError::Backpressure { capacity: 64 };
+        assert!(
+            b.to_string().contains("64") && b.to_string().contains("full"),
+            "{b}"
+        );
+        let c = DynConError::ServiceClosed;
+        assert!(c.to_string().contains("closed"), "{c}");
+        // Both participate in the std error machinery like every variant.
+        let e: Box<dyn Error> = Box::new(c);
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -135,6 +135,16 @@ pub trait BatchDynamic: Connectivity {
         Ok(result)
     }
 
+    /// Whether this backend can perform operations of `kind` at all —
+    /// a *static* capability probe (it must not depend on current state).
+    /// The default claims full support; insert-only backends override it
+    /// so serving layers can reject unsupportable requests at admission
+    /// instead of failing a whole commit round mid-`apply`.
+    fn supports(&self, kind: OpKind) -> bool {
+        let _ = kind;
+        true
+    }
+
     /// Run the backend's internal consistency checker, if it has one.
     /// Debugging/testing hook; the default is a no-op.
     fn check(&self) -> Result<(), String> {
@@ -301,6 +311,10 @@ mod tests {
         assert_eq!(g.component_size(4), 2);
         assert_eq!(g.batch_connected(&[(0, 1), (0, 3)]), vec![true, false]);
         assert!(g.check().is_ok());
+        // The default capability probe claims everything.
+        for kind in [OpKind::Insert, OpKind::Delete, OpKind::Query] {
+            assert!(g.supports(kind));
+        }
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! E11: group-commit service throughput and latency.
+//!
+//! Closed-loop clients (one OS thread each) submit Zipf-skewed mixed-op
+//! requests through `ConnServer`; the matrix crosses client count ×
+//! batch cap × the `DYNCON_THREADS` worker matrix. Throughput is
+//! reported per-op (criterion `Throughput::Elements`); the batch cap is
+//! the group-commit knob — a larger cap buys the `lg(1 + n/k)` batch
+//! amortization at the price of per-request latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_bench::drive_service;
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::zipf_client_schedules;
+use dyncon_server::{ConnServer, ServerConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 13;
+    let requests_per_client = 16;
+    let ops_per_request = 64;
+    let mut group = c.benchmark_group("e11_service");
+    group.sample_size(10);
+    for threads in dyncon_bench::thread_counts() {
+        for clients in [1usize, 4, 8] {
+            for cap in [256usize, 4096] {
+                let schedules = zipf_client_schedules(
+                    n,
+                    clients,
+                    requests_per_client,
+                    ops_per_request,
+                    0.5,
+                    1.1,
+                    42,
+                );
+                let total_ops = (clients * requests_per_client * ops_per_request) as u64;
+                group.throughput(Throughput::Elements(total_ops));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("t{threads}_c{clients}"), cap),
+                    &cap,
+                    |b, &cap| {
+                        b.iter(|| {
+                            let server = ConnServer::start(
+                                BatchDynamicConnectivity::new(n),
+                                ServerConfig::new()
+                                    .batch_cap(cap)
+                                    .coalesce_wait(Duration::from_micros(50))
+                                    .queue_capacity(2 * clients.max(1))
+                                    .worker_threads(threads),
+                            );
+                            let (wall, _lats) = drive_service(&server, &schedules);
+                            let report = server.join();
+                            assert_eq!(report.ops_committed, total_ops);
+                            wall
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,14 +4,20 @@
 //! ```text
 //! cargo run --release -p dyncon-bench --bin experiments [--quick] [e1 e4 ...]
 //! ```
-//! With no experiment arguments, all of E1–E10 run. `--quick` shrinks
+//! With no experiment arguments, all of E1–E11 run. `--quick` shrinks
 //! problem sizes by 4× for a fast smoke pass.
 
-use dyncon_bench::{lg_factor, median_duration, ns_per, print_table, replay, time, us};
+use dyncon_bench::{
+    drive_service, latency_quantile, lg_factor, median_duration, ns_per, print_table, replay, time,
+    us,
+};
 use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_ett::EulerTourForest;
-use dyncon_graphgen::{cycle, erdos_renyi, grid2d, path, random_tree, rmat, UpdateStream};
+use dyncon_graphgen::{
+    cycle, erdos_renyi, grid2d, path, random_tree, rmat, zipf_client_schedules, UpdateStream,
+};
 use dyncon_hdt::HdtConnectivity;
+use dyncon_server::{ConnServer, ServerConfig};
 use dyncon_spanning::StaticRecompute;
 
 struct Cfg {
@@ -467,6 +473,58 @@ fn e10(cfg: &Cfg) {
     );
 }
 
+/// E11 — the serving layer: group-commit throughput/latency vs client
+/// count × batch cap (closed-loop Zipf clients, read ratio 0.5).
+fn e11(cfg: &Cfg) {
+    let n = (1 << 14) / cfg.scale;
+    let requests = 24 / cfg.scale.clamp(1, 4);
+    let ops_per_request = 64;
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        for cap in [256usize, 1024, 4096] {
+            let schedules =
+                zipf_client_schedules(n, clients, requests, ops_per_request, 0.5, 1.1, 42);
+            let total_ops = clients * requests * ops_per_request;
+            let server = ConnServer::start(
+                BatchDynamicConnectivity::new(n),
+                ServerConfig::new()
+                    .batch_cap(cap)
+                    .coalesce_wait(std::time::Duration::from_micros(50))
+                    .queue_capacity(2 * clients),
+            );
+            let (wall, lats) = drive_service(&server, &schedules);
+            let report = server.join();
+            rows.push(vec![
+                clients.to_string(),
+                cap.to_string(),
+                report.rounds_committed.to_string(),
+                format!(
+                    "{:.0}",
+                    report.ops_committed as f64 / report.rounds_committed.max(1) as f64
+                ),
+                format!("{:.0}", total_ops as f64 / wall.as_secs_f64() / 1000.0),
+                us(latency_quantile(&lats, 0.5)),
+                us(latency_quantile(&lats, 0.99)),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "E11 — group-commit service, n = {n}, {requests} req/client × {ops_per_request} ops, Zipf s=1.1, 50% reads"
+        ),
+        &[
+            "clients",
+            "batch cap",
+            "rounds",
+            "ops/round",
+            "kops/s",
+            "p50 µs",
+            "p99 µs",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -511,5 +569,8 @@ fn main() {
     }
     if run("e10") {
         e10(&cfg);
+    }
+    if run("e11") {
+        e11(&cfg);
     }
 }

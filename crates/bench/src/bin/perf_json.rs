@@ -1,12 +1,17 @@
 //! Machine-readable perf smoke: the `bench-perf` CI job's artifact writer.
 //!
-//! Runs the three batch operations (insert / connected / delete) on CI
-//! smoke sizes across the `DYNCON_THREADS` matrix and writes one JSON
-//! record per `(op, threads)` cell:
+//! Runs the three batch operations (insert / connected / delete) plus the
+//! group-commit serving layer on CI smoke sizes across the
+//! `DYNCON_THREADS` matrix and writes one JSON record per `(op, threads)`
+//! cell:
 //!
 //! ```text
 //! {"op":"batch_insert","n":16384,"batch":4096,"threads":2,"median_ns":1234567}
 //! ```
+//!
+//! The two service rows measure the `dyncon-server` frontend end to end
+//! (4 closed-loop Zipf clients): `service_throughput` is the wall time of
+//! the whole run, `service_latency_p50` the median submit→answer latency.
 //!
 //! Usage: `perf_json [output-path]` (default `BENCH_PR.json`). The binary
 //! **validates its own output** — no records, a zero/unparseable median,
@@ -15,9 +20,10 @@
 //! the repository's perf trajectory: one artifact per PR, comparable
 //! across commits.
 
-use dyncon_bench::{median_duration, thread_counts, time};
+use dyncon_bench::{drive_service, latency_quantile, median_duration, thread_counts, time};
 use dyncon_core::BatchDynamicConnectivity;
-use dyncon_graphgen::{erdos_renyi, UpdateStream};
+use dyncon_graphgen::{erdos_renyi, zipf_client_schedules, UpdateStream};
+use dyncon_server::{ConnServer, ServerConfig};
 use std::time::Duration;
 
 struct Record {
@@ -108,6 +114,40 @@ fn main() {
             });
             eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
         }
+
+        // The serving layer: 4 closed-loop Zipf clients through the
+        // group-commit frontend, writer pinned to this thread count.
+        let clients = 4;
+        let service_cap = 1 << 11;
+        let schedules = zipf_client_schedules(n, clients, 16, 64, 0.5, 1.1, 15);
+        let mut p50s: Vec<Duration> = Vec::new();
+        let service_run = || {
+            let server = ConnServer::start(
+                BatchDynamicConnectivity::new(n),
+                ServerConfig::new()
+                    .batch_cap(service_cap)
+                    .coalesce_wait(Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .worker_threads(threads),
+            );
+            let (wall, lats) = drive_service(&server, &schedules);
+            server.join();
+            p50s.push(latency_quantile(&lats, 0.5));
+            wall
+        };
+        let wall = median_duration(reps, service_run);
+        p50s.sort_unstable();
+        let p50 = p50s[p50s.len() / 2];
+        for (op, median) in [("service_throughput", wall), ("service_latency_p50", p50)] {
+            records.push(Record {
+                op,
+                n,
+                batch: service_cap,
+                threads,
+                median_ns: median.as_nanos(),
+            });
+            eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
+        }
     }
 
     // Validation: obviously broken output must fail the job.
@@ -136,7 +176,13 @@ fn main() {
     // Round-trip sanity: the artifact must contain every op at every
     // thread count and no NaN/inf artifacts from formatting.
     assert!(!json.to_ascii_lowercase().contains("nan") && !json.contains("inf"));
-    for op in ["batch_insert", "batch_connected", "batch_delete"] {
+    for op in [
+        "batch_insert",
+        "batch_connected",
+        "batch_delete",
+        "service_throughput",
+        "service_latency_p50",
+    ] {
         assert_eq!(
             json.matches(&format!("\"op\":\"{op}\"")).count(),
             thread_counts().len(),

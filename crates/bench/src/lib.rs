@@ -7,6 +7,7 @@
 
 use dyncon_api::{BatchDynamic, Op};
 use dyncon_graphgen::{Batch, UpdateStream};
+use dyncon_server::ConnServer;
 use std::time::{Duration, Instant};
 
 /// The thread matrix for the scaling experiments (E7 and the perf-artifact
@@ -95,6 +96,55 @@ pub fn replay_ops(g: &mut dyn BatchDynamic, batches: &[Vec<Op>]) -> Duration {
     t.elapsed()
 }
 
+/// Drive per-client schedules (`schedules[client][request]`, as produced
+/// by [`dyncon_graphgen::zipf_client_schedules`]) through a group-commit
+/// server with one OS thread per client. Every client submits with
+/// backpressure blocking and waits each ticket before its next request —
+/// a closed-loop load generator. Returns total wall time plus every
+/// request's submit→answer latency (client-major order).
+pub fn drive_service<B: BatchDynamic + Send + 'static>(
+    server: &ConnServer<B>,
+    schedules: &[Vec<Vec<Op>>],
+) -> (Duration, Vec<Duration>) {
+    let t0 = Instant::now();
+    let mut latencies = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .enumerate()
+            .map(|(c, sched)| {
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(sched.len());
+                    for ops in sched {
+                        let t = Instant::now();
+                        let ticket = server
+                            .submit_blocking_as(c as u64, ops.clone())
+                            .expect("service open for the whole run");
+                        std::hint::black_box(ticket.wait().expect("round commits"));
+                        lats.push(t.elapsed());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    (t0.elapsed(), latencies)
+}
+
+/// The `q`-quantile (0.0..=1.0) of a latency sample, by sorting a copy.
+pub fn latency_quantile(latencies: &[Duration], q: f64) -> Duration {
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
 /// Pretty-print a markdown table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
@@ -125,7 +175,18 @@ pub fn lg_factor(n: usize, k: usize) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_thread_counts;
+    use super::{latency_quantile, parse_thread_counts};
+    use std::time::Duration;
+
+    #[test]
+    fn quantiles() {
+        assert_eq!(latency_quantile(&[], 0.5), Duration::ZERO);
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(latency_quantile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(latency_quantile(&ms, 1.0), Duration::from_millis(100));
+        // idx = round(99 · 0.5) = 50 → the 51st sample.
+        assert_eq!(latency_quantile(&ms, 0.5), Duration::from_millis(51));
+    }
 
     #[test]
     fn thread_count_parsing() {

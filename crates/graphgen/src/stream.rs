@@ -1,5 +1,7 @@
-//! Batch update-stream builders: the workloads of the experiment suite.
+//! Batch update-stream builders: the workloads of the experiment suite,
+//! plus the skewed per-client traffic schedules of the serving layer.
 
+use dyncon_api::Op;
 use dyncon_primitives::SplitMix64;
 
 /// One batch of operations.
@@ -141,6 +143,103 @@ impl UpdateStream {
     }
 }
 
+/// Zipf-distributed vertex sampler over `0..n`: vertex `i` is drawn with
+/// probability proportional to `1/(i+1)^s`. With `s > 0` low-numbered
+/// vertices are "hot", concentrating traffic on a few contended hubs —
+/// the access pattern real serving workloads exhibit and the one the
+/// group-commit frontend's benches need (De Man et al. use skewed
+/// workloads for exactly this reason). `s = 0` degenerates to uniform.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `0..n` (`n >= 1`) with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs a non-empty vertex universe");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Draw one vertex id.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let x = rng.next_f64() * total;
+        // First index whose cumulative weight reaches x.
+        (self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)) as u32
+    }
+}
+
+/// Seeded per-client request schedules of mixed operations with
+/// Zipf-skewed endpoints: the traffic shape the group-commit serving
+/// frontend coalesces into batches.
+///
+/// Returns `schedules[client][request]` — each request is a small ordered
+/// `Vec<Op>` the client submits as one unit. Each op is a connectivity
+/// query with probability `read_ratio`, otherwise an insert or delete
+/// (even odds; deleting an absent edge is a no-op by the [`Op`] contract,
+/// which yields realistic churn without global coordination between
+/// clients). Endpoints are drawn from [`Zipf`] with exponent `skew`, so
+/// hot vertices collide across clients. Each client's schedule depends
+/// only on `(seed, client index)` — independent of thread scheduling —
+/// which is what the serving layer's determinism contract replays.
+#[allow(clippy::too_many_arguments)]
+pub fn zipf_client_schedules(
+    n: usize,
+    clients: usize,
+    requests_per_client: usize,
+    ops_per_request: usize,
+    read_ratio: f64,
+    skew: f64,
+    seed: u64,
+) -> Vec<Vec<Vec<Op>>> {
+    assert!(n >= 2, "need at least two vertices for edges");
+    assert!(
+        (0.0..=1.0).contains(&read_ratio),
+        "read_ratio must be in [0, 1]"
+    );
+    let zipf = Zipf::new(n, skew);
+    let root = SplitMix64::new(seed);
+    (0..clients)
+        .map(|c| {
+            // Stateless per-client fork: client c's stream never depends
+            // on how many draws other clients made.
+            let mut rng = SplitMix64::new(root.at(c as u64));
+            (0..requests_per_client)
+                .map(|_| {
+                    (0..ops_per_request)
+                        .map(|_| {
+                            let u = zipf.sample(&mut rng);
+                            let mut v = zipf.sample(&mut rng);
+                            if u == v {
+                                v = (v + 1) % n as u32;
+                            }
+                            if rng.next_f64() < read_ratio {
+                                Op::Query(u, v)
+                            } else if rng.next_u64() & 1 == 0 {
+                                Op::Insert(u, v)
+                            } else {
+                                Op::Delete(u, v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +291,55 @@ mod tests {
         }
         // Window of 3 batches × 8 edges stays live at the end.
         assert_eq!(live.len(), 3 * 8);
+    }
+
+    #[test]
+    fn zipf_skews_towards_hot_vertices() {
+        let zipf = Zipf::new(1024, 1.2);
+        let mut rng = SplitMix64::new(7);
+        let mut counts = vec![0usize; 1024];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        // Vertex 0 is the hottest by a wide margin; the cold tail is rare.
+        assert!(counts[0] > counts[10] && counts[10] > 0);
+        let head: usize = counts[..16].iter().sum();
+        let tail: usize = counts[512..].iter().sum();
+        assert!(head > 5 * tail, "head {head} vs tail {tail}");
+        // s = 0 degenerates to uniform: no vertex dominates.
+        let uni = Zipf::new(64, 0.0);
+        let mut c0 = 0usize;
+        for _ in 0..20_000 {
+            if uni.sample(&mut rng) == 0 {
+                c0 += 1;
+            }
+        }
+        assert!(c0 < 1_000, "uniform head too hot: {c0}");
+    }
+
+    #[test]
+    fn zipf_schedules_are_deterministic_and_shaped() {
+        let a = zipf_client_schedules(256, 4, 8, 32, 0.5, 1.1, 99);
+        let b = zipf_client_schedules(256, 4, 8, 32, 0.5, 1.1, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a
+            .iter()
+            .all(|c| c.len() == 8 && c.iter().all(|r| r.len() == 32)));
+        // Clients have distinct streams.
+        assert_ne!(a[0], a[1]);
+        // The read ratio holds approximately, and all kinds appear.
+        let ops: Vec<Op> = a.iter().flatten().flatten().copied().collect();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Query(..))).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "read fraction {frac}");
+        assert!(ops.iter().any(|o| matches!(o, Op::Insert(..))));
+        assert!(ops.iter().any(|o| matches!(o, Op::Delete(..))));
+        // No self-loops ever.
+        assert!(ops.iter().all(|o| {
+            let (u, v) = o.endpoints();
+            u != v
+        }));
     }
 
     #[test]

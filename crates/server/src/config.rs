@@ -1,0 +1,136 @@
+//! Group-commit knobs.
+
+use std::time::Duration;
+
+/// Configuration of a [`crate::ConnServer`].
+///
+/// The defaults target throughput mode: admission-ordered rounds, commit
+/// on a 4096-op batch or a 200 µs coalesce window, 1024 queued requests
+/// of backpressure headroom. Deterministic mode
+/// ([`ServerConfig::deterministic`]) switches to explicit round
+/// boundaries and canonical request order.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Commit a round once the pending operations reach this many
+    /// (throughput mode only; a single oversized request still commits,
+    /// alone). The cap trades latency for the `lg(1 + n/k)` batch
+    /// amortization — bigger rounds are cheaper per op.
+    pub max_batch_ops: usize,
+    /// Commit a round once the oldest pending request has waited this
+    /// long, even if the batch cap is not reached (throughput mode only).
+    pub max_coalesce_wait: Duration,
+    /// Bound on requests admitted but not yet committed. A full queue
+    /// rejects with [`dyncon_api::DynConError::Backpressure`].
+    pub queue_capacity: usize,
+    /// Deterministic mode: rounds end only at explicit
+    /// [`crate::ConnServer::seal_round`] calls and each round is applied
+    /// in canonical `(client, submission index)` order, so concurrent
+    /// submission is byte-identical to serial replay. Enabling this also
+    /// turns on [`ServerConfig::record_rounds`].
+    pub deterministic: bool,
+    /// Keep a [`crate::RoundRecord`] (ops + `BatchResult`) per committed
+    /// round in the [`crate::ServiceReport`] — the replay log the
+    /// determinism contract is checked against. Off by default in
+    /// throughput mode (the log grows with traffic).
+    pub record_rounds: bool,
+    /// Pin the writer's rayon pool to this many threads for the backend's
+    /// batch-parallel `apply`. `None` inherits the process default
+    /// (`DYNCON_THREADS` / `RAYON_NUM_THREADS`).
+    pub worker_threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_ops: 4096,
+            max_coalesce_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+            deterministic: false,
+            record_rounds: false,
+            worker_threads: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The throughput-mode defaults (see the struct docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set [`ServerConfig::max_batch_ops`].
+    pub fn batch_cap(mut self, ops: usize) -> Self {
+        self.max_batch_ops = ops.max(1);
+        self
+    }
+
+    /// Set [`ServerConfig::max_coalesce_wait`].
+    pub fn coalesce_wait(mut self, wait: Duration) -> Self {
+        self.max_coalesce_wait = wait;
+        self
+    }
+
+    /// Set [`ServerConfig::queue_capacity`].
+    pub fn queue_capacity(mut self, requests: usize) -> Self {
+        self.queue_capacity = requests.max(1);
+        self
+    }
+
+    /// Toggle deterministic mode (implies round recording when enabled).
+    pub fn deterministic(mut self, enabled: bool) -> Self {
+        self.deterministic = enabled;
+        if enabled {
+            self.record_rounds = true;
+        }
+        self
+    }
+
+    /// Toggle the per-round replay log independently of the mode.
+    pub fn record_rounds(mut self, enabled: bool) -> Self {
+        self.record_rounds = enabled;
+        self
+    }
+
+    /// Pin the writer's apply pool to `threads` workers.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = ServerConfig::new()
+            .batch_cap(128)
+            .coalesce_wait(Duration::from_millis(1))
+            .queue_capacity(7)
+            .deterministic(true)
+            .worker_threads(2);
+        assert_eq!(c.max_batch_ops, 128);
+        assert_eq!(c.max_coalesce_wait, Duration::from_millis(1));
+        assert_eq!(c.queue_capacity, 7);
+        assert!(c.deterministic && c.record_rounds);
+        assert_eq!(c.worker_threads, Some(2));
+        // Zero-valued knobs are clamped to usable minimums.
+        let z = ServerConfig::new()
+            .batch_cap(0)
+            .queue_capacity(0)
+            .worker_threads(0);
+        assert_eq!(
+            (z.max_batch_ops, z.queue_capacity, z.worker_threads),
+            (1, 1, Some(1))
+        );
+    }
+
+    #[test]
+    fn recording_is_independent_of_mode() {
+        let c = ServerConfig::new().record_rounds(true);
+        assert!(c.record_rounds && !c.deterministic);
+        let d = ServerConfig::new().deterministic(true).record_rounds(false);
+        assert!(d.deterministic && !d.record_rounds);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dyncon-server
+//!
+//! A **group-commit serving frontend** for any [`dyncon_api::BatchDynamic`]
+//! backend: many concurrent client threads submit small requests of mixed
+//! [`dyncon_api::Op`]s, and a single writer thread coalesces them into one
+//! large batch per **commit round** — exactly the batch shape the paper's
+//! structure (Acar–Anderson–Blelloch–Dhulipala, SPAA 2019) gets its
+//! parallelism from. The whole point of batch-dynamic connectivity is that
+//! a batch of `k` operations costs `O(k · lg(1 + n/k))` rather than
+//! `k · O(lg n)`; the frontend is what *creates* those batches from
+//! traffic that arrives one request at a time.
+//!
+//! ## Model
+//!
+//! * [`ConnServer::submit`] enqueues a request (an ordered `Vec<Op>`) and
+//!   returns a [`Ticket`]. The request's operations are validated against
+//!   the vertex universe up front, so a round can never fail with
+//!   [`DynConError::VertexOutOfRange`] on another client's behalf.
+//! * The admission queue is **bounded** ([`ServerConfig::queue_capacity`]):
+//!   a full queue rejects with [`DynConError::Backpressure`] (the blocking
+//!   [`ConnServer::submit_blocking`] variants wait for space instead).
+//! * The writer commits a round when the pending ops reach
+//!   [`ServerConfig::max_batch_ops`], or the oldest pending request has
+//!   waited [`ServerConfig::max_coalesce_wait`], or the server is closing.
+//!   Each round is **one** [`dyncon_api::BatchDynamic::apply`] call.
+//! * [`Ticket::wait`] blocks (condvar, no async runtime) until the round
+//!   containing the request commits, then yields the request's own query
+//!   answers in operation order ([`RequestResult`]).
+//! * [`ConnServer::close`] stops admission ([`DynConError::ServiceClosed`]
+//!   thereafter) and [`ConnServer::join`] drains every accepted request
+//!   before returning the backend in a [`ServiceReport`].
+//!
+//! ## Deterministic mode
+//!
+//! [`ServerConfig::deterministic`] extends the workspace determinism
+//! contract (byte-identical results at any thread count, PR 3) to **any
+//! client interleaving**: rounds have *explicit* boundaries — requests
+//! accumulate until [`ConnServer::seal_round`] — and each sealed round is
+//! canonically ordered by `(client id, per-client submission index)`
+//! before it is applied. However the OS schedules the submitting threads,
+//! the committed rounds (op order **and** [`dyncon_api::BatchResult`]s,
+//! recorded in [`RoundRecord`]s) are byte-identical to a serial replay of
+//! the same rounds. `tests/service_stress.rs` holds this against the
+//! naive oracle at 1/2/4 worker threads.
+
+mod config;
+mod server;
+mod ticket;
+
+pub use config::ServerConfig;
+pub use server::{ConnServer, RoundRecord, ServiceReport};
+pub use ticket::{RequestResult, Ticket};
+
+// Re-exported so callers can match on server rejections without adding a
+// direct dyncon-api dependency.
+pub use dyncon_api::DynConError;

@@ -1,0 +1,770 @@
+//! The group-commit frontend: bounded admission queue, single writer,
+//! one `apply` per commit round.
+
+use crate::config::ServerConfig;
+use crate::ticket::{RequestResult, Slot, Ticket};
+use dyncon_api::{validate_vertex, BatchDynamic, BatchResult, DynConError, Op, OpKind};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One admitted, not-yet-committed request.
+struct Request {
+    /// Stable client identity — the primary canonical-order key.
+    client: u64,
+    /// Global admission index; within one client it is that client's
+    /// program order, which is all the canonical sort depends on.
+    seq: u64,
+    ops: Vec<Op>,
+    slot: Arc<Slot>,
+}
+
+/// Everything behind the queue mutex.
+struct QueueState {
+    /// The accumulating round (admission order).
+    open: Vec<Request>,
+    /// Rounds whose boundary is fixed (sealed explicitly, or the final
+    /// drain at close). Committed strictly in seal order, before `open`.
+    sealed: VecDeque<Vec<Request>>,
+    /// Total ops in `open`.
+    open_ops: usize,
+    /// Requests admitted and not yet handed to the writer (`open` +
+    /// everything in `sealed`) — the quantity the capacity bounds.
+    queued: usize,
+    /// When the oldest request in `open` was admitted (coalesce deadline).
+    open_since: Option<Instant>,
+    /// Admission is closed; pending work still drains.
+    closed: bool,
+    next_seq: u64,
+}
+
+struct Shared {
+    q: Mutex<QueueState>,
+    /// Writer waits here for work (and for seals / close).
+    submitted: Condvar,
+    /// Blocking submitters wait here for queue space.
+    space: Condvar,
+    rounds_committed: AtomicU64,
+    ops_committed: AtomicU64,
+    next_auto_client: AtomicU64,
+}
+
+/// The replay log entry of one commit round: exactly what the writer
+/// passed to [`BatchDynamic::apply`] and what came back. A serial replay
+/// of `ops` round by round on a fresh backend must reproduce `result`
+/// byte for byte — that is the serving layer's determinism contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The round number ([`RequestResult::round`] of its requests).
+    pub round: u64,
+    /// The round's concatenated operations, in applied order.
+    pub ops: Vec<Op>,
+    /// The backend's result for the round.
+    pub result: BatchResult,
+}
+
+/// What [`ConnServer::join`] returns once the queue has drained.
+#[derive(Debug)]
+pub struct ServiceReport<B> {
+    /// The backend, with every accepted request applied.
+    pub backend: B,
+    /// Per-round replay log (empty unless [`ServerConfig::record_rounds`]).
+    pub rounds: Vec<RoundRecord>,
+    /// Total commit rounds.
+    pub rounds_committed: u64,
+    /// Total operations committed across all rounds.
+    pub ops_committed: u64,
+}
+
+/// A group-commit batching frontend over any [`BatchDynamic`] backend.
+///
+/// Shared by reference across client threads (all submission methods take
+/// `&self`); wrap it in an [`Arc`] or use scoped threads. See the crate
+/// docs for the serving model and `examples/concurrent_service.rs` for an
+/// end-to-end run.
+pub struct ConnServer<B: BatchDynamic + Send + 'static> {
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    num_vertices: usize,
+    backend_name: &'static str,
+    /// The backend's static capabilities per [`OpKind`] (insert, delete,
+    /// query), captured at start so admission can bounce unsupportable
+    /// requests before they poison a whole commit round.
+    supports: [bool; 3],
+    writer: Option<JoinHandle<(B, Vec<RoundRecord>)>>,
+}
+
+/// Dense index of an [`OpKind`] into the capability table.
+fn kind_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Insert => 0,
+        OpKind::Delete => 1,
+        OpKind::Query => 2,
+    }
+}
+
+/// The trait-method name an unsupported kind maps to in the typed error.
+fn kind_operation(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Insert => "batch_insert",
+        OpKind::Delete => "batch_delete",
+        OpKind::Query => "batch_connected",
+    }
+}
+
+impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
+    /// Take ownership of `backend` and start the writer thread. The
+    /// backend is handed back by [`ConnServer::join`].
+    pub fn start(backend: B, config: ServerConfig) -> Self {
+        let num_vertices = backend.num_vertices();
+        let backend_name = backend.backend_name();
+        let supports =
+            [OpKind::Insert, OpKind::Delete, OpKind::Query].map(|kind| backend.supports(kind));
+        let shared = Arc::new(Shared {
+            q: Mutex::new(QueueState {
+                open: Vec::new(),
+                sealed: VecDeque::new(),
+                open_ops: 0,
+                queued: 0,
+                open_since: None,
+                closed: false,
+                next_seq: 0,
+            }),
+            submitted: Condvar::new(),
+            space: Condvar::new(),
+            rounds_committed: AtomicU64::new(0),
+            ops_committed: AtomicU64::new(0),
+            next_auto_client: AtomicU64::new(0),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("dyncon-server-writer".into())
+                .spawn(move || writer_loop(backend, shared, config))
+                .expect("spawn dyncon-server writer")
+        };
+        Self {
+            shared,
+            config,
+            num_vertices,
+            backend_name,
+            supports,
+            writer: Some(writer),
+        }
+    }
+
+    /// The backend's vertex universe (requests are validated against it
+    /// at admission).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The wrapped backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// Rounds committed so far.
+    pub fn rounds_committed(&self) -> u64 {
+        self.shared.rounds_committed.load(Ordering::Relaxed)
+    }
+
+    /// Operations committed so far.
+    pub fn ops_committed(&self) -> u64 {
+        self.shared.ops_committed.load(Ordering::Relaxed)
+    }
+
+    /// Submit one request under an automatically assigned (unique) client
+    /// id. Non-blocking: a full queue is [`DynConError::Backpressure`].
+    ///
+    /// For deterministic mode use [`ConnServer::submit_as`] with a stable
+    /// client id — auto ids are assigned in arrival order, which is
+    /// exactly what that mode must not depend on.
+    pub fn submit(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        let client = self.shared.next_auto_client.fetch_add(1, Ordering::Relaxed);
+        self.submit_inner(client, ops, false)
+    }
+
+    /// Submit one request on behalf of `client`. Requests of one client
+    /// keep their submission order in every canonical round. Non-blocking.
+    pub fn submit_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.submit_inner(client, ops, false)
+    }
+
+    /// Like [`ConnServer::submit`], but waits for queue space instead of
+    /// returning [`DynConError::Backpressure`].
+    pub fn submit_blocking(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        let client = self.shared.next_auto_client.fetch_add(1, Ordering::Relaxed);
+        self.submit_inner(client, ops, true)
+    }
+
+    /// Like [`ConnServer::submit_as`], but waits for queue space.
+    pub fn submit_blocking_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.submit_inner(client, ops, true)
+    }
+
+    fn submit_inner(&self, client: u64, ops: Vec<Op>, block: bool) -> Result<Ticket, DynConError> {
+        // Validate here so a round never fails on behalf of *other*
+        // clients' requests: vertex ranges and the backend's static op
+        // capabilities are both admission-time rejections.
+        for op in &ops {
+            let (u, v) = op.endpoints();
+            validate_vertex(self.num_vertices, u)?;
+            validate_vertex(self.num_vertices, v)?;
+            if !self.supports[kind_index(op.kind())] {
+                return Err(DynConError::Unsupported {
+                    backend: self.backend_name,
+                    operation: kind_operation(op.kind()),
+                });
+            }
+        }
+        let mut q = self.shared.q.lock().unwrap();
+        loop {
+            if q.closed {
+                return Err(DynConError::ServiceClosed);
+            }
+            if q.queued < self.config.queue_capacity {
+                break;
+            }
+            if !block {
+                return Err(DynConError::Backpressure {
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            q = self.shared.space.wait(q).unwrap();
+        }
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        if q.open.is_empty() {
+            q.open_since = Some(Instant::now());
+        }
+        let slot = Arc::new(Slot::default());
+        q.open_ops += ops.len();
+        q.queued += 1;
+        q.open.push(Request {
+            client,
+            seq,
+            ops,
+            slot: Arc::clone(&slot),
+        });
+        self.shared.submitted.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// Fix the current round boundary: every request admitted since the
+    /// last seal becomes one round, canonically ordered by
+    /// `(client, submission index)`. Returns how many requests the round
+    /// holds (0 seals nothing). This is how deterministic mode forms
+    /// rounds; in throughput mode it acts as an explicit flush.
+    pub fn seal_round(&self) -> usize {
+        let mut q = self.shared.q.lock().unwrap();
+        let n = seal_open(&mut q);
+        if n > 0 {
+            self.shared.submitted.notify_all();
+        }
+        n
+    }
+
+    /// Stop admission: subsequent submissions fail with
+    /// [`DynConError::ServiceClosed`]. Everything already admitted is
+    /// sealed as a final round and will still commit. Idempotent.
+    pub fn close(&self) {
+        let mut q = self.shared.q.lock().unwrap();
+        if q.closed {
+            return;
+        }
+        seal_open(&mut q);
+        q.closed = true;
+        self.shared.submitted.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Close (if not already closed), drain every pending round, stop the
+    /// writer and hand back the backend plus the round log.
+    pub fn join(mut self) -> ServiceReport<B> {
+        self.close();
+        let (backend, rounds) = self
+            .writer
+            .take()
+            .expect("join consumes the writer exactly once")
+            .join()
+            .expect("dyncon-server writer panicked");
+        ServiceReport {
+            backend,
+            rounds,
+            rounds_committed: self.shared.rounds_committed.load(Ordering::Relaxed),
+            ops_committed: self.shared.ops_committed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<B: BatchDynamic + Send + 'static> Drop for ConnServer<B> {
+    /// A dropped server still drains accepted requests (their tickets
+    /// must resolve); the backend and log are discarded.
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            self.close();
+            let _ = writer.join();
+        }
+    }
+}
+
+/// Move the open queue into `sealed` as one canonical round.
+fn seal_open(q: &mut QueueState) -> usize {
+    if q.open.is_empty() {
+        return 0;
+    }
+    let mut round = std::mem::take(&mut q.open);
+    q.open_ops = 0;
+    q.open_since = None;
+    // Canonical order: client id, then that client's own submission
+    // order. Keys are unique (seq is globally unique), and relative order
+    // within a client never depends on cross-client interleaving.
+    round.sort_unstable_by_key(|r| (r.client, r.seq));
+    let n = round.len();
+    q.sealed.push_back(round);
+    n
+}
+
+/// Take a prefix of the open queue totalling at most `cap` ops (always at
+/// least one request, so an oversized request still commits — alone).
+fn take_open_prefix(q: &mut QueueState, cap: usize) -> Vec<Request> {
+    let mut taken = 0usize;
+    let mut ops = 0usize;
+    while taken < q.open.len() {
+        let len = q.open[taken].ops.len();
+        if taken > 0 && ops + len > cap {
+            break;
+        }
+        ops += len;
+        taken += 1;
+        if ops >= cap {
+            break;
+        }
+    }
+    let rest = q.open.split_off(taken);
+    let round = std::mem::replace(&mut q.open, rest);
+    q.open_ops -= ops;
+    // Leftover requests keep the old deadline: they have already waited a
+    // full coalesce window, so the next round commits promptly.
+    if q.open.is_empty() {
+        q.open_since = None;
+    }
+    round
+}
+
+/// The single-writer commit loop. Owns the backend outright — group
+/// commit *is* the concurrency control, so the structure itself needs no
+/// locking — and returns it (plus the round log) at shutdown.
+fn writer_loop<B: BatchDynamic>(
+    mut backend: B,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+) -> (B, Vec<RoundRecord>) {
+    let pool = config.worker_threads.map(|t| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("build writer pool")
+    });
+    let mut log: Vec<RoundRecord> = Vec::new();
+    loop {
+        // Phase 1: pick the next round under the queue lock.
+        let round: Vec<Request> = {
+            let mut q = shared.q.lock().unwrap();
+            loop {
+                // Sealed rounds first, in seal order — in deterministic
+                // mode they are the *only* source of rounds.
+                if let Some(round) = q.sealed.pop_front() {
+                    q.queued -= round.len();
+                    break round;
+                }
+                if config.deterministic || q.open.is_empty() {
+                    if q.closed {
+                        // close() seals the open queue, so nothing is left.
+                        debug_assert!(q.open.is_empty() && q.sealed.is_empty());
+                        return (backend, log);
+                    }
+                    q = shared.submitted.wait(q).unwrap();
+                    continue;
+                }
+                // Throughput mode with a non-empty open queue: commit when
+                // the cap is reached, the coalesce window expired, or the
+                // service is shutting down; otherwise wait the window out.
+                let elapsed = q
+                    .open_since
+                    .expect("non-empty open queue has an admission time")
+                    .elapsed();
+                if q.closed
+                    || q.open_ops >= config.max_batch_ops
+                    || elapsed >= config.max_coalesce_wait
+                {
+                    let round = take_open_prefix(&mut q, config.max_batch_ops);
+                    q.queued -= round.len();
+                    break round;
+                }
+                let (guard, _timeout) = shared
+                    .submitted
+                    .wait_timeout(q, config.max_coalesce_wait - elapsed)
+                    .unwrap();
+                q = guard;
+            }
+        };
+        shared.space.notify_all();
+
+        // Phase 2: apply the round as ONE mixed-op batch, outside the lock.
+        let mut ops: Vec<Op> = Vec::with_capacity(round.iter().map(|r| r.ops.len()).sum());
+        for req in &round {
+            ops.extend_from_slice(&req.ops);
+        }
+        // A panicking backend must not strand clients on their tickets:
+        // catch the unwind, resolve everything pending, then re-raise (the
+        // panic resurfaces at `join`).
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &pool {
+            Some(p) => p.install(|| backend.apply(&ops)),
+            None => backend.apply(&ops),
+        }));
+        let applied = match applied {
+            Ok(applied) => applied,
+            Err(panic) => {
+                fail_all_pending(&shared, &round);
+                std::panic::resume_unwind(panic);
+            }
+        };
+
+        // Phase 3: hand each submitter its slice of the answers.
+        match applied {
+            Ok(result) => {
+                let round_no = shared.rounds_committed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .ops_committed
+                    .fetch_add(ops.len() as u64, Ordering::Relaxed);
+                let mut cursor = result.answers.iter().copied();
+                for req in &round {
+                    let queries = req
+                        .ops
+                        .iter()
+                        .filter(|op| op.kind() == OpKind::Query)
+                        .count();
+                    let answers: Vec<bool> = cursor.by_ref().take(queries).collect();
+                    debug_assert_eq!(answers.len(), queries, "answer underrun");
+                    req.slot.fill(Ok(RequestResult {
+                        round: round_no,
+                        answers,
+                    }));
+                }
+                if config.record_rounds {
+                    log.push(RoundRecord {
+                        round: round_no,
+                        ops,
+                        result,
+                    });
+                }
+            }
+            Err(e) => {
+                // Defensive only: admission validates vertices *and* op
+                // kinds against the backend's static capabilities, so a
+                // round has no expected failure path left. Should a
+                // backend refuse anyway, it has applied a prefix of the
+                // round (`apply`'s documented partial semantics) that the
+                // replay log cannot represent — fail the round's tickets
+                // and stop the service rather than committing divergent
+                // history; requests already queued behind it resolve too.
+                for req in &round {
+                    req.slot.fill(Err(e.clone()));
+                }
+                fail_all_pending(&shared, &[]);
+                return (backend, log);
+            }
+        }
+    }
+}
+
+/// Shutdown-on-failure path: close admission, wake blocked submitters and
+/// resolve every still-queued request with [`DynConError::ServiceClosed`]
+/// so no client is left parked on a ticket.
+fn fail_all_pending(shared: &Shared, round_in_flight: &[Request]) {
+    for req in round_in_flight {
+        req.slot.fill(Err(DynConError::ServiceClosed));
+    }
+    let mut q = shared.q.lock().unwrap();
+    q.closed = true;
+    let mut pending: Vec<Request> = q.sealed.drain(..).flatten().collect();
+    pending.append(&mut q.open);
+    q.queued = 0;
+    q.open_ops = 0;
+    q.open_since = None;
+    drop(q);
+    shared.space.notify_all();
+    shared.submitted.notify_all();
+    for req in pending {
+        req.slot.fill(Err(DynConError::ServiceClosed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncon_core::BatchDynamicConnectivity;
+    use dyncon_spanning::IncrementalConnectivity;
+    use std::time::Duration;
+
+    fn server(n: usize, config: ServerConfig) -> ConnServer<BatchDynamicConnectivity> {
+        ConnServer::start(BatchDynamicConnectivity::new(n), config)
+    }
+
+    #[test]
+    fn single_client_round_trip() {
+        let s = server(8, ServerConfig::new());
+        let t = s
+            .submit(vec![Op::Insert(0, 1), Op::Query(0, 1), Op::Query(0, 2)])
+            .unwrap();
+        let r = t.wait().unwrap();
+        assert_eq!(r.answers, vec![true, false]);
+        let report = s.join();
+        assert_eq!(report.rounds_committed, 1);
+        assert_eq!(report.ops_committed, 3);
+        assert!(report.backend.connected(0, 1));
+    }
+
+    #[test]
+    fn group_commit_coalesces_requests_into_one_round() {
+        // Deterministic mode gives an explicit boundary: three requests,
+        // one seal, one round, one apply.
+        let s = server(8, ServerConfig::new().deterministic(true));
+        let t1 = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        let t2 = s.submit_as(1, vec![Op::Insert(1, 2)]).unwrap();
+        let t3 = s.submit_as(2, vec![Op::Query(0, 2)]).unwrap();
+        assert_eq!(s.seal_round(), 3);
+        // All three land in round 0; the query sees both inserts because
+        // apply's run-splitting preserves op order within the round.
+        assert_eq!(t1.wait().unwrap().round, 0);
+        assert_eq!(t2.wait().unwrap().round, 0);
+        let r3 = t3.wait().unwrap();
+        assert_eq!((r3.round, r3.answers.as_slice()), (0, &[true][..]));
+        let report = s.join();
+        assert_eq!(report.rounds_committed, 1);
+        assert_eq!(report.rounds.len(), 1);
+        assert_eq!(
+            report.rounds[0].ops,
+            vec![Op::Insert(0, 1), Op::Insert(1, 2), Op::Query(0, 2)]
+        );
+        assert_eq!(report.rounds[0].result.inserted, 2);
+    }
+
+    #[test]
+    fn canonical_order_sorts_by_client_then_program_order() {
+        let s = server(8, ServerConfig::new().deterministic(true));
+        // Submit in scrambled client order; the sealed round must come out
+        // client-major, program-order within each client.
+        let tb = s.submit_as(7, vec![Op::Insert(2, 3)]).unwrap();
+        let ta1 = s.submit_as(1, vec![Op::Insert(0, 1)]).unwrap();
+        let ta2 = s.submit_as(1, vec![Op::Query(0, 1)]).unwrap();
+        s.seal_round();
+        for t in [tb, ta1, ta2] {
+            t.wait().unwrap();
+        }
+        let report = s.join();
+        assert_eq!(
+            report.rounds[0].ops,
+            vec![Op::Insert(0, 1), Op::Query(0, 1), Op::Insert(2, 3)]
+        );
+    }
+
+    #[test]
+    fn batch_cap_splits_rounds_and_oversized_requests_commit_alone() {
+        let s = server(
+            16,
+            ServerConfig::new()
+                .batch_cap(4)
+                .coalesce_wait(Duration::from_millis(40))
+                .record_rounds(true),
+        );
+        // 6 ops in one request: exceeds the cap, must still commit.
+        let big: Vec<Op> = (0..6).map(|i| Op::Insert(i, i + 1)).collect();
+        let t1 = s.submit(big).unwrap();
+        assert_eq!(t1.wait().unwrap().round, 0);
+        // Two 3-op requests: the second overflows the 4-op cap, so they
+        // commit as separate rounds (no starvation: the leftover keeps
+        // its admission deadline).
+        let t2 = s.submit(vec![Op::Query(0, 6); 3]).unwrap();
+        let t3 = s.submit(vec![Op::Query(0, 6); 3]).unwrap();
+        let (r2, r3) = (t2.wait().unwrap(), t3.wait().unwrap());
+        assert!(r3.round > r2.round, "{} vs {}", r3.round, r2.round);
+        assert_eq!(r2.answers, vec![true; 3]);
+        let report = s.join();
+        assert_eq!(report.rounds_committed, 3);
+        assert_eq!(report.ops_committed, 12);
+    }
+
+    #[test]
+    fn coalesce_window_commits_partial_batches() {
+        // Far-below-cap traffic must still commit within the window.
+        let s = server(
+            8,
+            ServerConfig::new()
+                .batch_cap(1 << 20)
+                .coalesce_wait(Duration::from_micros(50)),
+        );
+        let t = s.submit(vec![Op::Insert(0, 1), Op::Query(0, 1)]).unwrap();
+        assert_eq!(t.wait().unwrap().answers, vec![true]);
+        s.join();
+    }
+
+    #[test]
+    fn submit_validates_vertices_at_admission() {
+        let s = server(4, ServerConfig::new());
+        let err = s.submit(vec![Op::Insert(0, 9)]).unwrap_err();
+        assert_eq!(
+            err,
+            DynConError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 4
+            }
+        );
+        let report = s.join();
+        assert_eq!(report.rounds_committed, 0);
+    }
+
+    #[test]
+    fn unsupported_ops_are_bounced_at_admission() {
+        // An insert-only backend refuses deletions *statically*, so the
+        // server rejects the request before it can poison a round that
+        // other clients' requests share.
+        let uf = IncrementalConnectivity::new(8);
+        let s = ConnServer::start(uf, ServerConfig::new().deterministic(true));
+        let t1 = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        let err = s
+            .submit_as(1, vec![Op::Insert(1, 2), Op::Delete(0, 1)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DynConError::Unsupported {
+                backend: "incremental-unionfind",
+                operation: "batch_delete",
+            }
+        );
+        // The admitted insert still commits; the rejected request never
+        // entered the queue.
+        s.seal_round();
+        assert_eq!(t1.wait().unwrap().round, 0);
+        let report = s.join();
+        assert_eq!(report.ops_committed, 1);
+        // Queries remain admissible on the insert-only backend.
+        assert!(report.backend.connected(0, 1));
+    }
+
+    /// A backend whose `apply` panics after `panic_after` successful
+    /// rounds — the writer-crash scenario.
+    struct Bomb {
+        inner: BatchDynamicConnectivity,
+        rounds_left: usize,
+    }
+
+    impl dyncon_api::Connectivity for Bomb {
+        fn backend_name(&self) -> &'static str {
+            "bomb"
+        }
+        fn num_vertices(&self) -> usize {
+            self.inner.num_vertices()
+        }
+        fn connected(&self, u: u32, v: u32) -> bool {
+            dyncon_api::Connectivity::connected(&self.inner, u, v)
+        }
+        fn num_components(&self) -> usize {
+            dyncon_api::Connectivity::num_components(&self.inner)
+        }
+        fn component_size(&self, v: u32) -> u64 {
+            dyncon_api::Connectivity::component_size(&self.inner, v)
+        }
+    }
+
+    impl BatchDynamic for Bomb {
+        fn batch_insert(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+            BatchDynamic::batch_insert(&mut self.inner, edges)
+        }
+        fn batch_delete(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+            BatchDynamic::batch_delete(&mut self.inner, edges)
+        }
+        fn apply(&mut self, ops: &[Op]) -> Result<dyncon_api::BatchResult, DynConError> {
+            if self.rounds_left == 0 {
+                panic!("bomb backend detonated");
+            }
+            self.rounds_left -= 1;
+            self.inner.apply(ops)
+        }
+    }
+
+    #[test]
+    fn backend_panic_resolves_every_pending_ticket() {
+        let bomb = Bomb {
+            inner: BatchDynamicConnectivity::new(8),
+            rounds_left: 1,
+        };
+        let s = ConnServer::start(bomb, ServerConfig::new().deterministic(true));
+        let ok = s
+            .submit_as(0, vec![Op::Insert(0, 1), Op::Query(0, 1)])
+            .unwrap();
+        s.seal_round();
+        assert_eq!(ok.wait().unwrap().answers, vec![true]);
+        // Round 1 detonates; its ticket AND a request racing the crash
+        // must both resolve instead of hanging forever.
+        let in_flight = s.submit_as(0, vec![Op::Insert(1, 2)]).unwrap();
+        s.seal_round();
+        // This submit races the detonation: it is either bounced at
+        // admission (already closed) or admitted and then failed by the
+        // crash cleanup — never left hanging.
+        match s.submit_as(1, vec![Op::Query(0, 1)]) {
+            Ok(ticket) => assert_eq!(ticket.wait().unwrap_err(), DynConError::ServiceClosed),
+            Err(e) => assert_eq!(e, DynConError::ServiceClosed),
+        }
+        assert_eq!(in_flight.wait().unwrap_err(), DynConError::ServiceClosed);
+        // Admission is closed after the crash…
+        assert_eq!(
+            s.submit_as(2, vec![Op::Query(0, 1)]).unwrap_err(),
+            DynConError::ServiceClosed
+        );
+        // …and the writer's panic resurfaces at join.
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.join()));
+        assert!(joined.is_err(), "join must surface the backend panic");
+    }
+
+    #[test]
+    fn empty_request_is_a_durable_flush() {
+        let s = server(4, ServerConfig::new());
+        let t0 = s.submit(vec![Op::Insert(0, 1)]).unwrap();
+        let t = s.submit(Vec::new()).unwrap();
+        let r = t.wait().unwrap();
+        assert!(r.answers.is_empty());
+        // Group commit: by the time any ticket of a round resolves, every
+        // earlier round is durable.
+        assert!(t0.ready() || t0.wait().is_ok());
+        s.join();
+    }
+
+    #[test]
+    fn drop_without_join_still_resolves_tickets() {
+        let s = server(
+            8,
+            ServerConfig::new().coalesce_wait(Duration::from_millis(20)),
+        );
+        let t = s.submit(vec![Op::Insert(0, 1), Op::Query(0, 1)]).unwrap();
+        drop(s);
+        assert_eq!(t.wait().unwrap().answers, vec![true]);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = server(16, ServerConfig::new());
+        assert_eq!(s.num_vertices(), 16);
+        assert!(!s.backend_name().is_empty());
+        let t = s.submit(vec![Op::Insert(0, 1)]).unwrap();
+        t.wait().unwrap();
+        assert_eq!(s.rounds_committed(), 1);
+        assert_eq!(s.ops_committed(), 1);
+        s.join();
+    }
+}

@@ -101,6 +101,12 @@ impl BatchDynamic for IncrementalConnectivity {
             operation: "batch_delete",
         })
     }
+
+    /// Insert-only: deletions are statically unsupported, so serving
+    /// layers can bounce them at admission.
+    fn supports(&self, kind: dyncon_api::OpKind) -> bool {
+        kind != dyncon_api::OpKind::Delete
+    }
 }
 
 impl BuildFrom for IncrementalConnectivity {

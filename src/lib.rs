@@ -30,6 +30,11 @@
 //! assert_eq!(result.answers, vec![true, false]);
 //! # Ok::<(), dyncon::api::DynConError>(())
 //! ```
+//!
+//! For concurrent callers, [`server::ConnServer`] is the group-commit
+//! serving frontend: it coalesces many clients' submissions into one
+//! mixed-op batch per commit round (see the "Serving layer" section of
+//! the README and `examples/concurrent_service.rs`).
 
 pub use dyncon_api as api;
 pub use dyncon_core as core;
@@ -37,5 +42,6 @@ pub use dyncon_ett as ett;
 pub use dyncon_graphgen as graphgen;
 pub use dyncon_hdt as hdt;
 pub use dyncon_primitives as primitives;
+pub use dyncon_server as server;
 pub use dyncon_skiplist as skiplist;
 pub use dyncon_spanning as spanning;

@@ -6,7 +6,9 @@
 use dyncon_api::{BatchDynamic, Builder, DeletionAlgorithm, DynConError, Op};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::{complete, path};
+use dyncon_server::{ConnServer, ServerConfig};
 use dyncon_spanning::IncrementalConnectivity;
+use std::error::Error;
 
 const ALGOS: [DeletionAlgorithm; 2] = [DeletionAlgorithm::Simple, DeletionAlgorithm::Interleaved];
 
@@ -156,6 +158,82 @@ fn insert_only_backend_refuses_deletions() {
     );
     // The error message owns up to partial application semantics.
     assert!(err.to_string().contains("does not support"));
+}
+
+// ---- The serving layer's failure contract ------------------------------
+
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    // Deterministic mode never commits without a seal, so the queue fills
+    // deterministically: capacity 2, third submit must bounce.
+    let server = ConnServer::start(
+        BatchDynamicConnectivity::new(8),
+        ServerConfig::new().deterministic(true).queue_capacity(2),
+    );
+    let t1 = server.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+    let t2 = server.submit_as(1, vec![Op::Insert(1, 2)]).unwrap();
+    let err = server.submit_as(2, vec![Op::Query(0, 2)]).unwrap_err();
+    assert_eq!(err, DynConError::Backpressure { capacity: 2 });
+    // Display names the capacity; Error impl is wired up.
+    assert!(
+        err.to_string().contains("2") && err.to_string().contains("full"),
+        "{err}"
+    );
+    assert!((&err as &dyn Error).source().is_none());
+    // The rejected request was never enqueued: the round holds exactly
+    // the two admitted requests, and draining reopens admission.
+    server.seal_round();
+    assert_eq!(t1.wait().unwrap().round, 0);
+    assert_eq!(t2.wait().unwrap().round, 0);
+    let t3 = server.submit_as(2, vec![Op::Query(0, 2)]).unwrap();
+    server.seal_round();
+    assert_eq!(t3.wait().unwrap().answers, vec![true]);
+    let report = server.join();
+    assert_eq!(report.ops_committed, 3, "the bounced request never ran");
+}
+
+#[test]
+fn post_shutdown_submit_rejects_with_service_closed() {
+    let server = ConnServer::start(BatchDynamicConnectivity::new(8), ServerConfig::new());
+    let accepted = server
+        .submit(vec![Op::Insert(0, 1), Op::Query(0, 1)])
+        .unwrap();
+    server.close();
+    // Closed means closed, for every submission flavour.
+    let err = server.submit(vec![Op::Query(0, 1)]).unwrap_err();
+    assert_eq!(err, DynConError::ServiceClosed);
+    assert_eq!(
+        server.submit_blocking(vec![Op::Query(0, 1)]).unwrap_err(),
+        DynConError::ServiceClosed
+    );
+    assert!(err.to_string().contains("closed"), "{err}");
+    assert!((&err as &dyn Error).source().is_none());
+    // close() is idempotent, and requests accepted before it still commit.
+    server.close();
+    assert_eq!(accepted.wait().unwrap().answers, vec![true]);
+    let report = server.join();
+    assert_eq!(report.ops_committed, 2);
+    assert!(report.backend.connected(0, 1));
+}
+
+#[test]
+fn server_admission_validates_vertices_like_apply() {
+    // The serving layer keeps the trait boundary's validation contract:
+    // a bad request is rejected at submit, before anything is enqueued.
+    let server = ConnServer::start(BatchDynamicConnectivity::new(4), ServerConfig::new());
+    let err = server
+        .submit(vec![Op::Insert(0, 1), Op::Query(9, 0)])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        DynConError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4
+        }
+    );
+    let report = server.join();
+    assert_eq!(report.rounds_committed, 0);
+    assert_eq!(report.backend.num_edges(), 0);
 }
 
 // ---- Level-edge and churn cases ---------------------------------------
