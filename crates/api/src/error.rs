@@ -46,6 +46,29 @@ pub enum DynConError {
     /// round could commit. After an orderly `close()`, requests accepted
     /// earlier still commit and their tickets resolve normally.
     ServiceClosed,
+    /// A durable-storage operation (WAL append, fsync, snapshot write,
+    /// recovery read) failed at the I/O layer. Carries the offending path
+    /// and the OS error text; the underlying `io::Error` is not kept so
+    /// the error stays `Clone + Eq` like every other variant.
+    Storage {
+        /// The file or directory the operation targeted.
+        path: String,
+        /// The I/O failure, as reported by the OS.
+        message: String,
+    },
+    /// Durable state failed validation: a checksum mismatch in the middle
+    /// of the write-ahead log, a bad magic number, an undecodable record,
+    /// or a round-sequence gap. Unlike a *tail* failure (which recovery
+    /// drops silently as a torn final write), mid-log corruption means
+    /// committed history is unreadable and recovery must not guess.
+    Corrupt {
+        /// The corrupt file.
+        path: String,
+        /// Byte offset of the record that failed validation.
+        offset: u64,
+        /// What exactly failed (checksum, magic, decode, sequence).
+        detail: String,
+    },
 }
 
 impl fmt::Display for DynConError {
@@ -74,6 +97,17 @@ impl fmt::Display for DynConError {
             DynConError::ServiceClosed => {
                 write!(f, "service closed: request rejected, not enqueued")
             }
+            DynConError::Storage { path, message } => {
+                write!(f, "storage failure at {path}: {message}")
+            }
+            DynConError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt durable state in {path} at byte offset {offset}: {detail}"
+            ),
         }
     }
 }
@@ -112,6 +146,33 @@ mod tests {
         let c = DynConError::ServiceClosed;
         assert!(c.to_string().contains("closed"), "{c}");
         // Both participate in the std error machinery like every variant.
+        let e: Box<dyn Error> = Box::new(c);
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn storage_errors_display() {
+        let s = DynConError::Storage {
+            path: "/data/wal.log".into(),
+            message: "No space left on device".into(),
+        };
+        assert!(
+            s.to_string().contains("/data/wal.log") && s.to_string().contains("No space"),
+            "{s}"
+        );
+        let c = DynConError::Corrupt {
+            path: "/data/wal.log".into(),
+            offset: 4096,
+            detail: "checksum mismatch".into(),
+        };
+        let text = c.to_string();
+        assert!(
+            text.contains("4096") && text.contains("checksum mismatch"),
+            "{text}"
+        );
+        // Both stay Clone + Eq like every other variant.
+        assert_eq!(s.clone(), s);
+        assert_ne!(s, c);
         let e: Box<dyn Error> = Box::new(c);
         assert!(e.source().is_none());
     }

@@ -17,7 +17,14 @@
 //!   [`BuildFrom`];
 //! * [`DynConError`] — typed errors at the API boundary instead of deep
 //!   panics: out-of-range vertices are rejected with
-//!   [`DynConError::VertexOutOfRange`] before any state is touched.
+//!   [`DynConError::VertexOutOfRange`] before any state is touched;
+//!   durable-storage failures surface as [`DynConError::Storage`] /
+//!   [`DynConError::Corrupt`];
+//! * [`encode_ops`] / [`decode_ops`] — the compact canonical binary
+//!   encoding of mixed-op batches ([`Op::ENCODED_LEN`] bytes per op) that
+//!   the `dyncon-durable` write-ahead log frames and checksums;
+//! * [`ExportEdges`] — the canonical bulk-export surface (normalized,
+//!   sorted edge list) durable snapshots are built on.
 //!
 //! Backends implementing the contract: `dyncon-core`'s
 //! `BatchDynamicConnectivity` (the paper's structure), `dyncon-hdt`'s
@@ -50,7 +57,7 @@ mod op;
 
 pub use builder::{BuildFrom, Builder, DeletionAlgorithm, MAX_VERTICES};
 pub use error::DynConError;
-pub use op::{BatchResult, Op, OpKind};
+pub use op::{decode_ops, encode_ops, BatchResult, Op, OpKind};
 
 /// The read side of a connectivity structure: queries only, all `&self`,
 /// so concurrent readers never need exclusive access.
@@ -150,6 +157,22 @@ pub trait BatchDynamic: Connectivity {
     fn check(&self) -> Result<(), String> {
         Ok(())
     }
+}
+
+/// The canonical bulk-export surface a durable snapshot is built on.
+///
+/// A connectivity structure is fully determined by its vertex universe
+/// and edge set, so `(num_vertices, export_edges())` is a complete,
+/// backend-independent snapshot: rebuilding any backend from it (via
+/// [`BuildFrom`] + [`BatchDynamic::batch_insert`]) yields an equivalent
+/// graph. The contract makes the bytes canonical too: edges come back
+/// **normalized** (`u < v`) and **sorted**, so two structures holding the
+/// same edge set export identical vectors regardless of insertion
+/// history — which is what lets snapshot files be compared and
+/// checksummed byte-for-byte.
+pub trait ExportEdges: Connectivity {
+    /// Every current edge, normalized `(min, max)` and sorted ascending.
+    fn export_edges(&self) -> Vec<(u32, u32)>;
 }
 
 /// Reject an out-of-range vertex id with a typed error.

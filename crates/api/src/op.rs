@@ -27,6 +27,38 @@ pub enum OpKind {
 }
 
 impl Op {
+    /// Size of one operation in the compact binary encoding: a 1-byte
+    /// kind tag followed by the two endpoints as little-endian `u32`s.
+    /// This is the on-disk unit of the durable write-ahead log.
+    pub const ENCODED_LEN: usize = 9;
+
+    /// Append this operation's compact binary encoding to `buf`.
+    #[inline]
+    pub fn encode_into(self, buf: &mut Vec<u8>) {
+        let (tag, (u, v)) = match self {
+            Op::Insert(u, v) => (0u8, (u, v)),
+            Op::Delete(u, v) => (1u8, (u, v)),
+            Op::Query(u, v) => (2u8, (u, v)),
+        };
+        buf.push(tag);
+        buf.extend_from_slice(&u.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Decode one operation from its 9-byte compact encoding. `None` on
+    /// an unknown kind tag.
+    #[inline]
+    pub fn decode(bytes: &[u8; Self::ENCODED_LEN]) -> Option<Op> {
+        let u = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
+        match bytes[0] {
+            0 => Some(Op::Insert(u, v)),
+            1 => Some(Op::Delete(u, v)),
+            2 => Some(Op::Query(u, v)),
+            _ => None,
+        }
+    }
+
     /// This operation's kind.
     #[inline]
     pub fn kind(self) -> OpKind {
@@ -44,6 +76,31 @@ impl Op {
             Op::Insert(u, v) | Op::Delete(u, v) | Op::Query(u, v) => (u, v),
         }
     }
+}
+
+/// Encode a batch of operations into the compact binary form
+/// ([`Op::ENCODED_LEN`] bytes each, concatenated). The encoding is
+/// canonical: equal batches produce equal bytes, so checksums over the
+/// encoding are stable across processes.
+pub fn encode_ops(ops: &[Op]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(ops.len() * Op::ENCODED_LEN);
+    for op in ops {
+        op.encode_into(&mut buf);
+    }
+    buf
+}
+
+/// Decode a batch previously produced by [`encode_ops`]. `None` if the
+/// byte length is not a multiple of [`Op::ENCODED_LEN`] or any kind tag
+/// is unknown — callers treat either as corruption.
+pub fn decode_ops(bytes: &[u8]) -> Option<Vec<Op>> {
+    if bytes.len() % Op::ENCODED_LEN != 0 {
+        return None;
+    }
+    bytes
+        .chunks_exact(Op::ENCODED_LEN)
+        .map(|c| Op::decode(c.try_into().expect("exact chunk")))
+        .collect()
 }
 
 /// Outcome of one [`crate::BatchDynamic::apply`] call.
@@ -74,6 +131,35 @@ mod tests {
         assert_eq!(Op::Delete(1, 2).kind(), OpKind::Delete);
         assert_eq!(Op::Query(1, 2).kind(), OpKind::Query);
         assert_eq!(Op::Query(3, 9).endpoints(), (3, 9));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let ops = vec![
+            Op::Insert(0, u32::MAX),
+            Op::Delete(7, 7),
+            Op::Query(123_456, 1),
+        ];
+        let bytes = encode_ops(&ops);
+        assert_eq!(bytes.len(), ops.len() * Op::ENCODED_LEN);
+        assert_eq!(decode_ops(&bytes), Some(ops.clone()));
+        // Canonical: same batch, same bytes.
+        assert_eq!(bytes, encode_ops(&ops));
+        // Empty batch is the empty encoding.
+        assert_eq!(encode_ops(&[]), Vec::<u8>::new());
+        assert_eq!(decode_ops(&[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        let mut bytes = encode_ops(&[Op::Insert(1, 2)]);
+        // Truncated: not a multiple of the op size.
+        assert_eq!(decode_ops(&bytes[..5]), None);
+        // Unknown kind tag.
+        bytes[0] = 9;
+        assert_eq!(decode_ops(&bytes), None);
+        let nine: [u8; Op::ENCODED_LEN] = bytes[..9].try_into().unwrap();
+        assert_eq!(Op::decode(&nine), None);
     }
 
     #[test]

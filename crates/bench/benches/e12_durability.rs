@@ -1,0 +1,87 @@
+//! E12: durability costs — WAL append throughput and recovery time.
+//!
+//! `append` measures the write-ahead log's per-op cost for a 256-op
+//! round under each fsync policy (`never` isolates the encoding + write
+//! path; `every_round` adds the group-fsync the serving layer pays once
+//! per commit). `recover` measures full crash recovery — snapshot load +
+//! deterministic replay — as the log grows, the curve that motivates
+//! compaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
+use dyncon_graphgen::zipf_client_schedules;
+
+const N: usize = 1 << 12;
+const OPS_PER_ROUND: usize = 256;
+
+/// One flat schedule of mixed-op rounds.
+fn rounds(count: usize) -> Vec<Vec<dyncon_api::Op>> {
+    zipf_client_schedules(N, 1, count, OPS_PER_ROUND, 0.3, 1.1, 12).remove(0)
+}
+
+/// A durable directory holding an empty snapshot and `log_rounds` logged
+/// rounds — the recovery workload.
+fn prebuilt_dir(log_rounds: usize) -> std::path::PathBuf {
+    let dir = scratch_dir(&format!("e12-recover-{log_rounds}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    Snapshot {
+        num_vertices: N,
+        next_round: 0,
+        edges: Vec::new(),
+    }
+    .write_atomic(&dir)
+    .unwrap();
+    let mut wal = WalWriter::open(&dir, FsyncPolicy::Never, 0).unwrap();
+    for ops in rounds(log_rounds) {
+        wal.append_round(&ops).unwrap();
+    }
+    wal.sync().unwrap();
+    dir
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_durability");
+    group.sample_size(10);
+
+    let append_rounds = rounds(64);
+    for (label, policy) in [
+        ("never", FsyncPolicy::Never),
+        ("every_round", FsyncPolicy::EveryRound),
+    ] {
+        group.throughput(Throughput::Elements((64 * OPS_PER_ROUND) as u64));
+        group.bench_function(BenchmarkId::new("append", label), |b| {
+            b.iter(|| {
+                let dir = scratch_dir("e12-append");
+                std::fs::create_dir_all(&dir).unwrap();
+                let mut wal = WalWriter::open(&dir, policy, 0).unwrap();
+                for ops in &append_rounds {
+                    wal.append_round(ops).unwrap();
+                }
+                drop(wal);
+                let _ = std::fs::remove_dir_all(&dir);
+            });
+        });
+    }
+
+    for log_rounds in [16usize, 64, 256] {
+        let dir = prebuilt_dir(log_rounds);
+        group.throughput(Throughput::Elements((log_rounds * OPS_PER_ROUND) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("recover", log_rounds),
+            &log_rounds,
+            |b, &log_rounds| {
+                b.iter(|| {
+                    let (g, meta) = recover::<BatchDynamicConnectivity>(&dir).unwrap();
+                    assert_eq!(meta.replayed_rounds, log_rounds as u64);
+                    g
+                });
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p dyncon-bench --bin experiments [--quick] [e1 e4 ...]
 //! ```
-//! With no experiment arguments, all of E1–E11 run. `--quick` shrinks
+//! With no experiment arguments, all of E1–E12 run. `--quick` shrinks
 //! problem sizes by 4× for a fast smoke pass.
 
 use dyncon_bench::{
@@ -12,6 +12,7 @@ use dyncon_bench::{
     us,
 };
 use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
+use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
 use dyncon_ett::EulerTourForest;
 use dyncon_graphgen::{
     cycle, erdos_renyi, grid2d, path, random_tree, rmat, zipf_client_schedules, UpdateStream,
@@ -525,6 +526,68 @@ fn e11(cfg: &Cfg) {
     );
 }
 
+/// E12 — durability: WAL append cost per fsync policy and recovery time
+/// vs log length (the curve that motivates compaction).
+fn e12(cfg: &Cfg) {
+    let n = (1 << 13) / cfg.scale;
+    let ops_per_round = 128;
+    let mut rows = Vec::new();
+    let mut lens = vec![16usize, 64, 256 / cfg.scale.max(1)];
+    lens.sort_unstable();
+    lens.dedup(); // --quick shrinks 256 onto 64; don't run it twice
+    for log_rounds in lens {
+        let rounds = zipf_client_schedules(n, 1, log_rounds, ops_per_round, 0.3, 1.1, 12).remove(0);
+        let total_ops = log_rounds * ops_per_round;
+        for (policy_name, policy) in [
+            ("never", FsyncPolicy::Never),
+            ("every_8", FsyncPolicy::EveryNRounds(8)),
+            ("every_round", FsyncPolicy::EveryRound),
+        ] {
+            let dir = scratch_dir("e12");
+            std::fs::create_dir_all(&dir).unwrap();
+            Snapshot {
+                num_vertices: n,
+                next_round: 0,
+                edges: Vec::new(),
+            }
+            .write_atomic(&dir)
+            .unwrap();
+            let mut wal = WalWriter::open(&dir, policy, 0).unwrap();
+            let (append, _) = time(|| {
+                for ops in &rounds {
+                    wal.append_round(ops).unwrap();
+                }
+            });
+            wal.sync().unwrap();
+            drop(wal);
+            let (rec, _) = time(|| {
+                let (g, meta) = recover::<BatchDynamicConnectivity>(&dir).unwrap();
+                assert_eq!(meta.replayed_rounds, log_rounds as u64);
+                std::hint::black_box(g);
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+            rows.push(vec![
+                log_rounds.to_string(),
+                policy_name.to_string(),
+                ns_per(append, total_ops),
+                format!("{:.2}", append.as_secs_f64() * 1e3),
+                format!("{:.2}", rec.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    print_table(
+        &format!("E12 — durability, n = {n}, {ops_per_round} ops/round (30% reads, Zipf s=1.1)"),
+        &[
+            "log rounds",
+            "fsync",
+            "append ns/op",
+            "append ms",
+            "recovery ms",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -572,5 +635,8 @@ fn main() {
     }
     if run("e11") {
         e11(&cfg);
+    }
+    if run("e12") {
+        e12(&cfg);
     }
 }

@@ -12,6 +12,10 @@
 //! The two service rows measure the `dyncon-server` frontend end to end
 //! (4 closed-loop Zipf clients): `service_throughput` is the wall time of
 //! the whole run, `service_latency_p50` the median submit→answer latency.
+//! The two durability rows measure `dyncon-durable`: `wal_append_ns` is
+//! the wall time of appending 128 mixed rounds to the write-ahead log
+//! (fsync off — the stable-in-CI encode+write path), `recovery_ms` the
+//! full snapshot-load + deterministic-replay recovery of that log.
 //!
 //! Usage: `perf_json [output-path]` (default `BENCH_PR.json`). The binary
 //! **validates its own output** — no records, a zero/unparseable median,
@@ -22,6 +26,7 @@
 
 use dyncon_bench::{drive_service, latency_quantile, median_duration, thread_counts, time};
 use dyncon_core::BatchDynamicConnectivity;
+use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
 use dyncon_graphgen::{erdos_renyi, zipf_client_schedules, UpdateStream};
 use dyncon_server::{ConnServer, ServerConfig};
 use std::time::Duration;
@@ -148,6 +153,70 @@ fn main() {
             });
             eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
         }
+
+        // The durable layer: WAL append wall time for `wal_rounds` mixed
+        // rounds (no fsync — the pure encode+write path CI can time
+        // stably) and full crash recovery (snapshot load + deterministic
+        // replay) of that log. Single-threaded operations, recorded per
+        // matrix cell so the artifact stays uniform.
+        let wal_rounds = 128usize;
+        let wal_ops = 64usize;
+        let round_ops = zipf_client_schedules(n, 1, wal_rounds, wal_ops, 0.3, 1.1, 16).remove(0);
+        let append_run = || {
+            let dir = scratch_dir("perf-wal");
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut wal = WalWriter::open(&dir, FsyncPolicy::Never, 0).unwrap();
+            let d = time(|| {
+                for ops in &round_ops {
+                    wal.append_round(ops).unwrap();
+                }
+            })
+            .0;
+            drop(wal);
+            let _ = std::fs::remove_dir_all(&dir);
+            d
+        };
+        let recover_dir = scratch_dir("perf-recover");
+        std::fs::create_dir_all(&recover_dir).unwrap();
+        Snapshot {
+            num_vertices: n,
+            next_round: 0,
+            edges: Vec::new(),
+        }
+        .write_atomic(&recover_dir)
+        .unwrap();
+        let mut wal = WalWriter::open(&recover_dir, FsyncPolicy::Never, 0).unwrap();
+        for ops in &round_ops {
+            wal.append_round(ops).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let recover_run = || {
+            time(|| {
+                let (g, meta) = recover::<BatchDynamicConnectivity>(&recover_dir).unwrap();
+                assert_eq!(meta.replayed_rounds, wal_rounds as u64);
+                std::hint::black_box(g);
+            })
+            .0
+        };
+        for (op, mut run) in [
+            (
+                "wal_append_ns",
+                Box::new(append_run) as Box<dyn FnMut() -> Duration>,
+            ),
+            ("recovery_ms", Box::new(recover_run)),
+        ] {
+            let median = median_duration(reps, &mut run);
+            records.push(Record {
+                op,
+                n,
+                batch: wal_ops,
+                threads,
+                median_ns: median.as_nanos(),
+            });
+            eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
+        }
+        let _ = std::fs::remove_dir_all(&recover_dir);
     }
 
     // Validation: obviously broken output must fail the job.
@@ -182,6 +251,8 @@ fn main() {
         "batch_delete",
         "service_throughput",
         "service_latency_p50",
+        "wal_append_ns",
+        "recovery_ms",
     ] {
         assert_eq!(
             json.matches(&format!("\"op\":\"{op}\"")).count(),

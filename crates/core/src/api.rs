@@ -7,7 +7,9 @@
 //! [`DynConError`]s before anything deeper can panic.
 
 use crate::BatchDynamicConnectivity;
-use dyncon_api::{validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError};
+use dyncon_api::{
+    validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError, ExportEdges,
+};
 
 impl Connectivity for BatchDynamicConnectivity {
     fn backend_name(&self) -> &'static str {
@@ -51,6 +53,21 @@ impl BatchDynamic for BatchDynamicConnectivity {
 
     fn check(&self) -> Result<(), String> {
         self.check_invariants()
+    }
+}
+
+impl ExportEdges for BatchDynamicConnectivity {
+    fn export_edges(&self) -> Vec<(u32, u32)> {
+        // `edge_list` yields live slots in index order; normalize and
+        // sort so the export is canonical (insertion-history free), as
+        // the trait contract requires for checksummable snapshots.
+        let mut edges: Vec<(u32, u32)> = self
+            .edge_list()
+            .into_iter()
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        edges.sort_unstable();
+        edges
     }
 }
 
@@ -126,6 +143,27 @@ mod tests {
             DynConError::VertexOutOfRange { vertex: 4, .. }
         ));
         assert_eq!(g.num_edges(), 0, "validation failure must not mutate");
+    }
+
+    #[test]
+    fn export_edges_is_canonical() {
+        use dyncon_api::ExportEdges;
+        // Two different insertion histories of the same edge set.
+        let mut a: BatchDynamicConnectivity = Builder::new(8).build().unwrap();
+        a.apply(&[Op::Insert(3, 1), Op::Insert(0, 5), Op::Insert(5, 4)])
+            .unwrap();
+        let mut b: BatchDynamicConnectivity = Builder::new(8).build().unwrap();
+        b.apply(&[
+            Op::Insert(4, 5),
+            Op::Insert(2, 6),
+            Op::Insert(5, 0),
+            Op::Delete(2, 6),
+            Op::Insert(1, 3),
+        ])
+        .unwrap();
+        let (ea, eb) = (a.export_edges(), b.export_edges());
+        assert_eq!(ea, eb, "same edge set must export identical bytes");
+        assert_eq!(ea, vec![(0, 5), (1, 3), (4, 5)], "normalized and sorted");
     }
 
     #[test]

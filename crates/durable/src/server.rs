@@ -1,0 +1,443 @@
+//! The durable group-commit frontend: a [`ConnServer`] whose every
+//! sealed round is appended (and fsynced, per policy) to the write-ahead
+//! log *before* it is applied — group commit and group fsync coincide.
+
+use crate::recover::{recover_with, RoundMeta};
+use crate::wal::{FsyncPolicy, WalWriter};
+use crate::Snapshot;
+use dyncon_api::{BatchDynamic, BuildFrom, Builder, DynConError, ExportEdges, Op};
+use dyncon_server::{ConnServer, ServerConfig, ServiceReport, Ticket};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Durability knobs of a [`DurableServer`].
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// When WAL appends reach stable storage (default: every round).
+    pub fsync: FsyncPolicy,
+    /// Snapshot + truncate the WAL when the server joins (default: on),
+    /// so the next open replays a short log. Turn off to leave the full
+    /// log in place — e.g. to keep replayable history, or in crash tests.
+    pub compact_on_join: bool,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::EveryRound,
+            compact_on_join: true,
+        }
+    }
+}
+
+impl DurableConfig {
+    /// The defaults: fsync every round, compact at join.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the [`FsyncPolicy`].
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Toggle compaction at [`DurableServer::join`].
+    pub fn compact_on_join(mut self, enabled: bool) -> Self {
+        self.compact_on_join = enabled;
+        self
+    }
+}
+
+/// What [`DurableServer::join`] returns.
+#[derive(Debug)]
+pub struct DurableReport<B> {
+    /// The wrapped service's report (backend, counters, optional
+    /// in-memory round log).
+    pub service: ServiceReport<B>,
+    /// Round id the next process will continue logging at.
+    pub next_round: u64,
+    /// Whether the WAL was compacted into a snapshot at join.
+    pub compacted: bool,
+}
+
+/// A [`ConnServer`] with an etcd-style durability spine: recover on
+/// open, write-ahead log every sealed round, snapshot on close.
+///
+/// The round hook ties the two layers together: the server's writer
+/// thread calls it once per commit round, after the round's operations
+/// are fixed and before they are applied, so the WAL append + fsync
+/// happen exactly once per round no matter how many client requests the
+/// round coalesced. A ticket that resolves successfully therefore
+/// implies its round is as durable as the fsync policy promises.
+///
+/// Submission, sealing and shutdown all delegate to [`ConnServer`]; see
+/// `examples/durable_service.rs` for the end-to-end crash/recover loop.
+pub struct DurableServer<B>
+where
+    B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
+{
+    inner: ConnServer<B>,
+    wal: Arc<Mutex<WalWriter>>,
+    dir: PathBuf,
+    compact_on_join: bool,
+}
+
+impl<B> DurableServer<B>
+where
+    B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
+{
+    /// Open the durable directory `dir` and start serving.
+    ///
+    /// A fresh (or empty) directory is initialized to an empty graph
+    /// over `num_vertices` vertices; an existing one is recovered
+    /// (snapshot + WAL replay) and `num_vertices` must match the
+    /// snapshot. Any `round_hook` already present in `config` is
+    /// replaced by the WAL hook.
+    pub fn open(
+        dir: &Path,
+        num_vertices: usize,
+        config: ServerConfig,
+        durable: DurableConfig,
+    ) -> Result<(Self, RoundMeta), DynConError> {
+        std::fs::create_dir_all(dir).map_err(|e| crate::wal::storage_err(dir, e))?;
+        if Snapshot::load(dir)?.is_none() {
+            // First open: make the vertex universe durable immediately so
+            // recovery never needs out-of-band configuration.
+            Builder::new(num_vertices).validate()?;
+            Snapshot {
+                num_vertices,
+                next_round: 0,
+                edges: Vec::new(),
+            }
+            .write_atomic(dir)?;
+        }
+        let (backend, meta) = recover_with::<B>(dir, |b| b)?;
+        if backend.num_vertices() != num_vertices {
+            return Err(DynConError::InvalidVertexCount {
+                requested: num_vertices,
+            });
+        }
+        let wal = Arc::new(Mutex::new(WalWriter::open(
+            dir,
+            durable.fsync,
+            meta.next_round,
+        )?));
+        let hook_wal = Arc::clone(&wal);
+        let abort_wal = Arc::clone(&wal);
+        let config = config
+            .round_hook(Arc::new(move |_server_round, ops: &[Op]| {
+                hook_wal
+                    .lock()
+                    .expect("WAL writer lock poisoned")
+                    .append_round(ops)
+                    .map(|_| ())
+            }))
+            // A logged round whose apply then fails is un-logged, so the
+            // failure the clients see and the durable history agree.
+            .round_abort(Arc::new(move |_server_round, _ops: &[Op]| {
+                abort_wal
+                    .lock()
+                    .expect("WAL writer lock poisoned")
+                    .abort_round()
+                    .map(|_| ())
+            }));
+        Ok((
+            Self {
+                inner: ConnServer::start(backend, config),
+                wal,
+                dir: dir.to_path_buf(),
+                compact_on_join: durable.compact_on_join,
+            },
+            meta,
+        ))
+    }
+
+    /// The backend's vertex universe.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    /// Rounds committed by this process (excludes recovered rounds).
+    pub fn rounds_committed(&self) -> u64 {
+        self.inner.rounds_committed()
+    }
+
+    /// Operations committed by this process.
+    pub fn ops_committed(&self) -> u64 {
+        self.inner.ops_committed()
+    }
+
+    /// Round id the next sealed round will be logged as.
+    pub fn next_round(&self) -> u64 {
+        self.wal
+            .lock()
+            .expect("WAL writer lock poisoned")
+            .next_round()
+    }
+
+    /// See [`ConnServer::submit`].
+    pub fn submit(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit(ops)
+    }
+
+    /// See [`ConnServer::submit_as`].
+    pub fn submit_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit_as(client, ops)
+    }
+
+    /// See [`ConnServer::submit_blocking`].
+    pub fn submit_blocking(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit_blocking(ops)
+    }
+
+    /// See [`ConnServer::submit_blocking_as`].
+    pub fn submit_blocking_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit_blocking_as(client, ops)
+    }
+
+    /// See [`ConnServer::seal_round`].
+    pub fn seal_round(&self) -> usize {
+        self.inner.seal_round()
+    }
+
+    /// See [`ConnServer::close`].
+    pub fn close(&self) {
+        self.inner.close()
+    }
+
+    /// Force every logged round onto stable storage regardless of the
+    /// fsync policy.
+    pub fn sync(&self) -> Result<(), DynConError> {
+        self.wal.lock().expect("WAL writer lock poisoned").sync()
+    }
+
+    /// Drain, stop, make the log durable, and (per
+    /// [`DurableConfig::compact_on_join`]) compact it into a snapshot.
+    pub fn join(self) -> Result<DurableReport<B>, DynConError> {
+        let service = self.inner.join();
+        let mut wal = self.wal.lock().expect("WAL writer lock poisoned");
+        // Under lax fsync policies the final rounds may still be in
+        // the page cache; an orderly shutdown always lands them.
+        wal.sync()?;
+        let next_round = wal.next_round();
+        if self.compact_on_join {
+            // Same two steps as `crate::compact`, but on the writer we
+            // already hold — no recovery-scale rescan of the log it is
+            // about to empty.
+            crate::Snapshot::capture(&service.backend, next_round).write_atomic(&self.dir)?;
+            wal.reset()?;
+        }
+        drop(wal);
+        Ok(DurableReport {
+            service,
+            next_round,
+            compacted: self.compact_on_join,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::read_wal;
+    use dyncon_core::BatchDynamicConnectivity;
+
+    fn scratch(tag: &str) -> PathBuf {
+        // open() creates the directory itself.
+        crate::scratch_dir(tag)
+    }
+
+    fn open_det(
+        dir: &Path,
+        durable: DurableConfig,
+    ) -> (DurableServer<BatchDynamicConnectivity>, RoundMeta) {
+        DurableServer::open(dir, 16, ServerConfig::new().deterministic(true), durable).unwrap()
+    }
+
+    #[test]
+    fn rounds_are_logged_before_tickets_resolve() {
+        let dir = scratch("dsrv-logged");
+        let (server, meta) = open_det(&dir, DurableConfig::new().compact_on_join(false));
+        assert_eq!(meta.next_round, 0);
+        let t = server
+            .submit_as(0, vec![Op::Insert(0, 1), Op::Query(0, 1)])
+            .unwrap();
+        server.seal_round();
+        assert_eq!(t.wait().unwrap().answers, vec![true]);
+        // The ticket resolved ⇒ the round is already on disk (fsync
+        // policy is every_round).
+        let readout = read_wal(&dir).unwrap().unwrap();
+        assert_eq!(readout.records.len(), 1);
+        assert_eq!(
+            readout.records[0].ops,
+            vec![Op::Insert(0, 1), Op::Query(0, 1)]
+        );
+        let report = server.join().unwrap();
+        assert_eq!(report.next_round, 1);
+        assert!(!report.compacted);
+    }
+
+    #[test]
+    fn reopen_recovers_and_continues_round_numbering() {
+        let dir = scratch("dsrv-reopen");
+        {
+            let (server, _) = open_det(&dir, DurableConfig::new().compact_on_join(false));
+            for (i, ops) in [vec![Op::Insert(0, 1)], vec![Op::Insert(1, 2)]]
+                .into_iter()
+                .enumerate()
+            {
+                let t = server.submit_as(0, ops).unwrap();
+                server.seal_round();
+                assert_eq!(t.wait().unwrap().round, i as u64);
+            }
+            server.join().unwrap();
+        }
+        // Second process lifetime: recovery replays the two rounds, and
+        // new rounds continue at id 2.
+        let (server, meta) = open_det(&dir, DurableConfig::new());
+        assert_eq!((meta.replayed_rounds, meta.next_round), (2, 2));
+        assert_eq!(server.next_round(), 2);
+        let t = server.submit_as(0, vec![Op::Query(0, 2)]).unwrap();
+        server.seal_round();
+        assert_eq!(
+            t.wait().unwrap().answers,
+            vec![true],
+            "recovered edges answer"
+        );
+        let report = server.join().unwrap();
+        assert_eq!(report.next_round, 3);
+        assert!(report.compacted);
+        // Third lifetime: the compacted snapshot carries everything.
+        let (_server, meta) = open_det(&dir, DurableConfig::new());
+        assert_eq!((meta.snapshot_rounds, meta.replayed_rounds), (3, 0));
+    }
+
+    #[test]
+    fn vertex_count_mismatch_is_rejected() {
+        let dir = scratch("dsrv-mismatch");
+        {
+            let (server, _) = open_det(&dir, DurableConfig::new());
+            server.join().unwrap();
+        }
+        match DurableServer::<BatchDynamicConnectivity>::open(
+            &dir,
+            64,
+            ServerConfig::new(),
+            DurableConfig::new(),
+        ) {
+            Err(err) => assert_eq!(err, DynConError::InvalidVertexCount { requested: 64 }),
+            Ok(_) => panic!("mismatched vertex count must be rejected"),
+        }
+    }
+
+    #[test]
+    fn apply_panic_unlogs_the_round_so_recovery_matches_the_acknowledgement() {
+        use dyncon_api::{
+            BatchDynamic, BatchResult, BuildFrom, Builder, Connectivity, ExportEdges,
+        };
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Applies committed rounds until the fuse runs out, then panics —
+        // AFTER the round was appended to the WAL. Fuse is a static so
+        // `BuildFrom` (which recovery also calls) can construct it.
+        static FUSE: AtomicUsize = AtomicUsize::new(usize::MAX);
+        struct Bomb(BatchDynamicConnectivity);
+        impl Connectivity for Bomb {
+            fn backend_name(&self) -> &'static str {
+                "durable-bomb"
+            }
+            fn num_vertices(&self) -> usize {
+                Connectivity::num_vertices(&self.0)
+            }
+            fn connected(&self, u: u32, v: u32) -> bool {
+                Connectivity::connected(&self.0, u, v)
+            }
+            fn num_components(&self) -> usize {
+                Connectivity::num_components(&self.0)
+            }
+            fn component_size(&self, v: u32) -> u64 {
+                Connectivity::component_size(&self.0, v)
+            }
+        }
+        impl BatchDynamic for Bomb {
+            fn batch_insert(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+                BatchDynamic::batch_insert(&mut self.0, edges)
+            }
+            fn batch_delete(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
+                BatchDynamic::batch_delete(&mut self.0, edges)
+            }
+            fn apply(&mut self, ops: &[Op]) -> Result<BatchResult, DynConError> {
+                if FUSE.fetch_sub(1, Ordering::Relaxed) == 0 {
+                    panic!("durable bomb detonated");
+                }
+                self.0.apply(ops)
+            }
+        }
+        impl BuildFrom for Bomb {
+            fn build_from(b: &Builder) -> Result<Self, DynConError> {
+                Ok(Bomb(BatchDynamicConnectivity::build_from(b)?))
+            }
+        }
+        impl ExportEdges for Bomb {
+            fn export_edges(&self) -> Vec<(u32, u32)> {
+                self.0.export_edges()
+            }
+        }
+
+        let dir = scratch("dsrv-abort");
+        FUSE.store(1, Ordering::Relaxed); // round 0 applies, round 1 detonates
+        let (server, _) = DurableServer::<Bomb>::open(
+            &dir,
+            16,
+            ServerConfig::new().deterministic(true),
+            DurableConfig::new().compact_on_join(false),
+        )
+        .unwrap();
+        let ok = server.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        server.seal_round();
+        ok.wait().unwrap();
+        let boom = server.submit_as(0, vec![Op::Insert(1, 2)]).unwrap();
+        server.seal_round();
+        assert!(boom.wait().is_err(), "the detonated round fails its ticket");
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.join()));
+        assert!(joined.is_err(), "the panic resurfaces at join");
+
+        // The failed round was appended before apply, but the abort hook
+        // retracted it: on-disk history agrees with what clients saw.
+        FUSE.store(usize::MAX, Ordering::Relaxed);
+        let readout = read_wal(&dir).unwrap().unwrap();
+        assert_eq!(readout.records.len(), 1, "only the committed round remains");
+        let (recovered, meta) = crate::recover::<Bomb>(&dir).unwrap();
+        assert_eq!(meta.replayed_rounds, 1);
+        assert!(recovered.connected(0, 1));
+        assert!(
+            !recovered.connected(1, 2),
+            "the failed round is not replayed"
+        );
+    }
+
+    #[test]
+    fn throughput_mode_is_durable_too() {
+        let dir = scratch("dsrv-throughput");
+        let total: u64 = {
+            let (server, _) = DurableServer::<BatchDynamicConnectivity>::open(
+                &dir,
+                16,
+                ServerConfig::new().coalesce_wait(std::time::Duration::from_micros(50)),
+                DurableConfig::new().fsync(FsyncPolicy::EveryNRounds(4)),
+            )
+            .unwrap();
+            for i in 0..10u32 {
+                let t = server.submit(vec![Op::Insert(i % 8, 8 + i % 8)]).unwrap();
+                t.wait().unwrap();
+            }
+            let report = server.join().unwrap();
+            report.service.ops_committed
+        };
+        assert_eq!(total, 10);
+        let (recovered, _) = crate::recover::<BatchDynamicConnectivity>(&dir).unwrap();
+        assert!(recovered.connected(0, 8));
+        assert_eq!(recovered.export_edges().len(), 8);
+    }
+}

@@ -240,6 +240,31 @@ pub fn zipf_client_schedules(
         .collect()
 }
 
+/// Seeded crash offsets for recovery tests: `n` distinct round indices
+/// in `1..rounds`, sorted ascending. "Crash at offset `k`" means the
+/// process dies after sealing (and logging) rounds `0..k` — so there is
+/// always at least one committed round behind the crash and at least one
+/// round of remaining traffic to replay on the recovered structure.
+/// Deterministic in `(rounds, n, seed)`, like every generator here; if
+/// fewer than `n` interior offsets exist, all of them are returned.
+pub fn crash_points(rounds: usize, n: usize, seed: u64) -> Vec<usize> {
+    if rounds < 2 {
+        return Vec::new();
+    }
+    // Partial Fisher–Yates over the interior offsets 1..rounds: draw the
+    // first n positions of a seeded shuffle, then sort.
+    let mut pool: Vec<usize> = (1..rounds).collect();
+    let take = n.min(pool.len());
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..take {
+        let j = i + rng.next_below((pool.len() - i) as u64) as usize;
+        pool.swap(i, j);
+    }
+    let mut picks = pool[..take].to_vec();
+    picks.sort_unstable();
+    picks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +365,25 @@ mod tests {
             let (u, v) = o.endpoints();
             u != v
         }));
+    }
+
+    #[test]
+    fn crash_points_are_deterministic_interior_and_distinct() {
+        let a = crash_points(20, 5, 9);
+        assert_eq!(a, crash_points(20, 5, 9));
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct: {a:?}");
+        assert!(
+            a.iter().all(|&k| (1..20).contains(&k)),
+            "interior offsets only: {a:?}"
+        );
+        // Different seeds explore different offsets.
+        assert_ne!(a, crash_points(20, 5, 10));
+        // Asking for more crashes than interior offsets yields them all.
+        assert_eq!(crash_points(4, 99, 3), vec![1, 2, 3]);
+        // Degenerate schedules have nowhere to crash.
+        assert!(crash_points(1, 3, 0).is_empty());
+        assert!(crash_points(0, 3, 0).is_empty());
     }
 
     #[test]

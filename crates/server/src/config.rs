@@ -1,6 +1,21 @@
 //! Group-commit knobs.
 
+use dyncon_api::{DynConError, Op};
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A per-round callback the writer runs **after** a round's operations
+/// are fixed and **before** they are applied to the backend — the
+/// durability hook: a write-ahead logger appends (and fsyncs) here, so
+/// group commit and group fsync coincide (one log write per round, not
+/// per request). Arguments are the server-local round number and the
+/// round's concatenated operations in applied order.
+///
+/// Returning `Err` fails the round: its tickets resolve with that error,
+/// nothing is applied to the backend, and the service shuts down (a
+/// round that cannot be made durable must not commit).
+pub type RoundHook = Arc<dyn Fn(u64, &[Op]) -> Result<(), DynConError> + Send + Sync>;
 
 /// Configuration of a [`crate::ConnServer`].
 ///
@@ -9,7 +24,7 @@ use std::time::Duration;
 /// of backpressure headroom. Deterministic mode
 /// ([`ServerConfig::deterministic`]) switches to explicit round
 /// boundaries and canonical request order.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Commit a round once the pending operations reach this many
     /// (throughput mode only; a single oversized request still commits,
@@ -25,18 +40,50 @@ pub struct ServerConfig {
     /// Deterministic mode: rounds end only at explicit
     /// [`crate::ConnServer::seal_round`] calls and each round is applied
     /// in canonical `(client, submission index)` order, so concurrent
-    /// submission is byte-identical to serial replay. Enabling this also
-    /// turns on [`ServerConfig::record_rounds`].
+    /// submission is byte-identical to serial replay.
     pub deterministic: bool,
     /// Keep a [`crate::RoundRecord`] (ops + `BatchResult`) per committed
-    /// round in the [`crate::ServiceReport`] — the replay log the
-    /// determinism contract is checked against. Off by default in
-    /// throughput mode (the log grows with traffic).
+    /// round in the [`crate::ServiceReport`] — the in-memory replay log
+    /// the determinism contract is checked against. Off by default and
+    /// **not** implied by deterministic mode: the log grows without bound
+    /// with traffic, so long-running servers leave it off and rely on the
+    /// durable write-ahead log ([`ServerConfig::round_hook`]) instead.
     pub record_rounds: bool,
     /// Pin the writer's rayon pool to this many threads for the backend's
     /// batch-parallel `apply`. `None` inherits the process default
     /// (`DYNCON_THREADS` / `RAYON_NUM_THREADS`).
     pub worker_threads: Option<usize>,
+    /// Durability hook, run once per round before apply (see
+    /// [`RoundHook`]). `None` means no durability: committed rounds live
+    /// only in process memory.
+    pub round_hook: Option<RoundHook>,
+    /// Compensation hook for a round that passed [`ServerConfig::round_hook`]
+    /// but whose apply then failed or panicked: called with the same
+    /// `(round, ops)` so the durability layer can un-log the round —
+    /// clients are told it never committed, and recovery must agree. Its
+    /// result is ignored (the service is already failing); best effort.
+    pub round_abort: Option<RoundHook>,
+}
+
+impl fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("max_batch_ops", &self.max_batch_ops)
+            .field("max_coalesce_wait", &self.max_coalesce_wait)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("deterministic", &self.deterministic)
+            .field("record_rounds", &self.record_rounds)
+            .field("worker_threads", &self.worker_threads)
+            .field(
+                "round_hook",
+                &self.round_hook.as_ref().map(|_| "<round hook>"),
+            )
+            .field(
+                "round_abort",
+                &self.round_abort.as_ref().map(|_| "<round abort>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -48,6 +95,8 @@ impl Default for ServerConfig {
             deterministic: false,
             record_rounds: false,
             worker_threads: None,
+            round_hook: None,
+            round_abort: None,
         }
     }
 }
@@ -76,16 +125,15 @@ impl ServerConfig {
         self
     }
 
-    /// Toggle deterministic mode (implies round recording when enabled).
+    /// Toggle deterministic mode. Round *recording* is a separate knob
+    /// ([`ServerConfig::record_rounds`]): deterministic servers that run
+    /// indefinitely must be able to leave the in-memory log off.
     pub fn deterministic(mut self, enabled: bool) -> Self {
         self.deterministic = enabled;
-        if enabled {
-            self.record_rounds = true;
-        }
         self
     }
 
-    /// Toggle the per-round replay log independently of the mode.
+    /// Toggle the per-round in-memory replay log.
     pub fn record_rounds(mut self, enabled: bool) -> Self {
         self.record_rounds = enabled;
         self
@@ -94,6 +142,19 @@ impl ServerConfig {
     /// Pin the writer's apply pool to `threads` workers.
     pub fn worker_threads(mut self, threads: usize) -> Self {
         self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Install the per-round durability hook (see [`RoundHook`]).
+    pub fn round_hook(mut self, hook: RoundHook) -> Self {
+        self.round_hook = Some(hook);
+        self
+    }
+
+    /// Install the compensation hook for logged-but-not-applied rounds
+    /// (see [`ServerConfig::round_abort`]).
+    pub fn round_abort(mut self, hook: RoundHook) -> Self {
+        self.round_abort = Some(hook);
         self
     }
 }
@@ -113,7 +174,7 @@ mod tests {
         assert_eq!(c.max_batch_ops, 128);
         assert_eq!(c.max_coalesce_wait, Duration::from_millis(1));
         assert_eq!(c.queue_capacity, 7);
-        assert!(c.deterministic && c.record_rounds);
+        assert!(c.deterministic);
         assert_eq!(c.worker_threads, Some(2));
         // Zero-valued knobs are clamped to usable minimums.
         let z = ServerConfig::new()
@@ -128,9 +189,22 @@ mod tests {
 
     #[test]
     fn recording_is_independent_of_mode() {
+        // Regression (memory growth): deterministic mode must NOT drag
+        // the unbounded in-memory round log along — a long-running
+        // durable server runs deterministic with recording off.
+        let d = ServerConfig::new().deterministic(true);
+        assert!(d.deterministic && !d.record_rounds);
         let c = ServerConfig::new().record_rounds(true);
         assert!(c.record_rounds && !c.deterministic);
-        let d = ServerConfig::new().deterministic(true).record_rounds(false);
-        assert!(d.deterministic && !d.record_rounds);
+        let both = ServerConfig::new().deterministic(true).record_rounds(true);
+        assert!(both.deterministic && both.record_rounds);
+    }
+
+    #[test]
+    fn debug_does_not_require_hook_debug() {
+        let c = ServerConfig::new().round_hook(Arc::new(|_, _| Ok(())));
+        let text = format!("{c:?}");
+        assert!(text.contains("round_hook") && text.contains("<round hook>"));
+        assert!(format!("{:?}", ServerConfig::new()).contains("None"));
     }
 }

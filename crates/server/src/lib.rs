@@ -39,15 +39,26 @@
 //! canonically ordered by `(client id, per-client submission index)`
 //! before it is applied. However the OS schedules the submitting threads,
 //! the committed rounds (op order **and** [`dyncon_api::BatchResult`]s,
-//! recorded in [`RoundRecord`]s) are byte-identical to a serial replay of
-//! the same rounds. `tests/service_stress.rs` holds this against the
-//! naive oracle at 1/2/4 worker threads.
+//! recorded in [`RoundRecord`]s when [`ServerConfig::record_rounds`] is
+//! on) are byte-identical to a serial replay of the same rounds.
+//! `tests/service_stress.rs` holds this against the naive oracle at
+//! 1/2/4 worker threads.
+//!
+//! ## Durability hook
+//!
+//! [`ServerConfig::round_hook`] runs once per round, after the round's
+//! operations are fixed and before they are applied — the seam the
+//! `dyncon-durable` crate plugs its write-ahead log into, so a single
+//! append-and-fsync covers every request of the round (group fsync). A
+//! hook failure fails the round's tickets with the hook's typed error
+//! and stops the service: a round that cannot be made durable never
+//! commits.
 
 mod config;
 mod server;
 mod ticket;
 
-pub use config::ServerConfig;
+pub use config::{RoundHook, ServerConfig};
 pub use server::{ConnServer, RoundRecord, ServiceReport};
 pub use ticket::{RequestResult, Ticket};
 

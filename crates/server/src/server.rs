@@ -420,6 +420,37 @@ fn writer_loop<B: BatchDynamic>(
         for req in &round {
             ops.extend_from_slice(&req.ops);
         }
+        // Only the writer increments the counter, so this load is the
+        // number the round will commit under.
+        let round_no = shared.rounds_committed.load(Ordering::Relaxed);
+
+        // Durability hook: the round's contents are fixed now, so log it
+        // BEFORE apply — one append (and one fsync) per commit round,
+        // which is what makes group commit and group fsync coincide. A
+        // round that cannot be made durable must not commit: fail its
+        // tickets with the hook's error and stop the service.
+        if let Some(hook) = &config.round_hook {
+            if let Err(e) = hook(round_no, &ops) {
+                // Close admission BEFORE resolving the round's tickets:
+                // a client that sees its ticket fail must not race a
+                // still-open queue.
+                fail_all_pending(&shared, &[]);
+                for req in &round {
+                    req.slot.fill(Err(e.clone()));
+                }
+                return (backend, log);
+            }
+        }
+        // From here on, an apply failure must un-log the round: clients
+        // are told it never committed, so recovery must not find it.
+        let abort_logged_round = || {
+            if let Some(abort) = &config.round_abort {
+                // Best effort — the service is already failing, and the
+                // abort hook's own error cannot make things more failed.
+                let _ = abort(round_no, &ops);
+            }
+        };
+
         // A panicking backend must not strand clients on their tickets:
         // catch the unwind, resolve everything pending, then re-raise (the
         // panic resurfaces at `join`).
@@ -430,6 +461,7 @@ fn writer_loop<B: BatchDynamic>(
         let applied = match applied {
             Ok(applied) => applied,
             Err(panic) => {
+                abort_logged_round();
                 fail_all_pending(&shared, &round);
                 std::panic::resume_unwind(panic);
             }
@@ -438,7 +470,7 @@ fn writer_loop<B: BatchDynamic>(
         // Phase 3: hand each submitter its slice of the answers.
         match applied {
             Ok(result) => {
-                let round_no = shared.rounds_committed.fetch_add(1, Ordering::Relaxed);
+                shared.rounds_committed.fetch_add(1, Ordering::Relaxed);
                 shared
                     .ops_committed
                     .fetch_add(ops.len() as u64, Ordering::Relaxed);
@@ -470,13 +502,15 @@ fn writer_loop<B: BatchDynamic>(
                 // round has no expected failure path left. Should a
                 // backend refuse anyway, it has applied a prefix of the
                 // round (`apply`'s documented partial semantics) that the
-                // replay log cannot represent — fail the round's tickets
-                // and stop the service rather than committing divergent
-                // history; requests already queued behind it resolve too.
+                // replay log cannot represent — un-log the round, fail
+                // its tickets and stop the service rather than committing
+                // divergent history; requests already queued behind it
+                // resolve too.
+                abort_logged_round();
+                fail_all_pending(&shared, &[]);
                 for req in &round {
                     req.slot.fill(Err(e.clone()));
                 }
-                fail_all_pending(&shared, &[]);
                 return (backend, log);
             }
         }
@@ -534,7 +568,10 @@ mod tests {
     fn group_commit_coalesces_requests_into_one_round() {
         // Deterministic mode gives an explicit boundary: three requests,
         // one seal, one round, one apply.
-        let s = server(8, ServerConfig::new().deterministic(true));
+        let s = server(
+            8,
+            ServerConfig::new().deterministic(true).record_rounds(true),
+        );
         let t1 = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
         let t2 = s.submit_as(1, vec![Op::Insert(1, 2)]).unwrap();
         let t3 = s.submit_as(2, vec![Op::Query(0, 2)]).unwrap();
@@ -557,7 +594,10 @@ mod tests {
 
     #[test]
     fn canonical_order_sorts_by_client_then_program_order() {
-        let s = server(8, ServerConfig::new().deterministic(true));
+        let s = server(
+            8,
+            ServerConfig::new().deterministic(true).record_rounds(true),
+        );
         // Submit in scrambled client order; the sealed round must come out
         // client-major, program-order within each client.
         let tb = s.submit_as(7, vec![Op::Insert(2, 3)]).unwrap();
@@ -730,6 +770,138 @@ mod tests {
         // …and the writer's panic resurfaces at join.
         let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.join()));
         assert!(joined.is_err(), "join must surface the backend panic");
+    }
+
+    #[test]
+    fn deterministic_mode_without_recording_keeps_no_round_log() {
+        // Regression: the in-memory round log must be gated ONLY by
+        // `record_rounds` — deterministic long-running servers would
+        // otherwise grow memory without bound.
+        let s = server(8, ServerConfig::new().deterministic(true));
+        let t = s
+            .submit_as(0, vec![Op::Insert(0, 1), Op::Query(0, 1)])
+            .unwrap();
+        s.seal_round();
+        assert_eq!(t.wait().unwrap().answers, vec![true]);
+        let report = s.join();
+        assert_eq!(report.rounds_committed, 1, "the round still committed");
+        assert!(report.rounds.is_empty(), "but nothing was recorded");
+    }
+
+    #[test]
+    fn round_hook_sees_each_round_before_apply() {
+        use std::sync::Mutex;
+        type SeenRounds = Arc<Mutex<Vec<(u64, Vec<Op>)>>>;
+        let seen: SeenRounds = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let config =
+            ServerConfig::new()
+                .deterministic(true)
+                .round_hook(Arc::new(move |round, ops| {
+                    sink.lock().unwrap().push((round, ops.to_vec()));
+                    Ok(())
+                }));
+        let s = server(8, config);
+        let t1 = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        // Group commit IS the durability barrier: once any ticket of a
+        // round resolves, the hook has already run for that round.
+        t1.wait().unwrap();
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[(0, vec![Op::Insert(0, 1)])]
+        );
+        let t2 = s
+            .submit_as(0, vec![Op::Query(0, 1), Op::Delete(0, 1)])
+            .unwrap();
+        s.seal_round();
+        t2.wait().unwrap();
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[
+                (0, vec![Op::Insert(0, 1)]),
+                (1, vec![Op::Query(0, 1), Op::Delete(0, 1)])
+            ]
+        );
+        s.join();
+    }
+
+    #[test]
+    fn failing_round_hook_fails_the_round_and_stops_the_service() {
+        let storage_error = DynConError::Storage {
+            path: "/dev/full".into(),
+            message: "No space left on device".into(),
+        };
+        let e = storage_error.clone();
+        let config =
+            ServerConfig::new()
+                .deterministic(true)
+                .round_hook(Arc::new(
+                    move |round, _ops| {
+                        if round == 0 {
+                            Ok(())
+                        } else {
+                            Err(e.clone())
+                        }
+                    },
+                ));
+        let s = server(8, config);
+        let ok = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        assert_eq!(ok.wait().unwrap().round, 0);
+        // Round 1 cannot be made durable: its ticket carries the hook's
+        // typed error, nothing is applied, and admission closes.
+        let failed = s
+            .submit_as(0, vec![Op::Insert(1, 2), Op::Query(1, 2)])
+            .unwrap();
+        s.seal_round();
+        assert_eq!(failed.wait().unwrap_err(), storage_error);
+        assert_eq!(
+            s.submit_as(1, vec![Op::Query(0, 1)]).unwrap_err(),
+            DynConError::ServiceClosed
+        );
+        let report = s.join();
+        assert_eq!(report.rounds_committed, 1, "failed round never committed");
+        assert!(report.backend.connected(0, 1));
+        assert!(!report.backend.connected(1, 2), "failed round not applied");
+    }
+
+    #[test]
+    fn apply_panic_after_successful_hook_triggers_the_abort_hook() {
+        use std::sync::Mutex;
+        // A round that was logged (hook succeeded) but whose apply then
+        // panicked must be un-logged: clients are told it failed, so the
+        // durability layer has to be able to retract it.
+        let logged: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let aborted: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let (log_sink, abort_sink) = (Arc::clone(&logged), Arc::clone(&aborted));
+        let config = ServerConfig::new()
+            .deterministic(true)
+            .round_hook(Arc::new(move |round, _ops| {
+                log_sink.lock().unwrap().push(round);
+                Ok(())
+            }))
+            .round_abort(Arc::new(move |round, _ops| {
+                abort_sink.lock().unwrap().push(round);
+                Ok(())
+            }));
+        let bomb = Bomb {
+            inner: BatchDynamicConnectivity::new(8),
+            rounds_left: 1,
+        };
+        let s = ConnServer::start(bomb, config);
+        let ok = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        ok.wait().unwrap();
+        let boom = s.submit_as(0, vec![Op::Insert(1, 2)]).unwrap();
+        s.seal_round();
+        assert!(boom.wait().is_err());
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.join()));
+        assert!(joined.is_err(), "the backend panic resurfaces at join");
+        // Round 0 was logged and committed; round 1 was logged, its
+        // apply detonated, and the abort hook retracted exactly it.
+        assert_eq!(*logged.lock().unwrap(), vec![0, 1]);
+        assert_eq!(*aborted.lock().unwrap(), vec![1]);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! truth by every test suite in the workspace.
 
 use crate::unionfind::UnionFind;
-use dyncon_api::{validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError};
+use dyncon_api::{
+    validate_pairs, BatchDynamic, BuildFrom, Builder, Connectivity, DynConError, ExportEdges,
+};
 use dyncon_primitives::FxHashSet;
 use std::sync::Mutex;
 
@@ -156,6 +158,14 @@ impl BatchDynamic for NaiveDynamicGraph {
     fn batch_delete(&mut self, edges: &[(u32, u32)]) -> Result<usize, DynConError> {
         validate_pairs(self.n, edges)?;
         Ok(edges.iter().filter(|&&(u, v)| self.delete(u, v)).count())
+    }
+}
+
+impl ExportEdges for NaiveDynamicGraph {
+    fn export_edges(&self) -> Vec<(u32, u32)> {
+        // `edge_list` already stores normalized pairs and returns them
+        // sorted — exactly the canonical form the trait requires.
+        self.edge_list()
     }
 }
 

@@ -93,6 +93,7 @@ fn determinism_demo() {
         BatchDynamicConnectivity::new(n),
         ServerConfig::new()
             .deterministic(true)
+            .record_rounds(true)
             .queue_capacity(clients * rounds),
     );
     let submitted = Barrier::new(clients + 1);

@@ -34,10 +34,16 @@
 //! For concurrent callers, [`server::ConnServer`] is the group-commit
 //! serving frontend: it coalesces many clients' submissions into one
 //! mixed-op batch per commit round (see the "Serving layer" section of
-//! the README and `examples/concurrent_service.rs`).
+//! the README and `examples/concurrent_service.rs`). To survive process
+//! death, wrap it as a [`durable::DurableServer`]: every sealed round is
+//! appended to a checksummed write-ahead log before it is applied, and
+//! [`durable::recover`] rebuilds any backend deterministically from the
+//! latest snapshot plus the log tail (see the "Durability" section of
+//! the README and `examples/durable_service.rs`).
 
 pub use dyncon_api as api;
 pub use dyncon_core as core;
+pub use dyncon_durable as durable;
 pub use dyncon_ett as ett;
 pub use dyncon_graphgen as graphgen;
 pub use dyncon_hdt as hdt;

@@ -5,6 +5,7 @@
 
 use dyncon_api::{BatchDynamic, Builder, DeletionAlgorithm, DynConError, Op};
 use dyncon_core::BatchDynamicConnectivity;
+use dyncon_durable::{recover, scratch_dir, DurableConfig, DurableServer, FsyncPolicy, WalWriter};
 use dyncon_graphgen::{complete, path};
 use dyncon_server::{ConnServer, ServerConfig};
 use dyncon_spanning::IncrementalConnectivity;
@@ -234,6 +235,108 @@ fn server_admission_validates_vertices_like_apply() {
     let report = server.join();
     assert_eq!(report.rounds_committed, 0);
     assert_eq!(report.backend.num_edges(), 0);
+}
+
+// ---- The durable layer's failure contract ------------------------------
+
+#[test]
+fn unwritable_durable_dir_is_a_storage_error() {
+    // A path whose parent is a regular FILE can never become a
+    // directory: every write under it fails at the I/O layer. (Chmod
+    // tricks don't work here — CI containers run as root, and root
+    // ignores permission bits.)
+    let blocker = scratch_dir("not-a-dir");
+    std::fs::create_dir_all(blocker.parent().unwrap()).unwrap();
+    std::fs::write(&blocker, b"I am a file, not a directory").unwrap();
+    let dir = blocker.join("sub");
+
+    let wal_err = match WalWriter::open(&dir, FsyncPolicy::EveryRound, 0) {
+        Err(e) => e,
+        Ok(_) => panic!("opening a WAL under a file must fail"),
+    };
+    match &wal_err {
+        DynConError::Storage { path, message } => {
+            assert!(!path.is_empty() && !message.is_empty());
+        }
+        other => panic!("expected Storage, got {other:?}"),
+    }
+    // Display and std::error wiring, like every variant.
+    assert!(wal_err.to_string().contains("storage failure"), "{wal_err}");
+    assert!((&wal_err as &dyn Error).source().is_none());
+
+    // The served path reports the same typed error at open.
+    match DurableServer::<BatchDynamicConnectivity>::open(
+        &dir,
+        8,
+        ServerConfig::new(),
+        DurableConfig::new(),
+    ) {
+        Err(DynConError::Storage { .. }) => {}
+        Err(other) => panic!("expected Storage, got {other:?}"),
+        Ok(_) => panic!("open under a file must fail"),
+    }
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn recovering_from_garbage_is_corrupt_not_a_panic() {
+    let dir = scratch_dir("garbage-state");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A "snapshot" of pure noise: recovery must produce a typed
+    // corruption error naming the file, never panic or fabricate state.
+    std::fs::write(
+        dir.join(dyncon_durable::SNAPSHOT_FILE),
+        [0x5A; 137].as_slice(),
+    )
+    .unwrap();
+    match recover::<BatchDynamicConnectivity>(&dir) {
+        Err(e @ DynConError::Corrupt { .. }) => {
+            assert!(e.to_string().contains("corrupt durable state"), "{e}");
+            assert!((&e as &dyn Error).source().is_none());
+        }
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("garbage must not recover"),
+    }
+    // Same for a valid snapshot next to a garbage WAL.
+    let dir2 = scratch_dir("garbage-wal");
+    std::fs::create_dir_all(&dir2).unwrap();
+    {
+        let (server, _) = DurableServer::<BatchDynamicConnectivity>::open(
+            &dir2,
+            8,
+            ServerConfig::new(),
+            DurableConfig::new(),
+        )
+        .unwrap();
+        server.join().unwrap();
+    }
+    std::fs::write(dir2.join(dyncon_durable::WAL_FILE), b"totally not a wal").unwrap();
+    match recover::<BatchDynamicConnectivity>(&dir2) {
+        Err(DynConError::Corrupt { path, .. }) => {
+            assert!(path.ends_with(dyncon_durable::WAL_FILE), "{path}")
+        }
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("garbage WAL must not recover"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn empty_durable_dir_needs_no_tolerance() {
+    // A directory that exists but holds nothing recovers as "nothing to
+    // recover" (Storage), not as corruption — the two cases must stay
+    // distinguishable for operators.
+    let dir = scratch_dir("empty-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    match recover::<BatchDynamicConnectivity>(&dir) {
+        Err(DynConError::Storage { message, .. }) => {
+            assert!(message.contains("no snapshot"), "{message}")
+        }
+        Err(other) => panic!("expected Storage, got {other:?}"),
+        Ok(_) => panic!("an empty dir has nothing to recover"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---- Level-edge and churn cases ---------------------------------------

@@ -46,6 +46,7 @@ fn run_concurrent(worker_threads: usize) -> (Vec<RoundRecord>, Vec<Vec<Vec<bool>
         BatchDynamicConnectivity::new(N),
         ServerConfig::new()
             .deterministic(true)
+            .record_rounds(true)
             .worker_threads(worker_threads)
             .queue_capacity(CLIENTS * ROUNDS),
     );

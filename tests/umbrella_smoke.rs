@@ -79,4 +79,26 @@ fn umbrella_reexports_cover_every_member() {
     let edges = grid2d(4, 4);
     let stream = UpdateStream::insert_then_delete(&edges, 8, 4, 13);
     assert!(stream.total_ops() >= edges.len());
+
+    // The serving and durable layers are reachable through the umbrella.
+    let server = dyncon::server::ConnServer::start(
+        BatchDynamicConnectivity::new(4),
+        dyncon::server::ServerConfig::new(),
+    );
+    server
+        .submit(vec![dyncon::api::Op::Insert(0, 1)])
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(server.join().backend.connected(0, 1));
+
+    let dir = dyncon::durable::scratch_dir("umbrella");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut wal =
+        dyncon::durable::WalWriter::open(&dir, dyncon::durable::FsyncPolicy::Never, 0).unwrap();
+    wal.append_round(&[dyncon::api::Op::Insert(0, 1)]).unwrap();
+    drop(wal);
+    let readout = dyncon::durable::read_wal(&dir).unwrap().unwrap();
+    assert_eq!(readout.records.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }
