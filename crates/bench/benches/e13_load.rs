@@ -1,0 +1,75 @@
+//! E13: latency under open-loop load.
+//!
+//! Poisson-arrival clients submit Zipf-skewed mixed-op requests through
+//! `ConnServer` on a fixed schedule — the open-loop counterpart of E11's
+//! closed-loop clients. The matrix crosses the offered rate (mean
+//! inter-arrival gap) × the `DYNCON_THREADS` worker matrix; the measured
+//! wall time is dominated by the arrival schedule once the server keeps
+//! up, so the interesting output is the latency distribution the
+//! `experiments` binary prints (table E13) and the `load_*` rows the
+//! `perf_json` artifact records — this target exists so criterion tracks
+//! regressions in the same code path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_bench::drive_open_loop;
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::{poisson_arrivals, zipf_client_schedules};
+use dyncon_server::{ConnServer, ServerConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 13;
+    let clients = 4usize;
+    let requests_per_client = 16;
+    let ops_per_request = 64;
+    let mut group = c.benchmark_group("e13_load");
+    group.sample_size(10);
+    for threads in dyncon_bench::thread_counts() {
+        for mean_gap_us in [200u64, 50] {
+            let schedules = zipf_client_schedules(
+                n,
+                clients,
+                requests_per_client,
+                ops_per_request,
+                0.5,
+                1.1,
+                42,
+            );
+            let arrivals: Vec<Vec<u64>> = (0..clients)
+                .map(|c| {
+                    poisson_arrivals(requests_per_client, mean_gap_us * 1_000, 0xE13 + c as u64)
+                })
+                .collect();
+            let total_ops = (clients * requests_per_client * ops_per_request) as u64;
+            group.throughput(Throughput::Elements(total_ops));
+            group.bench_with_input(
+                BenchmarkId::new(format!("t{threads}"), mean_gap_us),
+                &mean_gap_us,
+                |b, _| {
+                    b.iter(|| {
+                        let server = ConnServer::start(
+                            BatchDynamicConnectivity::new(n),
+                            ServerConfig::new()
+                                .batch_cap(4096)
+                                .coalesce_wait(Duration::from_micros(50))
+                                .queue_capacity(2 * clients)
+                                .worker_threads(threads),
+                        );
+                        let load = drive_open_loop(&server, &schedules, &arrivals);
+                        let report = server.join();
+                        assert_eq!(
+                            load.accepted + load.rejected,
+                            (clients * requests_per_client) as u64
+                        );
+                        assert_eq!(report.ops_committed, load.accepted * ops_per_request as u64);
+                        load.wall
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

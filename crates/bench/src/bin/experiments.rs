@@ -4,18 +4,19 @@
 //! ```text
 //! cargo run --release -p dyncon-bench --bin experiments [--quick] [e1 e4 ...]
 //! ```
-//! With no experiment arguments, all of E1–E12 run. `--quick` shrinks
+//! With no experiment arguments, all of E1–E13 run. `--quick` shrinks
 //! problem sizes by 4× for a fast smoke pass.
 
 use dyncon_bench::{
-    drive_service, latency_quantile, lg_factor, median_duration, ns_per, print_table, replay, time,
-    us,
+    drive_open_loop, drive_service, latency_quantile, lg_factor, median_duration, ns_per,
+    print_table, replay, time, us,
 };
 use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
 use dyncon_ett::EulerTourForest;
 use dyncon_graphgen::{
-    cycle, erdos_renyi, grid2d, path, random_tree, rmat, zipf_client_schedules, UpdateStream,
+    cycle, erdos_renyi, grid2d, path, poisson_arrivals, random_tree, rmat, zipf_client_schedules,
+    UpdateStream,
 };
 use dyncon_hdt::HdtConnectivity;
 use dyncon_server::{ConnServer, ServerConfig};
@@ -588,6 +589,71 @@ fn e12(cfg: &Cfg) {
     );
 }
 
+/// E13 — latency under open-loop load: Poisson arrivals at a swept
+/// offered rate through the group-commit frontend. Unlike E11's
+/// closed-loop clients (whose offered rate collapses to whatever the
+/// server sustains), the open-loop driver keeps submitting on schedule,
+/// measures latency from the *intended* arrival (no coordinated
+/// omission), sheds backpressure rejects, and reads the server's own
+/// queue-depth gauge from the metrics snapshot.
+fn e13(cfg: &Cfg) {
+    let n = (1 << 14) / cfg.scale;
+    let clients = 4usize;
+    let requests = (64 / cfg.scale.clamp(1, 4)).max(8);
+    let ops_per_request = 64;
+    let mut rows = Vec::new();
+    for mean_gap_us in [400u64, 100, 25] {
+        let schedules = zipf_client_schedules(n, clients, requests, ops_per_request, 0.5, 1.1, 42);
+        let arrivals: Vec<Vec<u64>> = (0..clients)
+            .map(|c| poisson_arrivals(requests, mean_gap_us * 1_000, 0xE13 + c as u64))
+            .collect();
+        let server = ConnServer::start(
+            BatchDynamicConnectivity::new(n),
+            ServerConfig::new()
+                .batch_cap(4096)
+                .coalesce_wait(std::time::Duration::from_micros(50))
+                .queue_capacity(2 * clients),
+        );
+        let load = drive_open_loop(&server, &schedules, &arrivals);
+        let report = server.join();
+        let queue_max = report
+            .metrics
+            .get("dyncon_server_queue_depth")
+            .and_then(|m| m.value.as_gauge())
+            .map(|(_, max)| max)
+            .unwrap_or(0);
+        let offered_kops =
+            clients as f64 * ops_per_request as f64 / (mean_gap_us as f64 * 1e-6) / 1000.0;
+        let achieved_kops = report.ops_committed as f64 / load.wall.as_secs_f64() / 1000.0;
+        rows.push(vec![
+            mean_gap_us.to_string(),
+            format!("{offered_kops:.0}"),
+            format!("{achieved_kops:.0}"),
+            us(latency_quantile(&load.latencies, 0.5)),
+            us(latency_quantile(&load.latencies, 0.99)),
+            us(latency_quantile(&load.latencies, 0.999)),
+            queue_max.to_string(),
+            load.rejected.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E13 — open-loop latency under load, n = {n}, {clients} clients × {requests} req × {ops_per_request} ops, Poisson arrivals"
+        ),
+        &[
+            "mean gap µs",
+            "offered kops/s",
+            "achieved kops/s",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+            "queue max",
+            "rejected",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -638,5 +704,8 @@ fn main() {
     }
     if run("e12") {
         e12(&cfg);
+    }
+    if run("e13") {
+        e13(&cfg);
     }
 }

@@ -12,6 +12,12 @@
 //! The two service rows measure the `dyncon-server` frontend end to end
 //! (4 closed-loop Zipf clients): `service_throughput` is the wall time of
 //! the whole run, `service_latency_p50` the median submit→answer latency.
+//! The four load rows measure the same frontend **open-loop** (Poisson
+//! arrivals, latency from the intended arrival — no coordinated
+//! omission): `load_p50_ns` / `load_p99_ns` / `load_p999_ns` are latency
+//! quantiles, `queue_depth_max` is the server's queue-depth gauge
+//! high-water mark from the metrics snapshot (a count, not nanoseconds —
+//! the `median_ns` field carries it for schema uniformity).
 //! The two durability rows measure `dyncon-durable`: `wal_append_ns` is
 //! the wall time of appending 128 mixed rounds to the write-ahead log
 //! (fsync off — the stable-in-CI encode+write path), `recovery_ms` the
@@ -24,10 +30,12 @@
 //! the repository's perf trajectory: one artifact per PR, comparable
 //! across commits.
 
-use dyncon_bench::{drive_service, latency_quantile, median_duration, thread_counts, time};
+use dyncon_bench::{
+    drive_open_loop, drive_service, latency_quantile, median_duration, thread_counts, time,
+};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
-use dyncon_graphgen::{erdos_renyi, zipf_client_schedules, UpdateStream};
+use dyncon_graphgen::{erdos_renyi, poisson_arrivals, zipf_client_schedules, UpdateStream};
 use dyncon_server::{ConnServer, ServerConfig};
 use std::time::Duration;
 
@@ -154,6 +162,60 @@ fn main() {
             eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
         }
 
+        // The open-loop load observatory: Poisson arrivals at a fixed
+        // offered rate (mean gap 100 µs per client), latency measured
+        // from the intended arrival. Latency quantiles come from the
+        // middle rep (by p50) so the three quantile rows describe one
+        // coherent run; queue_depth_max comes from the server's own
+        // metrics snapshot.
+        let load_requests = 32;
+        let load_schedules = zipf_client_schedules(n, clients, load_requests, 64, 0.5, 1.1, 15);
+        let load_arrivals: Vec<Vec<u64>> = (0..clients)
+            .map(|c| poisson_arrivals(load_requests, 100_000, 0xE13 + c as u64))
+            .collect();
+        let mut load_runs: Vec<(Duration, Duration, Duration, i64)> = Vec::new();
+        for _ in 0..reps {
+            let server = ConnServer::start(
+                BatchDynamicConnectivity::new(n),
+                ServerConfig::new()
+                    .batch_cap(service_cap)
+                    .coalesce_wait(Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .worker_threads(threads),
+            );
+            let load = drive_open_loop(&server, &load_schedules, &load_arrivals);
+            let report = server.join();
+            let queue_max = report
+                .metrics
+                .get("dyncon_server_queue_depth")
+                .and_then(|m| m.value.as_gauge())
+                .map(|(_, max)| max)
+                .unwrap_or(0);
+            load_runs.push((
+                latency_quantile(&load.latencies, 0.5),
+                latency_quantile(&load.latencies, 0.99),
+                latency_quantile(&load.latencies, 0.999),
+                queue_max,
+            ));
+        }
+        load_runs.sort_unstable_by_key(|r| r.0);
+        let (p50, p99, p999, queue_max) = load_runs[load_runs.len() / 2];
+        for (op, median_ns) in [
+            ("load_p50_ns", p50.as_nanos()),
+            ("load_p99_ns", p99.as_nanos()),
+            ("load_p999_ns", p999.as_nanos()),
+            ("queue_depth_max", queue_max.max(0) as u128),
+        ] {
+            records.push(Record {
+                op,
+                n,
+                batch: service_cap,
+                threads,
+                median_ns,
+            });
+            eprintln!("{op} @ {threads} threads: {median_ns}");
+        }
+
         // The durable layer: WAL append wall time for `wal_rounds` mixed
         // rounds (no fsync — the pure encode+write path CI can time
         // stably) and full crash recovery (snapshot load + deterministic
@@ -233,6 +295,28 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The load quantiles must be coherent per thread count: all three
+    // present and monotone p50 ≤ p99 ≤ p999 (they describe one run).
+    for threads in thread_counts() {
+        let q = |op: &str| {
+            records
+                .iter()
+                .find(|r| r.op == op && r.threads == threads)
+                .map(|r| r.median_ns)
+                .unwrap_or_else(|| {
+                    eprintln!("perf_json: missing {op} at {threads} threads");
+                    std::process::exit(1);
+                })
+        };
+        let (p50, p99, p999) = (q("load_p50_ns"), q("load_p99_ns"), q("load_p999_ns"));
+        if !(p50 <= p99 && p99 <= p999) {
+            eprintln!(
+                "perf_json: non-monotone load quantiles at {threads} threads: \
+                 p50={p50} p99={p99} p999={p999}"
+            );
+            std::process::exit(1);
+        }
+    }
 
     let body: Vec<String> = records
         .iter()
@@ -251,6 +335,10 @@ fn main() {
         "batch_delete",
         "service_throughput",
         "service_latency_p50",
+        "load_p50_ns",
+        "load_p99_ns",
+        "load_p999_ns",
+        "queue_depth_max",
         "wal_append_ns",
         "recovery_ms",
     ] {

@@ -5,9 +5,9 @@
 //! `benches/` and as a table printed by the `experiments` binary
 //! (`cargo run --release -p dyncon-bench --bin experiments`).
 
-use dyncon_api::{BatchDynamic, Op};
+use dyncon_api::{BatchDynamic, DynConError, Op};
 use dyncon_graphgen::{Batch, UpdateStream};
-use dyncon_server::ConnServer;
+use dyncon_server::{ConnServer, Ticket};
 use std::time::{Duration, Instant};
 
 /// The thread matrix for the scaling experiments (E7 and the perf-artifact
@@ -134,6 +134,108 @@ pub fn drive_service<B: BatchDynamic + Send + 'static>(
     (t0.elapsed(), latencies)
 }
 
+/// What [`drive_open_loop`] measured: wall time, every accepted request's
+/// intended-arrival→answer latency (client-major order), and how many
+/// requests the server shed with backpressure.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Total wall time from the first intended arrival to the last answer.
+    pub wall: Duration,
+    /// One latency per *accepted* request, measured from the request's
+    /// **intended** arrival time (not the instant the submit call ran), so
+    /// a stalled server inflates the latencies of everything queued behind
+    /// it — the open-loop answer to coordinated omission.
+    pub latencies: Vec<Duration>,
+    /// Requests rejected with [`DynConError::Backpressure`]. An open-loop
+    /// generator sheds these (no retry, no latency sample) so the offered
+    /// rate stays independent of server speed.
+    pub rejected: u64,
+    /// Requests accepted (`latencies.len()` as a counter, for rate math).
+    pub accepted: u64,
+}
+
+/// Drive per-client schedules through a group-commit server **open-loop**:
+/// client `c`'s request `i` is submitted at
+/// `t0 + Duration::from_nanos(arrivals[c][i])` regardless of whether
+/// earlier answers have come back. Compare [`drive_service`], the
+/// closed-loop driver, where each client waits for its previous answer and
+/// a slow server silently throttles the offered load.
+///
+/// Each client runs a submitter thread (sleeps until the intended arrival,
+/// then a non-blocking [`ConnServer::submit_as`]; a
+/// [`DynConError::Backpressure`] reject is counted and dropped) paired
+/// with a collector thread that waits tickets in submission order and
+/// records `intended_arrival.elapsed()` — latency from the *schedule*, not
+/// the submit call, so queueing delay is charged to the server.
+///
+/// `arrivals[c]` (nanosecond offsets, as produced by
+/// [`dyncon_graphgen::poisson_arrivals`]) must be at least as long as
+/// `schedules[c]`; extra arrival slots are ignored.
+pub fn drive_open_loop<B: BatchDynamic + Send + 'static>(
+    server: &ConnServer<B>,
+    schedules: &[Vec<Vec<Op>>],
+    arrivals: &[Vec<u64>],
+) -> LoadReport {
+    assert_eq!(
+        schedules.len(),
+        arrivals.len(),
+        "one arrival schedule per client"
+    );
+    let t0 = Instant::now();
+    let mut report = LoadReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .zip(arrivals)
+            .enumerate()
+            .map(|(c, (sched, times))| {
+                assert!(
+                    times.len() >= sched.len(),
+                    "client {c}: {} requests but only {} arrival times",
+                    sched.len(),
+                    times.len()
+                );
+                let (tx, rx) = std::sync::mpsc::channel::<(Instant, Ticket)>();
+                let submitter = scope.spawn(move || {
+                    let mut rejected = 0u64;
+                    for (ops, &at_ns) in sched.iter().zip(times) {
+                        let due = t0 + Duration::from_nanos(at_ns);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        match server.submit_as(c as u64, ops.clone()) {
+                            Ok(ticket) => tx.send((due, ticket)).expect("collector alive"),
+                            Err(DynConError::Backpressure { .. }) => rejected += 1,
+                            Err(e) => panic!("service open for the whole run: {e}"),
+                        }
+                    }
+                    rejected
+                });
+                let collector = scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    while let Ok((due, ticket)) = rx.recv() {
+                        std::hint::black_box(ticket.wait().expect("round commits"));
+                        // Saturates at zero if the answer somehow beat the
+                        // intended arrival (sub-timer-resolution rounds).
+                        lats.push(due.elapsed());
+                    }
+                    lats
+                });
+                (submitter, collector)
+            })
+            .collect();
+        for (submitter, collector) in handles {
+            report.rejected += submitter.join().expect("submitter thread");
+            report
+                .latencies
+                .extend(collector.join().expect("collector thread"));
+        }
+    });
+    report.wall = t0.elapsed();
+    report.accepted = report.latencies.len() as u64;
+    report
+}
+
 /// The `q`-quantile (0.0..=1.0) of a latency sample, by sorting a copy.
 pub fn latency_quantile(latencies: &[Duration], q: f64) -> Duration {
     if latencies.is_empty() {
@@ -175,8 +277,47 @@ pub fn lg_factor(n: usize, k: usize) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use super::{latency_quantile, parse_thread_counts};
+    use super::{drive_open_loop, latency_quantile, parse_thread_counts};
+    use dyncon_api::Op;
+    use dyncon_core::BatchDynamicConnectivity;
+    use dyncon_server::{ConnServer, ServerConfig};
     use std::time::Duration;
+
+    #[test]
+    fn open_loop_driver_answers_every_scheduled_request() {
+        let clients = 3usize;
+        let requests = 5usize;
+        let schedules: Vec<Vec<Vec<Op>>> = (0..clients)
+            .map(|c| {
+                (0..requests)
+                    .map(|i| vec![Op::Insert(c as u32, (clients + i) as u32), Op::Query(0, 1)])
+                    .collect()
+            })
+            .collect();
+        // 50 µs mean gap: fast enough to finish instantly, slow enough
+        // that the queue never fills (capacity 2 per client).
+        let arrivals: Vec<Vec<u64>> = (0..clients)
+            .map(|c| dyncon_graphgen::poisson_arrivals(requests, 50_000, c as u64))
+            .collect();
+        let server = ConnServer::start(
+            BatchDynamicConnectivity::new(64),
+            ServerConfig::new().queue_capacity(2 * clients),
+        );
+        let load = drive_open_loop(&server, &schedules, &arrivals);
+        let report = server.join();
+        assert_eq!(load.accepted + load.rejected, (clients * requests) as u64);
+        assert_eq!(load.latencies.len() as u64, load.accepted);
+        assert_eq!(report.ops_committed, 2 * load.accepted);
+        assert!(load.wall >= Duration::ZERO);
+        // The queue-depth gauge saw at least one admitted request.
+        let max = report
+            .metrics
+            .get("dyncon_server_queue_depth")
+            .and_then(|m| m.value.as_gauge())
+            .map(|(_, max)| max)
+            .unwrap_or(0);
+        assert!(load.accepted == 0 || max >= 1);
+    }
 
     #[test]
     fn quantiles() {

@@ -31,6 +31,11 @@
 //!   sealed round is appended and fsynced *before* it is applied, so
 //!   group commit and group fsync coincide (one fsync per round, not per
 //!   request) and a resolved ticket implies durability.
+//! * [`DurableMetrics`] — WAL append bytes/latency, fsync counts, abort
+//!   and recovery-replay counters, snapshot timings, recorded into the
+//!   same `dyncon-metrics` registry as the serving metrics
+//!   ([`dyncon_server::ServerConfig::metrics`]); observational only,
+//!   never an input to fsync policy or replay.
 //!
 //! ## Crash-consistency model
 //!
@@ -42,11 +47,13 @@
 //! | crash between snapshot rename and WAL truncate (in [`compact`]) | recovery skips the already-folded rounds |
 //! | bit rot / manual edit mid-log | typed [`DynConError::Corrupt`], never a panic, never silent data invention |
 
+mod metrics;
 mod recover;
 mod server;
 mod snapshot;
 mod wal;
 
+pub use metrics::DurableMetrics;
 pub use recover::{compact, recover, recover_with, RoundMeta};
 pub use server::{DurableConfig, DurableReport, DurableServer};
 pub use snapshot::{Snapshot, SNAPSHOT_FILE};

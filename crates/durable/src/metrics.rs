@@ -1,0 +1,113 @@
+//! The durability layer's metric bundle.
+//!
+//! A [`crate::DurableServer`] records WAL, snapshot and recovery
+//! activity here, in the **same registry** as the serving metrics it
+//! wraps, so one snapshot shows the whole stack. As everywhere in the
+//! workspace: metrics are observational, never inputs — fsync policy,
+//! round boundaries and replay are unaffected by recording.
+
+use dyncon_metrics::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Live handles to every durability metric. One instance per
+/// [`crate::DurableServer`]; shared with the writer thread's round hook.
+pub struct DurableMetrics {
+    /// `dyncon_wal_append_bytes_total` — bytes the WAL grew by across
+    /// all appended rounds (frame headers included).
+    pub wal_append_bytes: Arc<Counter>,
+    /// `dyncon_wal_append_ns` — wall time of each round's append,
+    /// including the policy fsync when one is due. This is the
+    /// durability tax each commit round pays before apply.
+    pub wal_append_ns: Arc<Histogram>,
+    /// `dyncon_wal_fsyncs_total` — fsyncs issued by the WAL writer
+    /// (policy, explicit, abort and reset syncs alike). Under
+    /// [`crate::FsyncPolicy::EveryNRounds`] this grows ~1/n as fast as
+    /// rounds logged.
+    pub wal_fsyncs: Arc<Counter>,
+    /// `dyncon_wal_rounds_logged_total` — rounds successfully appended.
+    pub wal_rounds_logged: Arc<Counter>,
+    /// `dyncon_wal_rounds_aborted_total` — logged rounds retracted
+    /// because their apply failed.
+    pub wal_rounds_aborted: Arc<Counter>,
+    /// `dyncon_snapshot_write_ns` — wall time of each atomic snapshot
+    /// write (compaction at join).
+    pub snapshot_write_ns: Arc<Histogram>,
+    /// `dyncon_recovery_replayed_rounds_total` — WAL rounds replayed at
+    /// open, on top of the snapshot.
+    pub recovery_replayed_rounds: Arc<Counter>,
+    /// `dyncon_recovery_replayed_ops_total` — operations inside those
+    /// replayed rounds (replay progress in op granularity).
+    pub recovery_replayed_ops: Arc<Counter>,
+}
+
+impl DurableMetrics {
+    /// Register (or re-attach to) the durability metrics in `registry`.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(Self {
+            wal_append_bytes: registry.counter(
+                "dyncon_wal_append_bytes_total",
+                "bytes",
+                "bytes appended to the write-ahead log (frame headers included)",
+            ),
+            wal_append_ns: registry.histogram(
+                "dyncon_wal_append_ns",
+                "ns",
+                "per-round WAL append wall time, policy fsync included",
+            ),
+            wal_fsyncs: registry.counter(
+                "dyncon_wal_fsyncs_total",
+                "fsyncs",
+                "fsyncs issued by the WAL writer",
+            ),
+            wal_rounds_logged: registry.counter(
+                "dyncon_wal_rounds_logged_total",
+                "rounds",
+                "rounds appended to the write-ahead log",
+            ),
+            wal_rounds_aborted: registry.counter(
+                "dyncon_wal_rounds_aborted_total",
+                "rounds",
+                "logged rounds retracted because their apply failed",
+            ),
+            snapshot_write_ns: registry.histogram(
+                "dyncon_snapshot_write_ns",
+                "ns",
+                "atomic snapshot write wall time",
+            ),
+            recovery_replayed_rounds: registry.counter(
+                "dyncon_recovery_replayed_rounds_total",
+                "rounds",
+                "WAL rounds replayed at open on top of the snapshot",
+            ),
+            recovery_replayed_ops: registry.counter(
+                "dyncon_recovery_replayed_ops_total",
+                "ops",
+                "operations replayed at open",
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_every_durability_metric() {
+        let registry = Registry::new();
+        DurableMetrics::register(&registry);
+        let snap = registry.snapshot();
+        for name in [
+            "dyncon_wal_append_bytes_total",
+            "dyncon_wal_append_ns",
+            "dyncon_wal_fsyncs_total",
+            "dyncon_wal_rounds_logged_total",
+            "dyncon_wal_rounds_aborted_total",
+            "dyncon_snapshot_write_ns",
+            "dyncon_recovery_replayed_rounds_total",
+            "dyncon_recovery_replayed_ops_total",
+        ] {
+            assert!(snap.get(name).is_some(), "missing {name}");
+        }
+    }
+}

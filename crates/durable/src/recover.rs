@@ -26,6 +26,9 @@ pub struct RoundMeta {
     pub snapshot_rounds: u64,
     /// WAL records replayed on top of the snapshot.
     pub replayed_rounds: u64,
+    /// Operations inside the replayed records (replay progress at op
+    /// granularity — what `dyncon_recovery_replayed_ops_total` reports).
+    pub replayed_ops: u64,
     /// Whether a torn/corrupt WAL tail was dropped during the scan (its
     /// round was never acknowledged under the `every_round` fsync
     /// policy; under laxer policies it falls inside the documented loss
@@ -69,6 +72,7 @@ pub fn recover_with<B: BatchDynamic + BuildFrom>(
 
     let mut next_round = snapshot.next_round;
     let mut replayed = 0u64;
+    let mut replayed_ops = 0u64;
     for record in &readout.records {
         if record.round < snapshot.next_round {
             // Folded into the snapshot already (compaction crashed after
@@ -88,6 +92,7 @@ pub fn recover_with<B: BatchDynamic + BuildFrom>(
         backend.apply(&record.ops)?;
         next_round += 1;
         replayed += 1;
+        replayed_ops += record.ops.len() as u64;
     }
 
     Ok((
@@ -96,6 +101,7 @@ pub fn recover_with<B: BatchDynamic + BuildFrom>(
             next_round,
             snapshot_rounds: snapshot.next_round,
             replayed_rounds: replayed,
+            replayed_ops,
             dropped_tail: readout.dropped_tail,
         },
     ))
@@ -170,6 +176,7 @@ mod tests {
                 next_round: 3,
                 snapshot_rounds: 0,
                 replayed_rounds: 3,
+                replayed_ops: 9,
                 dropped_tail: false,
             }
         );

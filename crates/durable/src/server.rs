@@ -2,13 +2,16 @@
 //! sealed round is appended (and fsynced, per policy) to the write-ahead
 //! log *before* it is applied — group commit and group fsync coincide.
 
+use crate::metrics::DurableMetrics;
 use crate::recover::{recover_with, RoundMeta};
 use crate::wal::{FsyncPolicy, WalWriter};
 use crate::Snapshot;
 use dyncon_api::{BatchDynamic, BuildFrom, Builder, DynConError, ExportEdges, Op};
+use dyncon_metrics::MetricsSnapshot;
 use dyncon_server::{ConnServer, ServerConfig, ServiceReport, Ticket};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Durability knobs of a [`DurableServer`].
 #[derive(Clone, Debug)]
@@ -79,6 +82,8 @@ where
 {
     inner: ConnServer<B>,
     wal: Arc<Mutex<WalWriter>>,
+    metrics: Arc<DurableMetrics>,
+    registry: dyncon_metrics::Registry,
     dir: PathBuf,
     compact_on_join: bool,
 }
@@ -118,6 +123,14 @@ where
                 requested: num_vertices,
             });
         }
+        // Pool the durability metrics in the caller's registry when one
+        // was passed; otherwise create one registry for both layers, so
+        // the service report always shows the whole stack.
+        let registry = config.metrics.clone().unwrap_or_default();
+        let config = config.metrics(registry.clone());
+        let metrics = DurableMetrics::register(&registry);
+        metrics.recovery_replayed_rounds.add(meta.replayed_rounds);
+        metrics.recovery_replayed_ops.add(meta.replayed_ops);
         let wal = Arc::new(Mutex::new(WalWriter::open(
             dir,
             durable.fsync,
@@ -125,27 +138,50 @@ where
         )?));
         let hook_wal = Arc::clone(&wal);
         let abort_wal = Arc::clone(&wal);
+        let hook_metrics = Arc::clone(&metrics);
+        let abort_metrics = Arc::clone(&metrics);
         let config = config
             .round_hook(Arc::new(move |_server_round, ops: &[Op]| {
-                hook_wal
-                    .lock()
-                    .expect("WAL writer lock poisoned")
-                    .append_round(ops)
-                    .map(|_| ())
+                let mut wal = hook_wal.lock().expect("WAL writer lock poisoned");
+                let (bytes_before, fsyncs_before) = (wal.log_bytes(), wal.fsync_count());
+                let started = Instant::now();
+                let appended = wal.append_round(ops).map(|_| ());
+                hook_metrics
+                    .wal_append_ns
+                    .record_duration(started.elapsed());
+                // A failed append rolls its frame back, so the byte delta
+                // is zero exactly when nothing durable was added.
+                hook_metrics
+                    .wal_append_bytes
+                    .add(wal.log_bytes().saturating_sub(bytes_before));
+                hook_metrics
+                    .wal_fsyncs
+                    .add(wal.fsync_count() - fsyncs_before);
+                if appended.is_ok() {
+                    hook_metrics.wal_rounds_logged.inc();
+                }
+                appended
             }))
             // A logged round whose apply then fails is un-logged, so the
             // failure the clients see and the durable history agree.
             .round_abort(Arc::new(move |_server_round, _ops: &[Op]| {
-                abort_wal
-                    .lock()
-                    .expect("WAL writer lock poisoned")
-                    .abort_round()
-                    .map(|_| ())
+                let mut wal = abort_wal.lock().expect("WAL writer lock poisoned");
+                let fsyncs_before = wal.fsync_count();
+                let aborted = wal.abort_round().map(|_| ());
+                abort_metrics
+                    .wal_fsyncs
+                    .add(wal.fsync_count() - fsyncs_before);
+                if aborted.is_ok() {
+                    abort_metrics.wal_rounds_aborted.inc();
+                }
+                aborted
             }));
         Ok((
             Self {
                 inner: ConnServer::start(backend, config),
                 wal,
+                metrics,
+                registry,
                 dir: dir.to_path_buf(),
                 compact_on_join: durable.compact_on_join,
             },
@@ -166,6 +202,14 @@ where
     /// Operations committed by this process.
     pub fn ops_committed(&self) -> u64 {
         self.inner.ops_committed()
+    }
+
+    /// Freeze the stack's metric registry right now: serving metrics
+    /// (queue depth, round sizes, apply latency) and durability metrics
+    /// (WAL appends, fsyncs, recovery replay) in one snapshot. See
+    /// [`ConnServer::metrics_snapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics_snapshot()
     }
 
     /// Round id the next sealed round will be logged as.
@@ -215,8 +259,9 @@ where
     /// Drain, stop, make the log durable, and (per
     /// [`DurableConfig::compact_on_join`]) compact it into a snapshot.
     pub fn join(self) -> Result<DurableReport<B>, DynConError> {
-        let service = self.inner.join();
+        let mut service = self.inner.join();
         let mut wal = self.wal.lock().expect("WAL writer lock poisoned");
+        let fsyncs_before = wal.fsync_count();
         // Under lax fsync policies the final rounds may still be in
         // the page cache; an orderly shutdown always lands them.
         wal.sync()?;
@@ -225,10 +270,21 @@ where
             // Same two steps as `crate::compact`, but on the writer we
             // already hold — no recovery-scale rescan of the log it is
             // about to empty.
+            let started = Instant::now();
             crate::Snapshot::capture(&service.backend, next_round).write_atomic(&self.dir)?;
             wal.reset()?;
+            self.metrics
+                .snapshot_write_ns
+                .record_duration(started.elapsed());
         }
+        self.metrics
+            .wal_fsyncs
+            .add(wal.fsync_count() - fsyncs_before);
         drop(wal);
+        // Re-freeze: the inner join snapshotted before the final sync
+        // and compaction, whose fsyncs and snapshot timing belong in the
+        // report too.
+        service.metrics = self.registry.snapshot();
         Ok(DurableReport {
             service,
             next_round,
@@ -415,6 +471,59 @@ mod tests {
             !recovered.connected(1, 2),
             "the failed round is not replayed"
         );
+    }
+
+    #[test]
+    fn metrics_observe_the_durability_stack() {
+        let dir = scratch("dsrv-metrics");
+        {
+            let (server, _) = open_det(&dir, DurableConfig::new().compact_on_join(false));
+            let t = server.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+            server.seal_round();
+            t.wait().unwrap();
+            let report = server.join().unwrap();
+            let get = |name: &str| report.service.metrics.get(name).unwrap().value.clone();
+            assert_eq!(get("dyncon_wal_rounds_logged_total").as_counter(), Some(1));
+            // One frame: 28-byte header + one 9-byte encoded op.
+            assert_eq!(get("dyncon_wal_append_bytes_total").as_counter(), Some(37));
+            assert!(get("dyncon_wal_fsyncs_total").as_counter().unwrap() >= 2);
+            assert_eq!(get("dyncon_wal_rounds_aborted_total").as_counter(), Some(0));
+            assert_eq!(
+                get("dyncon_recovery_replayed_rounds_total").as_counter(),
+                Some(0),
+                "fresh directory: nothing replayed"
+            );
+            // Serving-layer metrics pool into the same registry.
+            assert_eq!(
+                get("dyncon_server_rounds_committed_total").as_counter(),
+                Some(1)
+            );
+            let append = get("dyncon_wal_append_ns");
+            assert_eq!(append.as_histogram().unwrap().count, 1);
+        }
+        // Second lifetime: recovery replays the round, and the compacting
+        // join records a snapshot write.
+        let (server, meta) = open_det(&dir, DurableConfig::new());
+        assert_eq!((meta.replayed_rounds, meta.replayed_ops), (1, 1));
+        let live = server.metrics_snapshot();
+        assert_eq!(
+            live.get("dyncon_recovery_replayed_ops_total")
+                .unwrap()
+                .value
+                .as_counter(),
+            Some(1)
+        );
+        let report = server.join().unwrap();
+        let snap_hist = report
+            .service
+            .metrics
+            .get("dyncon_snapshot_write_ns")
+            .unwrap()
+            .value
+            .as_histogram()
+            .unwrap()
+            .count;
+        assert_eq!(snap_hist, 1, "compaction timing lands in the report");
     }
 
     #[test]

@@ -223,6 +223,9 @@ pub struct WalWriter {
     policy: FsyncPolicy,
     next_round: u64,
     unsynced_rounds: u64,
+    /// Lifetime fsync count of this writer handle (observability; see
+    /// [`WalWriter::fsync_count`]).
+    fsyncs: u64,
     /// Byte offset just past the last fully-appended record — the
     /// rollback point when an append or sync fails mid-frame.
     end_offset: u64,
@@ -264,6 +267,7 @@ impl WalWriter {
             policy,
             next_round,
             unsynced_rounds: 0,
+            fsyncs: 0,
             end_offset: WAL_MAGIC.len() as u64,
             last_record_start: None,
             poisoned: false,
@@ -297,6 +301,20 @@ impl WalWriter {
     /// The id the next appended round will get.
     pub fn next_round(&self) -> u64 {
         self.next_round
+    }
+
+    /// How many times this writer handle has fsynced the log (policy
+    /// syncs, explicit [`WalWriter::sync`] calls, and abort/reset syncs
+    /// alike). Observability only.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Bytes of valid log currently on disk (magic + every appended
+    /// frame). Observability only; successive readings around an append
+    /// give the append's byte cost.
+    pub fn log_bytes(&self) -> u64 {
+        self.end_offset
     }
 
     fn check_poisoned(&self) -> Result<(), DynConError> {
@@ -380,10 +398,7 @@ impl WalWriter {
         self.truncate_to(start)?;
         self.end_offset = start;
         self.next_round -= 1;
-        self.file
-            .sync_all()
-            .map_err(|e| storage_err(&self.path, e))?;
-        self.unsynced_rounds = 0;
+        self.sync()?;
         Ok(self.next_round)
     }
 
@@ -393,6 +408,7 @@ impl WalWriter {
             .sync_all()
             .map_err(|e| storage_err(&self.path, e))?;
         self.unsynced_rounds = 0;
+        self.fsyncs += 1;
         Ok(())
     }
 
@@ -598,6 +614,26 @@ mod tests {
         let r = read_wal(&dir).unwrap().unwrap();
         assert_eq!(r.records.len(), 1);
         assert_eq!(r.records[0].round, 4);
+    }
+
+    #[test]
+    fn fsync_count_and_log_bytes_track_the_policy() {
+        let dir = scratch("wal-observe");
+        let mut w = WalWriter::open(&dir, FsyncPolicy::EveryNRounds(2), 0).unwrap();
+        let after_open = (w.fsync_count(), w.log_bytes());
+        assert_eq!(after_open, (1, WAL_MAGIC.len() as u64), "magic is synced");
+        let before = w.log_bytes();
+        w.append_round(&ops(0)).unwrap(); // unsynced (1 of 2)
+        let appended = w.log_bytes() - before;
+        assert_eq!(
+            appended,
+            (RECORD_HEADER + ops(0).len() * Op::ENCODED_LEN) as u64
+        );
+        assert_eq!(w.fsync_count(), 1);
+        w.append_round(&ops(1)).unwrap(); // policy sync (2 of 2)
+        assert_eq!(w.fsync_count(), 2);
+        w.sync().unwrap(); // explicit
+        assert_eq!(w.fsync_count(), 3);
     }
 
     #[test]

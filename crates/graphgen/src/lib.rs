@@ -7,4 +7,6 @@ pub mod graphs;
 pub mod stream;
 
 pub use graphs::{complete, cycle, erdos_renyi, grid2d, path, random_tree, rmat, star};
-pub use stream::{crash_points, zipf_client_schedules, Batch, UpdateStream, Zipf};
+pub use stream::{
+    crash_points, poisson_arrivals, zipf_client_schedules, Batch, UpdateStream, Zipf,
+};

@@ -240,6 +240,35 @@ pub fn zipf_client_schedules(
         .collect()
 }
 
+/// Seeded open-loop arrival schedule: `count` cumulative nanosecond
+/// offsets with exponentially distributed inter-arrival gaps of mean
+/// `mean_gap_ns` — a Poisson process, the standard open-loop load model.
+///
+/// An **open-loop** driver fires request `i` at `start + offsets[i]`
+/// whether or not earlier requests have finished, and measures each
+/// response against its *intended* arrival time. Unlike a closed loop
+/// (next request only after the previous response), it cannot
+/// accidentally throttle itself when the server slows down, so the
+/// latency tail it measures includes the queueing delay real overload
+/// produces — the coordinated-omission pitfall the E13 load experiment
+/// is built to avoid.
+///
+/// Deterministic in `(count, mean_gap_ns, seed)`; offsets are
+/// non-decreasing and start at the first gap (not zero).
+pub fn poisson_arrivals(count: usize, mean_gap_ns: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut at = 0u64;
+    (0..count)
+        .map(|_| {
+            // Inverse-CDF exponential draw; 1 - u in (0, 1] avoids ln(0).
+            let u = rng.next_f64();
+            let gap = (-(1.0 - u).ln() * mean_gap_ns as f64).round();
+            at = at.saturating_add(gap as u64);
+            at
+        })
+        .collect()
+}
+
 /// Seeded crash offsets for recovery tests: `n` distinct round indices
 /// in `1..rounds`, sorted ascending. "Crash at offset `k`" means the
 /// process dies after sealing (and logging) rounds `0..k` — so there is
@@ -365,6 +394,28 @@ mod tests {
             let (u, v) = o.endpoints();
             u != v
         }));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_exponential() {
+        let a = poisson_arrivals(10_000, 1_000, 42);
+        assert_eq!(a, poisson_arrivals(10_000, 1_000, 42));
+        assert_eq!(a.len(), 10_000);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // The mean inter-arrival gap converges on mean_gap_ns (±10%).
+        let mean = *a.last().unwrap() as f64 / a.len() as f64;
+        assert!((900.0..1100.0).contains(&mean), "mean gap {mean}");
+        // Exponential gaps: plenty below the mean, a real tail above 3x.
+        let gaps: Vec<u64> = std::iter::once(a[0])
+            .chain(a.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        let below = gaps.iter().filter(|&&g| g < 1_000).count();
+        let tail = gaps.iter().filter(|&&g| g > 3_000).count();
+        assert!(below > 5_500, "memoryless head: {below}");
+        assert!(tail > 200, "exponential tail: {tail}");
+        // Different seeds, different schedules; empty count is empty.
+        assert_ne!(a, poisson_arrivals(10_000, 1_000, 43));
+        assert!(poisson_arrivals(0, 1_000, 1).is_empty());
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Fixed-bucket log2 histograms with quantile extraction.
+//!
+//! The bucket layout is the classic power-of-two scheme used by HDR-style
+//! latency recorders: bucket `0` holds exactly the value `0`, and bucket
+//! `i >= 1` holds the values in `[2^(i-1), 2^i - 1]`. 65 buckets cover
+//! the whole `u64` range, so recording never clamps and never allocates.
+//!
+//! The price of fixed buckets is bounded relative error: an extracted
+//! quantile is the **upper bound of the bucket holding the rank**, so for
+//! any sample set and any `q`
+//!
+//! ```text
+//! true_quantile <= quantile(q) < 2 * max(true_quantile, 1)
+//! ```
+//!
+//! — reported quantiles never understate latency, and overstate it by
+//! less than 2×. The proptest suite (`tests/proptest_quantiles.rs`)
+//! holds both bounds against exact sorted-sample quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two in `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value: `0` for `0`, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i` (`i < BUCKETS`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A concurrent fixed-bucket log2 histogram. Recording is one relaxed
+/// `fetch_add` per atomic touched; extraction walks 65 buckets.
+///
+/// ```
+/// let h = dyncon_metrics::Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// // p50 falls in the [2,3] bucket; its upper bound is reported.
+/// assert_eq!(h.quantile(0.5), Some(3));
+/// assert_eq!(h.quantile(1.0), Some(127));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at `u64::MAX`,
+    /// i.e. after ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values (wrapping on overflow; meaningful for
+    /// totals well below `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the upper bound of
+    /// the bucket holding the rank, or `None` on an empty histogram. See
+    /// the module docs for the two-sided error bound.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Freeze the current contents. Concurrent recorders may land between
+    /// the bucket loads; the snapshot is internally consistent as a set
+    /// of per-bucket counts (each bucket is read once), which is all the
+    /// quantile math needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable bucket counts of a [`Histogram`] at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`BUCKETS` entries, non-cumulative).
+    pub buckets: Vec<u64>,
+    /// Total samples (the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile of the frozen counts; `None` when empty. Same
+    /// contract as [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // Nearest-rank: the smallest value v such that at least
+        // ceil(q * count) samples are <= v, evaluated on buckets.
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bounds(i).1);
+            }
+        }
+        unreachable!("rank <= count implies some bucket reaches it")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bounds agree with the index function, and the
+        // buckets tile u64 with no gaps or overlaps.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_bounds(i + 1).0, hi + 1, "tiling at bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(1000); // bucket [512, 1023]
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(1023), "q = {q}");
+        }
+        assert_eq!((h.count(), h.sum()), (1, 1000));
+    }
+
+    #[test]
+    fn zero_samples_live_in_their_own_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
+    }
+
+    #[test]
+    fn quantiles_walk_the_ranks() {
+        let h = Histogram::new();
+        // 90 samples at 1, 9 at ~1000, 1 at ~1e6: a classic latency tail.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.9), Some(1));
+        assert_eq!(h.quantile(0.91), Some(1023));
+        assert_eq!(h.quantile(0.99), Some(1023));
+        assert_eq!(h.quantile(0.999), Some((1 << 20) - 1));
+        assert_eq!(h.quantile(1.0), Some((1 << 20) - 1));
+    }
+
+    #[test]
+    fn extreme_values_do_not_clamp() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        let (lo, hi) = bucket_bounds(64);
+        assert_eq!((lo, hi), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn snapshot_is_frozen() {
+        let h = Histogram::new();
+        h.record(5);
+        let snap = h.snapshot();
+        h.record(5);
+        h.record(7);
+        assert_eq!(snap.count, 1, "snapshot does not see later samples");
+        assert_eq!(h.snapshot().count, 3);
+        assert_eq!(snap.quantile(0.5), Some(7)); // bucket [4,7]
+    }
+
+    #[test]
+    fn record_duration_uses_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(std::time::Duration::from_micros(3));
+        assert_eq!(h.sum(), 3000);
+        // 3000 ns falls in [2048, 4095].
+        assert_eq!(h.quantile(0.5), Some(4095));
+    }
+}

@@ -1,0 +1,51 @@
+//! # dyncon-metrics
+//!
+//! Runtime observability for the dyncon serving stack: **atomic
+//! counters**, **gauges** (with a high-water mark), and **fixed-bucket
+//! log2 histograms** with p50/p99/p999 extraction, collected under names
+//! in a [`Registry`], frozen into an immutable [`MetricsSnapshot`], and
+//! rendered in the Prometheus text exposition format
+//! ([`MetricsSnapshot::render_prometheus`]).
+//!
+//! Std-only and dependency-free, like the serving layer it instruments.
+//! Every recording operation is a handful of relaxed atomic instructions
+//! — cheap enough to leave on in production and in the determinism test
+//! matrix.
+//!
+//! ## Metrics are observational, never inputs
+//!
+//! Nothing in this crate feeds back into algorithmic decisions: the
+//! serving and durability layers *record* into these types but never
+//! *read* them on a decision path. That is what lets instrumentation
+//! coexist with the workspace byte-determinism contract — enabling
+//! metrics must leave every `BatchResult` byte-identical at any
+//! `DYNCON_THREADS` (enforced in `tests/determinism.rs`).
+//!
+//! ## Example
+//!
+//! ```
+//! use dyncon_metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("demo_requests_total", "requests", "requests admitted");
+//! let depth = registry.gauge("demo_queue_depth", "requests", "queued right now");
+//! let latency = registry.histogram("demo_latency_ns", "ns", "submit to answer");
+//!
+//! requests.inc();
+//! depth.set(3);
+//! latency.record(1_500);
+//! latency.record(40_000);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.get("demo_requests_total").unwrap().value.as_counter(), Some(1));
+//! let text = snap.render_prometheus();
+//! assert!(text.contains("# TYPE demo_latency_ns histogram"));
+//! ```
+
+mod histogram;
+mod registry;
+mod scalar;
+
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricSnapshot, MetricValue, MetricsSnapshot, Registry};
+pub use scalar::{Counter, Gauge};

@@ -1,0 +1,357 @@
+//! The named-metric registry, immutable snapshots, and the text
+//! exposition renderer.
+
+use crate::histogram::{bucket_bounds, Histogram, HistogramSnapshot};
+use crate::scalar::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// What kind of metric a name is bound to (snapshot side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic total.
+    Counter(u64),
+    /// Current value plus high-water mark.
+    Gauge {
+        /// The value at snapshot time.
+        value: i64,
+        /// The largest value ever set.
+        max: i64,
+    },
+    /// Frozen bucket counts.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The counter total, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge `(value, max)`, if this is a gauge.
+    pub fn as_gauge(&self) -> Option<(i64, i64)> {
+        match self {
+            MetricValue::Gauge { value, max } => Some((*value, *max)),
+            _ => None,
+        }
+    }
+
+    /// The histogram snapshot, if this is a histogram.
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// One named metric inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Registered name (`[a-z_][a-z0-9_]*`, Prometheus-compatible).
+    pub name: String,
+    /// Unit of the recorded values (`ns`, `ops`, `bytes`, `requests`, …)
+    /// — documentation, not semantics.
+    pub unit: String,
+    /// One-line human description (the `# HELP` text).
+    pub help: String,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// An immutable, alphabetically ordered capture of every metric in a
+/// [`Registry`] at one instant. Cheap to clone, safe to ship across
+/// threads, and renderable as Prometheus text exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// The live handle behind a registered name.
+#[derive(Clone)]
+enum LiveMetric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl LiveMetric {
+    fn kind(&self) -> &'static str {
+        match self {
+            LiveMetric::Counter(_) => "counter",
+            LiveMetric::Gauge(_) => "gauge",
+            LiveMetric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Registered {
+    unit: String,
+    help: String,
+    metric: LiveMetric,
+}
+
+/// A shared, cheaply clonable collection of named metrics. Clones refer
+/// to the same underlying map, so a registry threaded through server and
+/// durability layers snapshots everything at once.
+///
+/// Registration is **idempotent**: asking for an existing name of the
+/// same kind returns the same handle (unit/help of the first
+/// registration win). Re-registering a name as a *different* kind is a
+/// programming error and panics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Registered>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.inner.lock().unwrap().keys().cloned().collect();
+        f.debug_struct("Registry").field("metrics", &names).finish()
+    }
+}
+
+fn validate_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = matches!(chars.next(), Some('a'..='z' | '_'));
+    let tail_ok = chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'));
+    assert!(
+        head_ok && tail_ok,
+        "metric name {name:?} must match [a-z_][a-z0-9_]*"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        unit: &str,
+        help: &str,
+        wrap: impl FnOnce(Arc<T>) -> LiveMetric,
+        unwrap: impl FnOnce(&LiveMetric) -> Option<Arc<T>>,
+    ) -> Arc<T>
+    where
+        T: Default,
+    {
+        validate_name(name);
+        let mut map = self.inner.lock().unwrap();
+        if let Some(existing) = map.get(name) {
+            return unwrap(&existing.metric).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    existing.metric.kind()
+                )
+            });
+        }
+        let handle = Arc::new(T::default());
+        map.insert(
+            name.to_string(),
+            Registered {
+                unit: unit.to_string(),
+                help: help.to_string(),
+                metric: wrap(Arc::clone(&handle)),
+            },
+        );
+        handle
+    }
+
+    /// Register (or retrieve) a [`Counter`] under `name`.
+    pub fn counter(&self, name: &str, unit: &str, help: &str) -> Arc<Counter> {
+        self.register(name, unit, help, LiveMetric::Counter, |m| match m {
+            LiveMetric::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        })
+    }
+
+    /// Register (or retrieve) a [`Gauge`] under `name`.
+    pub fn gauge(&self, name: &str, unit: &str, help: &str) -> Arc<Gauge> {
+        self.register(name, unit, help, LiveMetric::Gauge, |m| match m {
+            LiveMetric::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        })
+    }
+
+    /// Register (or retrieve) a [`Histogram`] under `name`.
+    pub fn histogram(&self, name: &str, unit: &str, help: &str) -> Arc<Histogram> {
+        self.register(name, unit, help, LiveMetric::Histogram, |m| match m {
+            LiveMetric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        })
+    }
+
+    /// Freeze every registered metric into an immutable, name-sorted
+    /// [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, reg)| MetricSnapshot {
+                    name: name.clone(),
+                    unit: reg.unit.clone(),
+                    help: reg.help.clone(),
+                    value: match &reg.metric {
+                        LiveMetric::Counter(c) => MetricValue::Counter(c.get()),
+                        LiveMetric::Gauge(g) => MetricValue::Gauge {
+                            value: g.get(),
+                            max: g.max(),
+                        },
+                        LiveMetric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look a metric up by name (binary search — snapshots are sorted).
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics
+            .binary_search_by(|m| m.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i])
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` comments, plain samples for counters and
+    /// gauges (gauges also emit a `<name>_max` high-water sample), and
+    /// cumulative `_bucket{le="…"}` / `_sum` / `_count` series for
+    /// histograms. Empty log2 buckets are elided; the `+Inf` bucket is
+    /// always present.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for m in &self.metrics {
+            let unit = if m.unit.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", m.unit)
+            };
+            writeln!(out, "# HELP {} {}{unit}", m.name, m.help).unwrap();
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    writeln!(out, "# TYPE {} counter", m.name).unwrap();
+                    writeln!(out, "{} {v}", m.name).unwrap();
+                }
+                MetricValue::Gauge { value, max } => {
+                    writeln!(out, "# TYPE {} gauge", m.name).unwrap();
+                    writeln!(out, "{} {value}", m.name).unwrap();
+                    writeln!(out, "{}_max {max}", m.name).unwrap();
+                }
+                MetricValue::Histogram(h) => {
+                    writeln!(out, "# TYPE {} histogram", m.name).unwrap();
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let le = bucket_bounds(i).1;
+                        writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", m.name).unwrap();
+                    }
+                    writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count).unwrap();
+                    writeln!(out, "{}_sum {}", m.name, h.sum).unwrap();
+                    writeln!(out, "{}_count {}", m.name, h.count).unwrap();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "ops", "first");
+        let b = r.counter("x_total", "ops", "second registration is ignored");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7, "same underlying counter");
+        let snap = r.snapshot();
+        assert_eq!(snap.get("x_total").unwrap().help, "first");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("x_total", "ops", "");
+        r.gauge("x_total", "ops", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn bad_names_panic() {
+        Registry::new().counter("9bad-name", "", "");
+    }
+
+    #[test]
+    fn clones_share_the_map() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("a_total", "ops", "").inc();
+        r2.gauge("b_depth", "requests", "").set(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 2);
+        assert_eq!(snap.get("a_total").unwrap().value.as_counter(), Some(1));
+        assert_eq!(snap.get("b_depth").unwrap().value.as_gauge(), Some((5, 5)));
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_immutable() {
+        let r = Registry::new();
+        let c = r.counter("zz_total", "ops", "");
+        r.counter("aa_total", "ops", "");
+        let snap = r.snapshot();
+        c.inc();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["aa_total", "zz_total"]);
+        assert_eq!(snap.get("zz_total").unwrap().value.as_counter(), Some(0));
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("req_total", "requests", "requests admitted")
+            .add(5);
+        r.gauge("depth", "requests", "queued now").set(2);
+        let h = r.histogram("lat_ns", "ns", "latency");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(900);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# HELP req_total requests admitted (requests)"));
+        assert!(text.contains("# TYPE req_total counter\nreq_total 5\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth 2\ndepth_max 2\n"));
+        // Histogram: cumulative buckets, empty ones elided, +Inf closes.
+        assert!(text.contains("lat_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3"));
+        assert!(text.contains("lat_ns_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_ns_sum 906"));
+        assert!(text.contains("lat_ns_count 4"));
+        assert!(!text.contains("le=\"1\"} "), "empty buckets elided");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(Registry::new().snapshot().render_prometheus(), "");
+        assert_eq!(Registry::new().snapshot(), MetricsSnapshot::default());
+    }
+}

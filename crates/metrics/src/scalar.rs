@@ -1,0 +1,133 @@
+//! The scalar metric kinds: monotonic counters and settable gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count (requests admitted, rounds
+/// committed, bytes appended). All operations are relaxed atomics:
+/// recording never orders anything, it only tallies.
+///
+/// ```
+/// let c = dyncon_metrics::Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events at once.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that goes up *and* down (queue depth, bytes on disk), with a
+/// tracked **high-water mark**: the largest value ever set, which is what
+/// load experiments report as `queue_depth_max`.
+///
+/// ```
+/// let g = dyncon_metrics::Gauge::new();
+/// g.set(7);
+/// g.set(3);
+/// assert_eq!((g.get(), g.max()), (3, 7));
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero (high-water mark zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the current value and fold it into the high-water mark.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative); the result feeds the high-water
+    /// mark.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever observed by [`Gauge::set`] / [`Gauge::add`]
+    /// (zero if never set above zero).
+    pub fn max(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water_mark() {
+        let g = Gauge::new();
+        assert_eq!((g.get(), g.max()), (0, 0));
+        g.set(5);
+        g.add(3); // 8: the new high-water mark
+        g.add(-6); // 2
+        g.set(4);
+        assert_eq!((g.get(), g.max()), (4, 8));
+        // Negative values are legal; the mark never decreases.
+        g.set(-100);
+        assert_eq!((g.get(), g.max()), (-100, 8));
+    }
+
+    #[test]
+    fn counter_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the log2-histogram quantile contract:
+//! for any sample set and any `q`, the reported quantile never
+//! understates the true nearest-rank sample quantile and overstates it
+//! by less than 2x (see the module docs of `dyncon_metrics::histogram`).
+
+use dyncon_metrics::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over the raw samples.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn recorded_quantiles_bound_true_quantiles(
+        mut samples in prop::collection::vec(0u64..u64::MAX, 1..200),
+        // The vendored proptest subset has no float strategies; draw q in
+        // per-mille steps, which covers p50/p99/p999 and both endpoints.
+        q_mille in 0u32..1001,
+    ) {
+        let q = f64::from(q_mille) / 1000.0;
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+
+        let truth = true_quantile(&samples, q);
+        let reported = h.quantile(q).expect("non-empty histogram");
+
+        // Lower bound: never understate.
+        prop_assert!(
+            reported >= truth,
+            "reported {reported} < true {truth} at q={q}"
+        );
+        // Upper bound: overstate by less than 2x (with max(.,1) so the
+        // all-zeros bucket, whose upper bound is 0, also satisfies it).
+        prop_assert!(
+            (reported as u128) < 2 * (truth.max(1) as u128),
+            "reported {reported} >= 2 * {} at q={q}", truth.max(1)
+        );
+    }
+
+    #[test]
+    fn count_and_sum_match_the_samples(
+        samples in prop::collection::vec(0u64..1 << 40, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_index_agrees_with_bounds(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+}

@@ -1,6 +1,7 @@
 //! Group-commit knobs.
 
 use dyncon_api::{DynConError, Op};
+use dyncon_metrics::Registry;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,6 +64,14 @@ pub struct ServerConfig {
     /// clients are told it never committed, and recovery must agree. Its
     /// result is ignored (the service is already failing); best effort.
     pub round_abort: Option<RoundHook>,
+    /// Registry the server records its [`crate::ServerMetrics`] into.
+    /// `None` records into a private registry (the instrumentation cost —
+    /// a few relaxed atomics per event — is paid either way); pass a
+    /// shared registry to observe the server live and to pool serving and
+    /// durability metrics in one snapshot. Metrics are observational
+    /// only: enabling them never changes admission, round boundaries, or
+    /// results.
+    pub metrics: Option<Registry>,
 }
 
 impl fmt::Debug for ServerConfig {
@@ -82,6 +91,7 @@ impl fmt::Debug for ServerConfig {
                 "round_abort",
                 &self.round_abort.as_ref().map(|_| "<round abort>"),
             )
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -97,6 +107,7 @@ impl Default for ServerConfig {
             worker_threads: None,
             round_hook: None,
             round_abort: None,
+            metrics: None,
         }
     }
 }
@@ -157,6 +168,13 @@ impl ServerConfig {
         self.round_abort = Some(hook);
         self
     }
+
+    /// Record serving metrics into `registry` (see
+    /// [`ServerConfig::metrics`]).
+    pub fn metrics(mut self, registry: Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +216,23 @@ mod tests {
         assert!(c.record_rounds && !c.deterministic);
         let both = ServerConfig::new().deterministic(true).record_rounds(true);
         assert!(both.deterministic && both.record_rounds);
+    }
+
+    #[test]
+    fn metrics_registry_is_optional_and_cloneable() {
+        assert!(ServerConfig::new().metrics.is_none());
+        let r = Registry::new();
+        let c = ServerConfig::new().metrics(r.clone());
+        c.metrics
+            .as_ref()
+            .unwrap()
+            .counter("x_total", "ops", "")
+            .inc();
+        // The config holds a handle to the SAME registry.
+        assert_eq!(
+            r.snapshot().get("x_total").unwrap().value.as_counter(),
+            Some(1)
+        );
     }
 
     #[test]

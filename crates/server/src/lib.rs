@@ -53,12 +53,25 @@
 //! hook failure fails the round's tickets with the hook's typed error
 //! and stops the service: a round that cannot be made durable never
 //! commits.
+//!
+//! ## Observability
+//!
+//! The server records a [`ServerMetrics`] bundle (queue depth with
+//! high-water mark, backpressure and admission rejects, round size,
+//! coalesce wait, per-round apply latency) into the
+//! [`ServerConfig::metrics`] registry — or a private one when none is
+//! passed. Snapshots come from [`ConnServer::metrics_snapshot`] live or
+//! [`ServiceReport::metrics`] at join. Metrics are observational only:
+//! nothing reads them on a decision path, so enabling them leaves every
+//! committed round byte-identical (held in `tests/determinism.rs`).
 
 mod config;
+mod metrics;
 mod server;
 mod ticket;
 
 pub use config::{RoundHook, ServerConfig};
+pub use metrics::ServerMetrics;
 pub use server::{ConnServer, RoundRecord, ServiceReport};
 pub use ticket::{RequestResult, Ticket};
 

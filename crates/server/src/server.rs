@@ -2,8 +2,10 @@
 //! one `apply` per commit round.
 
 use crate::config::ServerConfig;
+use crate::metrics::ServerMetrics;
 use crate::ticket::{RequestResult, Slot, Ticket};
 use dyncon_api::{validate_vertex, BatchDynamic, BatchResult, DynConError, Op, OpKind};
+use dyncon_metrics::{MetricsSnapshot, Registry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -17,6 +19,10 @@ struct Request {
     /// Global admission index; within one client it is that client's
     /// program order, which is all the canonical sort depends on.
     seq: u64,
+    /// When admission accepted the request — feeds the coalesce-wait
+    /// histogram when its round is taken. Observational only: round
+    /// boundaries never read it.
+    admitted: Instant,
     ops: Vec<Op>,
     slot: Arc<Slot>,
 }
@@ -49,6 +55,7 @@ struct Shared {
     rounds_committed: AtomicU64,
     ops_committed: AtomicU64,
     next_auto_client: AtomicU64,
+    metrics: Arc<ServerMetrics>,
 }
 
 /// The replay log entry of one commit round: exactly what the writer
@@ -76,6 +83,10 @@ pub struct ServiceReport<B> {
     pub rounds_committed: u64,
     /// Total operations committed across all rounds.
     pub ops_committed: u64,
+    /// Final snapshot of the server's metric registry (the caller's
+    /// registry from [`ServerConfig::metrics`] if one was passed, so
+    /// durability metrics pooled there are included).
+    pub metrics: MetricsSnapshot,
 }
 
 /// A group-commit batching frontend over any [`BatchDynamic`] backend.
@@ -87,6 +98,9 @@ pub struct ServiceReport<B> {
 pub struct ConnServer<B: BatchDynamic + Send + 'static> {
     shared: Arc<Shared>,
     config: ServerConfig,
+    /// The registry the server's metrics live in — the caller's
+    /// ([`ServerConfig::metrics`]) or a private one.
+    registry: Registry,
     num_vertices: usize,
     backend_name: &'static str,
     /// The backend's static capabilities per [`OpKind`] (insert, delete,
@@ -122,6 +136,8 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         let backend_name = backend.backend_name();
         let supports =
             [OpKind::Insert, OpKind::Delete, OpKind::Query].map(|kind| backend.supports(kind));
+        let registry = config.metrics.clone().unwrap_or_default();
+        let metrics = ServerMetrics::register(&registry);
         let shared = Arc::new(Shared {
             q: Mutex::new(QueueState {
                 open: Vec::new(),
@@ -137,6 +153,7 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             rounds_committed: AtomicU64::new(0),
             ops_committed: AtomicU64::new(0),
             next_auto_client: AtomicU64::new(0),
+            metrics,
         });
         let writer = {
             let shared = Arc::clone(&shared);
@@ -149,6 +166,7 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         Self {
             shared,
             config,
+            registry,
             num_vertices,
             backend_name,
             supports,
@@ -175,6 +193,14 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
     /// Operations committed so far.
     pub fn ops_committed(&self) -> u64 {
         self.shared.ops_committed.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the server's metric registry right now (the live
+    /// counterpart of [`ServiceReport::metrics`]). Includes everything
+    /// else registered in a shared [`ServerConfig::metrics`] registry,
+    /// e.g. the durability layer's WAL metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Submit one request under an automatically assigned (unique) client
@@ -210,16 +236,9 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         // Validate here so a round never fails on behalf of *other*
         // clients' requests: vertex ranges and the backend's static op
         // capabilities are both admission-time rejections.
-        for op in &ops {
-            let (u, v) = op.endpoints();
-            validate_vertex(self.num_vertices, u)?;
-            validate_vertex(self.num_vertices, v)?;
-            if !self.supports[kind_index(op.kind())] {
-                return Err(DynConError::Unsupported {
-                    backend: self.backend_name,
-                    operation: kind_operation(op.kind()),
-                });
-            }
+        if let Err(e) = self.validate(&ops) {
+            self.shared.metrics.admission_rejects.inc();
+            return Err(e);
         }
         let mut q = self.shared.q.lock().unwrap();
         loop {
@@ -230,6 +249,7 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
                 break;
             }
             if !block {
+                self.shared.metrics.backpressure_rejects.inc();
                 return Err(DynConError::Backpressure {
                     capacity: self.config.queue_capacity,
                 });
@@ -244,14 +264,31 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         let slot = Arc::new(Slot::default());
         q.open_ops += ops.len();
         q.queued += 1;
+        self.shared.metrics.queue_depth.set(q.queued as i64);
         q.open.push(Request {
             client,
             seq,
+            admitted: Instant::now(),
             ops,
             slot: Arc::clone(&slot),
         });
         self.shared.submitted.notify_all();
         Ok(Ticket { slot })
+    }
+
+    fn validate(&self, ops: &[Op]) -> Result<(), DynConError> {
+        for op in ops {
+            let (u, v) = op.endpoints();
+            validate_vertex(self.num_vertices, u)?;
+            validate_vertex(self.num_vertices, v)?;
+            if !self.supports[kind_index(op.kind())] {
+                return Err(DynConError::Unsupported {
+                    backend: self.backend_name,
+                    operation: kind_operation(op.kind()),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fix the current round boundary: every request admitted since the
@@ -297,6 +334,7 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             rounds,
             rounds_committed: self.shared.rounds_committed.load(Ordering::Relaxed),
             ops_committed: self.shared.ops_committed.load(Ordering::Relaxed),
+            metrics: self.registry.snapshot(),
         }
     }
 }
@@ -380,6 +418,7 @@ fn writer_loop<B: BatchDynamic>(
                 // mode they are the *only* source of rounds.
                 if let Some(round) = q.sealed.pop_front() {
                     q.queued -= round.len();
+                    shared.metrics.queue_depth.set(q.queued as i64);
                     break round;
                 }
                 if config.deterministic || q.open.is_empty() {
@@ -404,6 +443,7 @@ fn writer_loop<B: BatchDynamic>(
                 {
                     let round = take_open_prefix(&mut q, config.max_batch_ops);
                     q.queued -= round.len();
+                    shared.metrics.queue_depth.set(q.queued as i64);
                     break round;
                 }
                 let (guard, _timeout) = shared
@@ -414,6 +454,13 @@ fn writer_loop<B: BatchDynamic>(
             }
         };
         shared.space.notify_all();
+        // Coalesce wait: how long the round's oldest request sat admitted.
+        if let Some(oldest) = round.iter().map(|r| r.admitted).min() {
+            shared
+                .metrics
+                .coalesce_wait_ns
+                .record_duration(oldest.elapsed());
+        }
 
         // Phase 2: apply the round as ONE mixed-op batch, outside the lock.
         let mut ops: Vec<Op> = Vec::with_capacity(round.iter().map(|r| r.ops.len()).sum());
@@ -454,6 +501,7 @@ fn writer_loop<B: BatchDynamic>(
         // A panicking backend must not strand clients on their tickets:
         // catch the unwind, resolve everything pending, then re-raise (the
         // panic resurfaces at `join`).
+        let apply_started = Instant::now();
         let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &pool {
             Some(p) => p.install(|| backend.apply(&ops)),
             None => backend.apply(&ops),
@@ -466,6 +514,10 @@ fn writer_loop<B: BatchDynamic>(
                 std::panic::resume_unwind(panic);
             }
         };
+        shared
+            .metrics
+            .apply_ns
+            .record_duration(apply_started.elapsed());
 
         // Phase 3: hand each submitter its slice of the answers.
         match applied {
@@ -474,6 +526,9 @@ fn writer_loop<B: BatchDynamic>(
                 shared
                     .ops_committed
                     .fetch_add(ops.len() as u64, Ordering::Relaxed);
+                shared.metrics.rounds_committed.inc();
+                shared.metrics.ops_committed.add(ops.len() as u64);
+                shared.metrics.round_size_ops.record(ops.len() as u64);
                 let mut cursor = result.answers.iter().copied();
                 for req in &round {
                     let queries = req
@@ -926,6 +981,84 @@ mod tests {
         let t = s.submit(vec![Op::Insert(0, 1), Op::Query(0, 1)]).unwrap();
         drop(s);
         assert_eq!(t.wait().unwrap().answers, vec![true]);
+    }
+
+    #[test]
+    fn metrics_observe_the_round_lifecycle() {
+        let registry = dyncon_metrics::Registry::new();
+        let s = server(
+            8,
+            ServerConfig::new()
+                .deterministic(true)
+                .queue_capacity(2)
+                .metrics(registry.clone()),
+        );
+        let t1 = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        let t2 = s.submit_as(1, vec![Op::Query(0, 1)]).unwrap();
+        // Queue full at 2 admitted requests: a backpressure reject.
+        assert!(matches!(
+            s.submit_as(2, vec![Op::Query(0, 1)]),
+            Err(DynConError::Backpressure { .. })
+        ));
+        // Out-of-range vertex: an admission (validation) reject.
+        assert!(s.submit_as(2, vec![Op::Insert(0, 99)]).is_err());
+        s.seal_round();
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+        // Live snapshot: the queue drained, high-water mark was 2.
+        assert_eq!(
+            s.metrics_snapshot()
+                .get("dyncon_server_queue_depth")
+                .unwrap()
+                .value
+                .as_gauge(),
+            Some((0, 2))
+        );
+        let report = s.join();
+        let get = |name: &str| report.metrics.get(name).unwrap().value.clone();
+        assert_eq!(
+            get("dyncon_server_rounds_committed_total").as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            get("dyncon_server_ops_committed_total").as_counter(),
+            Some(2)
+        );
+        assert_eq!(
+            get("dyncon_server_backpressure_rejects_total").as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            get("dyncon_server_admission_rejects_total").as_counter(),
+            Some(1)
+        );
+        let sizes = get("dyncon_server_round_size_ops");
+        let sizes = sizes.as_histogram().unwrap();
+        assert_eq!((sizes.count, sizes.sum), (1, 2));
+        let apply = get("dyncon_server_apply_ns");
+        assert_eq!(apply.as_histogram().unwrap().count, 1);
+        let wait = get("dyncon_server_coalesce_wait_ns");
+        assert_eq!(wait.as_histogram().unwrap().count, 1);
+        // The caller's registry IS the report's registry.
+        assert_eq!(registry.snapshot(), report.metrics);
+    }
+
+    #[test]
+    fn metrics_default_to_a_private_registry() {
+        // No registry passed: instrumentation still works, surfaced only
+        // through the report and the live snapshot.
+        let s = server(8, ServerConfig::new());
+        s.submit(vec![Op::Insert(0, 1)]).unwrap().wait().unwrap();
+        let report = s.join();
+        assert_eq!(
+            report
+                .metrics
+                .get("dyncon_server_rounds_committed_total")
+                .unwrap()
+                .value
+                .as_counter(),
+            Some(1)
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use dyncon_durable as durable;
 pub use dyncon_ett as ett;
 pub use dyncon_graphgen as graphgen;
 pub use dyncon_hdt as hdt;
+pub use dyncon_metrics as metrics;
 pub use dyncon_primitives as primitives;
 pub use dyncon_server as server;
 pub use dyncon_skiplist as skiplist;

@@ -3,7 +3,8 @@
 //! "reproducible experiments" claim in EXPERIMENTS.md rests on.
 
 use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
-use dyncon_graphgen::{erdos_renyi, rmat, UpdateStream};
+use dyncon_graphgen::{erdos_renyi, rmat, zipf_client_schedules, UpdateStream};
+use dyncon_server::{ConnServer, RoundRecord, ServerConfig};
 
 fn observe(algo: DeletionAlgorithm, seed: u64) -> (Vec<bool>, usize, Vec<u64>, u64) {
     let n = 256;
@@ -59,6 +60,50 @@ fn connectivity_answers_are_run_invariant() {
             assert_eq!(a.1, b.1, "component count, seed {seed}");
             assert_eq!(a.2, b.2, "size distribution, seed {seed}");
         }
+    }
+}
+
+/// The observability layer's core promise: metrics are observational,
+/// never inputs. A deterministic server with a metrics registry plugged
+/// in must commit rounds **byte-identical** (ops and `BatchResult`s) to
+/// one without, at 1, 2 and 4 worker threads — while the registry really
+/// does observe the run.
+#[test]
+fn metrics_leave_deterministic_rounds_byte_identical() {
+    const N: usize = 256;
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 5;
+    let schedules = zipf_client_schedules(N, CLIENTS, ROUNDS, 24, 0.4, 1.1, 99);
+    let run = |threads: usize, registry: Option<dyncon_metrics::Registry>| -> Vec<RoundRecord> {
+        let mut config = ServerConfig::new()
+            .deterministic(true)
+            .record_rounds(true)
+            .worker_threads(threads)
+            .queue_capacity(CLIENTS * ROUNDS);
+        if let Some(r) = registry {
+            config = config.metrics(r);
+        }
+        let server = ConnServer::start(BatchDynamicConnectivity::new(N), config);
+        for round in 0..ROUNDS {
+            for (c, sched) in schedules.iter().enumerate() {
+                server.submit_as(c as u64, sched[round].clone()).unwrap();
+            }
+            assert_eq!(server.seal_round(), CLIENTS);
+        }
+        server.join().rounds
+    };
+    let baseline = run(1, None);
+    for threads in [1usize, 2, 4] {
+        let registry = dyncon_metrics::Registry::new();
+        let observed = run(threads, Some(registry.clone()));
+        assert_eq!(observed, baseline, "{threads} worker threads");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("dyncon_server_rounds_committed_total")
+                .and_then(|m| m.value.as_counter()),
+            Some(ROUNDS as u64),
+            "{threads} worker threads: registry observed every round"
+        );
     }
 }
 
