@@ -175,6 +175,42 @@ pub trait ExportEdges: Connectivity {
     fn export_edges(&self) -> Vec<(u32, u32)>;
 }
 
+/// Group a vertex list into the connected components of `g`, using only
+/// the read-side batch query surface — the label-export helper a shard
+/// coordinator contracts boundary vertices with.
+///
+/// Returns, for each input position, the **representative vertex** of
+/// that vertex's component: the first vertex *in input order* that
+/// belongs to it. The output is therefore a pure function of the graph's
+/// partition and the input order — callers that pass a canonically
+/// sorted list get canonical labels, which is what the workspace
+/// determinism contract needs. Duplicate input vertices simply share a
+/// representative.
+///
+/// Costs one [`Connectivity::batch_connected`] call per **distinct
+/// component** represented in `vertices` (each call batches every
+/// still-unlabelled vertex), not one per vertex.
+pub fn component_groups<C: Connectivity + ?Sized>(g: &C, vertices: &[u32]) -> Vec<u32> {
+    let mut rep = vec![0u32; vertices.len()];
+    let mut pending: Vec<usize> = (0..vertices.len()).collect();
+    while let Some((&lead, rest)) = pending.split_first() {
+        let r = vertices[lead];
+        rep[lead] = r;
+        let pairs: Vec<(u32, u32)> = rest.iter().map(|&i| (r, vertices[i])).collect();
+        let answers = g.batch_connected(&pairs);
+        let mut next = Vec::with_capacity(rest.len());
+        for (&i, same) in rest.iter().zip(answers) {
+            if same {
+                rep[i] = r;
+            } else {
+                next.push(i);
+            }
+        }
+        pending = next;
+    }
+    rep
+}
+
 /// Reject an out-of-range vertex id with a typed error.
 #[inline]
 pub fn validate_vertex(num_vertices: usize, v: u32) -> Result<(), DynConError> {
@@ -345,6 +381,25 @@ mod tests {
         let mut g = Dense::new(3);
         let res = g.apply(&[]).unwrap();
         assert_eq!(res, BatchResult::default());
+    }
+
+    #[test]
+    fn component_groups_labels_by_first_in_input_order() {
+        let mut g = Dense::new(8);
+        g.batch_insert(&[(0, 1), (1, 2), (4, 5)]).unwrap();
+        // Components: {0,1,2}, {3}, {4,5}, {6}, {7}.
+        assert_eq!(
+            component_groups(&g, &[2, 5, 0, 3, 4, 1]),
+            vec![2, 5, 2, 3, 5, 2],
+            "representative = first vertex of the component in INPUT order"
+        );
+        // Sorted input gives canonical (min-vertex) representatives, and
+        // duplicates share their component's label.
+        assert_eq!(
+            component_groups(&g, &[0, 1, 2, 2, 4, 5, 7]),
+            vec![0, 0, 0, 0, 4, 4, 7]
+        );
+        assert!(component_groups(&g, &[]).is_empty());
     }
 
     #[test]

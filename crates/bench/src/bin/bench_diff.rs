@@ -1,0 +1,116 @@
+//! Row-by-row comparison of two perf artifacts: the `bench-perf` CI
+//! job's regression tripwire.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--tolerance X] [--strict]
+//! ```
+//!
+//! Rows pair up by `(op, n, batch, threads)`. A baseline row missing
+//! from the candidate is **always** a failure — a measurement silently
+//! vanishing is how perf pipelines rot. Matched rows whose value moved
+//! beyond the tolerance band (default ±50%, generous because shared CI
+//! runners are noisy) are printed as deviations: warnings by default,
+//! failures under `--strict`. Candidate-only rows are informational
+//! (new measurements land with new code).
+
+use dyncon_bench::{diff_bench_records, parse_bench_json, BenchRecord};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--tolerance X] [--strict]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<BenchRecord> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_bench_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn row(r: &BenchRecord) -> String {
+    format!(
+        "{} (n={}, batch={}, threads={})",
+        r.op, r.n, r.batch, r.threads
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tolerance = 0.5f64;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            p if !p.starts_with('-') => paths.push(p),
+            _ => usage(),
+        }
+    }
+    let [baseline_path, candidate_path] = paths[..] else {
+        usage();
+    };
+
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+    let diff = diff_bench_records(&baseline, &candidate, tolerance);
+
+    println!(
+        "bench_diff: {} baseline rows vs {} candidate rows (tolerance ±{:.0}%{})",
+        baseline.len(),
+        candidate.len(),
+        tolerance * 100.0,
+        if strict { ", strict" } else { "" }
+    );
+    println!("  {} matched within the band", diff.matched);
+    for r in &diff.added {
+        println!("  new: {} = {}", row(r), r.median_ns);
+    }
+    for (b, c, ratio) in &diff.deviations {
+        println!(
+            "  {}: {} -> {} ({:.2}x)",
+            row(b),
+            b.median_ns,
+            c.median_ns,
+            ratio
+        );
+    }
+    for r in &diff.missing {
+        println!("  MISSING from candidate: {}", row(r));
+    }
+
+    if !diff.missing.is_empty() {
+        eprintln!(
+            "bench_diff: FAIL — {} baseline row(s) missing from {candidate_path}",
+            diff.missing.len()
+        );
+        std::process::exit(1);
+    }
+    if !diff.deviations.is_empty() {
+        if strict {
+            eprintln!(
+                "bench_diff: FAIL — {} deviation(s) beyond ±{:.0}%",
+                diff.deviations.len(),
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_diff: WARN — {} deviation(s) beyond ±{:.0}% (non-strict: not failing)",
+            diff.deviations.len(),
+            tolerance * 100.0
+        );
+    }
+    println!("bench_diff: OK");
+}

@@ -654,6 +654,79 @@ fn e13(cfg: &Cfg) {
     );
 }
 
+/// E14 — sharded serving: closed-loop throughput vs shard count ×
+/// worker thread count, plus the coordinator's own counters (sub-rounds
+/// sealed, boundary rebuilds, contracted edges) from the pooled
+/// registry. 1 shard is the degenerate baseline: all of the
+/// coordination overhead, none of the parallelism.
+fn e14(cfg: &Cfg) {
+    use dyncon_shard::{ShardConfig, ShardMapKind, ShardedServer};
+    let n = (1 << 13) / cfg.scale;
+    let clients = 4usize;
+    let requests = (16 / cfg.scale.clamp(1, 4)).max(4);
+    let ops_per_request = 48;
+    let mut rows = Vec::new();
+    for threads in dyncon_bench::thread_counts() {
+        for shards in dyncon_bench::shard_counts() {
+            let schedules =
+                zipf_client_schedules(n, clients, requests, ops_per_request, 0.5, 1.1, 42);
+            let total_ops = clients * requests * ops_per_request;
+            let server: ShardedServer<BatchDynamicConnectivity> = ShardedServer::start(
+                n,
+                ShardConfig::new()
+                    .shards(shards)
+                    .kind(ShardMapKind::Hash)
+                    .batch_cap(4096)
+                    .coalesce_wait(std::time::Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .shard_worker_threads(threads),
+            )
+            .expect("sharded server starts");
+            let (wall, lats) = drive_service(server.conn(), &schedules);
+            let report = server.join().expect("sharded server joins");
+            let counter = |name: &str| {
+                report
+                    .metrics
+                    .get(name)
+                    .and_then(|m| m.value.as_counter())
+                    .unwrap_or(0)
+            };
+            let boundary_edges = report
+                .metrics
+                .get("dyncon_shard_boundary_ops")
+                .and_then(|m| m.value.as_histogram())
+                .map(|h| h.sum)
+                .unwrap_or(0);
+            rows.push(vec![
+                threads.to_string(),
+                shards.to_string(),
+                report.rounds_committed.to_string(),
+                counter("dyncon_shard_subrounds_total").to_string(),
+                counter("dyncon_shard_boundary_rebuilds_total").to_string(),
+                boundary_edges.to_string(),
+                format!("{:.0}", total_ops as f64 / wall.as_secs_f64() / 1000.0),
+                us(latency_quantile(&lats, 0.5)),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "E14 — sharded service, n = {n}, {clients} clients × {requests} req × {ops_per_request} ops, Zipf s=1.1, hash partition"
+        ),
+        &[
+            "threads",
+            "shards",
+            "rounds",
+            "sub-rounds",
+            "rebuilds",
+            "boundary edges",
+            "kops/s",
+            "p50 µs",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -707,5 +780,8 @@ fn main() {
     }
     if run("e13") {
         e13(&cfg);
+    }
+    if run("e14") {
+        e14(&cfg);
     }
 }

@@ -37,6 +37,7 @@ use dyncon_core::BatchDynamicConnectivity;
 use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
 use dyncon_graphgen::{erdos_renyi, poisson_arrivals, zipf_client_schedules, UpdateStream};
 use dyncon_server::{ConnServer, ServerConfig};
+use dyncon_shard::{ShardConfig, ShardedServer};
 use std::time::Duration;
 
 struct Record {
@@ -216,6 +217,56 @@ fn main() {
             eprintln!("{op} @ {threads} threads: {median_ns}");
         }
 
+        // The sharding layer: the same closed-loop Zipf clients through
+        // a 2-shard `ShardedServer` (hash partition, so roughly half the
+        // edges cross shards and the boundary graph is really exercised).
+        // `shard_throughput` is the wall time of the run;
+        // `shard_boundary_ops` is the total number of contracted edges
+        // inserted across boundary-graph rebuilds, read from the pooled
+        // registry (a count in the `median_ns` field, like
+        // `queue_depth_max`).
+        let shard_schedules = zipf_client_schedules(n, clients, 12, 48, 0.5, 1.1, 17);
+        let mut boundary_ops: Vec<u128> = Vec::new();
+        let shard_run = || {
+            let server: ShardedServer<BatchDynamicConnectivity> = ShardedServer::start(
+                n,
+                ShardConfig::new()
+                    .shards(2)
+                    .batch_cap(service_cap)
+                    .coalesce_wait(Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .shard_worker_threads(threads),
+            )
+            .expect("sharded server starts");
+            let (wall, _lats) = drive_service(server.conn(), &shard_schedules);
+            let report = server.join().expect("sharded server joins");
+            boundary_ops.push(
+                report
+                    .metrics
+                    .get("dyncon_shard_boundary_ops")
+                    .and_then(|m| m.value.as_histogram())
+                    .map(|h| h.sum as u128)
+                    .unwrap_or(0),
+            );
+            wall
+        };
+        let shard_wall = median_duration(reps, shard_run);
+        boundary_ops.sort_unstable();
+        let boundary_median = boundary_ops[boundary_ops.len() / 2];
+        for (op, median_ns) in [
+            ("shard_throughput", shard_wall.as_nanos()),
+            ("shard_boundary_ops", boundary_median),
+        ] {
+            records.push(Record {
+                op,
+                n,
+                batch: service_cap,
+                threads,
+                median_ns,
+            });
+            eprintln!("{op} @ {threads} threads: {median_ns}");
+        }
+
         // The durable layer: WAL append wall time for `wal_rounds` mixed
         // rounds (no fsync — the pure encode+write path CI can time
         // stably) and full crash recovery (snapshot load + deterministic
@@ -339,6 +390,8 @@ fn main() {
         "load_p99_ns",
         "load_p999_ns",
         "queue_depth_max",
+        "shard_throughput",
+        "shard_boundary_ops",
         "wal_append_ns",
         "recovery_ms",
     ] {

@@ -245,6 +245,16 @@ where
         self.inner.seal_round()
     }
 
+    /// See [`ConnServer::inspect`]. The closure observes recovered state
+    /// too: after `open`, an inspection sees every replayed round.
+    pub fn inspect<R, F>(&self, f: F) -> Result<R, DynConError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&B) -> R + Send + 'static,
+    {
+        self.inner.inspect(f)
+    }
+
     /// See [`ConnServer::close`].
     pub fn close(&self) {
         self.inner.close()

@@ -12,6 +12,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// A queued [`ConnServer::inspect`] closure, type-erased so the queue
+/// state need not be generic over the backend. The writer hands it
+/// `&backend as &dyn Any`; the submitting side downcasts back to `&B`
+/// (always its own server's backend type).
+type InspectJob = Box<dyn FnOnce(&dyn std::any::Any) + Send>;
+
 /// One admitted, not-yet-committed request.
 struct Request {
     /// Stable client identity — the primary canonical-order key.
@@ -44,6 +50,10 @@ struct QueueState {
     /// Admission is closed; pending work still drains.
     closed: bool,
     next_seq: u64,
+    /// Pending [`ConnServer::inspect`] closures. The writer drains them
+    /// with priority at each round boundary; shutdown paths drop them
+    /// (their callers resolve via the hung-up result channel).
+    inspects: VecDeque<InspectJob>,
 }
 
 struct Shared {
@@ -147,6 +157,7 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
                 open_since: None,
                 closed: false,
                 next_seq: 0,
+                inspects: VecDeque::new(),
             }),
             submitted: Condvar::new(),
             space: Condvar::new(),
@@ -291,6 +302,51 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         Ok(())
     }
 
+    /// Run a read-only closure against the backend at a round boundary.
+    ///
+    /// The closure executes on the writer thread **between** commit
+    /// rounds: it observes a state in which every round whose tickets
+    /// have resolved is fully applied and no round is partially applied.
+    /// Blocks until the closure has run and returns its result — this is
+    /// the read seam a shard coordinator resolves cross-shard queries
+    /// through without stopping the server.
+    ///
+    /// Ordering: the writer gives inspections priority over pending
+    /// rounds, so an inspection submitted *after* a ticket resolved sees
+    /// at least that ticket's round — but a round sealed and not yet
+    /// waited on may commit before or after the closure runs. Callers
+    /// that need an exact boundary wait their tickets first.
+    ///
+    /// Fails with [`DynConError::ServiceClosed`] if the service is
+    /// closed, or shuts down before the closure could run.
+    pub fn inspect<R, F>(&self, f: F) -> Result<R, DynConError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&B) -> R + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job: InspectJob = Box::new(move |backend: &dyn std::any::Any| {
+            let backend = backend
+                .downcast_ref::<B>()
+                .expect("inspect job runs against its own server's backend");
+            // A hung-up receiver means the caller gave up waiting; the
+            // result is simply discarded.
+            let _ = tx.send(f(backend));
+        });
+        {
+            let mut q = self.shared.q.lock().unwrap();
+            if q.closed {
+                return Err(DynConError::ServiceClosed);
+            }
+            q.inspects.push_back(job);
+            self.shared.submitted.notify_all();
+        }
+        // The writer drains the inspect queue before it can observe the
+        // closed-and-empty exit condition, and every shutdown path drops
+        // pending jobs (closing this channel) — so this wait always ends.
+        rx.recv().map_err(|_| DynConError::ServiceClosed)
+    }
+
     /// Fix the current round boundary: every request admitted since the
     /// last seal becomes one round, canonically ordered by
     /// `(client, submission index)`. Returns how many requests the round
@@ -397,7 +453,7 @@ fn take_open_prefix(q: &mut QueueState, cap: usize) -> Vec<Request> {
 /// The single-writer commit loop. Owns the backend outright — group
 /// commit *is* the concurrency control, so the structure itself needs no
 /// locking — and returns it (plus the round log) at shutdown.
-fn writer_loop<B: BatchDynamic>(
+fn writer_loop<B: BatchDynamic + 'static>(
     mut backend: B,
     shared: Arc<Shared>,
     config: ServerConfig,
@@ -414,7 +470,20 @@ fn writer_loop<B: BatchDynamic>(
         let round: Vec<Request> = {
             let mut q = shared.q.lock().unwrap();
             loop {
-                // Sealed rounds first, in seal order — in deterministic
+                // Inspections first: they run between rounds, outside the
+                // lock, against the fully-applied backend. Draining them
+                // before the exit check below is what guarantees a
+                // pending inspection is never stranded at shutdown.
+                if !q.inspects.is_empty() {
+                    let jobs: Vec<InspectJob> = q.inspects.drain(..).collect();
+                    drop(q);
+                    for job in jobs {
+                        job(&backend);
+                    }
+                    q = shared.q.lock().unwrap();
+                    continue;
+                }
+                // Sealed rounds next, in seal order — in deterministic
                 // mode they are the *only* source of rounds.
                 if let Some(round) = q.sealed.pop_front() {
                     q.queued -= round.len();
@@ -540,6 +609,8 @@ fn writer_loop<B: BatchDynamic>(
                     debug_assert_eq!(answers.len(), queries, "answer underrun");
                     req.slot.fill(Ok(RequestResult {
                         round: round_no,
+                        inserted: result.inserted,
+                        deleted: result.deleted,
                         answers,
                     }));
                 }
@@ -583,6 +654,10 @@ fn fail_all_pending(shared: &Shared, round_in_flight: &[Request]) {
     q.closed = true;
     let mut pending: Vec<Request> = q.sealed.drain(..).flatten().collect();
     pending.append(&mut q.open);
+    // Dropping a pending inspection hangs up its result channel, which
+    // resolves its caller with `ServiceClosed` — the backend may be
+    // mid-failure, so the closures must NOT run.
+    q.inspects.clear();
     q.queued = 0;
     q.open_ops = 0;
     q.open_since = None;
@@ -597,6 +672,7 @@ fn fail_all_pending(shared: &Shared, round_in_flight: &[Request]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dyncon_api::Connectivity;
     use dyncon_core::BatchDynamicConnectivity;
     use dyncon_spanning::IncrementalConnectivity;
     use std::time::Duration;
@@ -825,6 +901,74 @@ mod tests {
         // …and the writer's panic resurfaces at join.
         let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.join()));
         assert!(joined.is_err(), "join must surface the backend panic");
+    }
+
+    #[test]
+    fn tickets_carry_round_level_mutation_counts() {
+        let s = server(8, ServerConfig::new().deterministic(true));
+        // Two requests coalesce into one round: every ticket of the round
+        // reports the SAME round-level aggregates (2 inserted, 1 deleted),
+        // while answers stay per-request.
+        let t1 = s
+            .submit_as(
+                0,
+                vec![Op::Insert(0, 1), Op::Insert(1, 2), Op::Delete(0, 1)],
+            )
+            .unwrap();
+        let t2 = s.submit_as(1, vec![Op::Query(0, 2)]).unwrap();
+        s.seal_round();
+        let (r1, r2) = (t1.wait().unwrap(), t2.wait().unwrap());
+        assert_eq!((r1.inserted, r1.deleted), (2, 1));
+        assert_eq!((r2.inserted, r2.deleted), (2, 1));
+        assert_eq!(r1.answers, Vec::<bool>::new());
+        assert_eq!(r2.answers, vec![false], "0-1 was deleted in the round");
+        s.join();
+    }
+
+    #[test]
+    fn inspect_runs_between_rounds_and_sees_committed_state() {
+        let s = server(8, ServerConfig::new().deterministic(true));
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        // The ticket resolved, so the inspection observes its round.
+        let (connected, name) = s
+            .inspect(|b| (b.connected(0, 1), b.backend_name()))
+            .unwrap();
+        assert!(connected);
+        assert_eq!(name, s.backend_name());
+        // Interleave: inspect, mutate, inspect again.
+        let t = s.submit_as(0, vec![Op::Delete(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        assert!(!s.inspect(|b| b.connected(0, 1)).unwrap());
+        s.join();
+    }
+
+    #[test]
+    fn inspect_after_close_or_crash_fails_instead_of_hanging() {
+        let s = server(8, ServerConfig::new());
+        s.close();
+        assert_eq!(
+            s.inspect(|b| b.num_components()).unwrap_err(),
+            DynConError::ServiceClosed
+        );
+        s.join();
+        // Crash path: pending inspections are dropped, not run.
+        let bomb = Bomb {
+            inner: BatchDynamicConnectivity::new(8),
+            rounds_left: 0,
+        };
+        let s = ConnServer::start(bomb, ServerConfig::new().deterministic(true));
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        assert!(t.wait().is_err());
+        assert_eq!(
+            s.inspect(|b| b.num_components()).unwrap_err(),
+            DynConError::ServiceClosed
+        );
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.join()));
+        assert!(joined.is_err());
     }
 
     #[test]

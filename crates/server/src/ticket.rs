@@ -10,6 +10,15 @@ pub struct RequestResult {
     /// this request. Rounds are durable in submission order: once a
     /// ticket resolves, every request of every earlier round is applied.
     pub round: u64,
+    /// Edges the request's **whole round** inserted. A round coalesces
+    /// many requests into one backend batch and the backend counts per
+    /// batch call, so per-request attribution is not defined — these are
+    /// round-level aggregates. A coordinator that submits exactly one
+    /// request per round (the sharding layer) reads them as its own.
+    pub inserted: usize,
+    /// Edges the request's whole round deleted (round-level aggregate,
+    /// see [`RequestResult::inserted`]).
+    pub deleted: usize,
     /// Answers to **this request's** `Op::Query` operations, in the
     /// request's own operation order.
     pub answers: Vec<bool>,
@@ -80,6 +89,8 @@ mod tests {
         let h = thread::spawn(move || ticket.wait());
         slot.fill(Ok(RequestResult {
             round: 3,
+            inserted: 0,
+            deleted: 0,
             answers: vec![true, false],
         }));
         let r = h.join().unwrap().unwrap();

@@ -1,0 +1,203 @@
+//! The deterministic vertex-to-shard partition.
+
+use dyncon_api::{Builder, DynConError};
+use dyncon_primitives::SplitMix64;
+
+/// Fixed seed of the hash partition. A constant (not an RNG state) so the
+/// same `(num_vertices, shards)` pair always yields the same partition —
+/// shard assignment is part of the durable topology, not of any run.
+const HASH_SEED: u64 = 0x05EE_D0F5_A4D5;
+
+/// How vertices are assigned to shards.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardMapKind {
+    /// Contiguous balanced ranges: shard sizes differ by at most one and
+    /// vertex order is preserved. Best when vertex ids carry locality
+    /// (edges between nearby ids stay intra-shard).
+    Range,
+    /// SplitMix64 hash of the vertex id, mod shard count. Spreads any id
+    /// distribution evenly; adjacent ids usually land on different
+    /// shards, so expect more cross-shard edges on local graphs.
+    Hash,
+}
+
+/// A precomputed, deterministic partition of the dense vertex universe
+/// `0..num_vertices` into `shards` non-empty-capable groups, with the
+/// global↔local id translation both directions of the coordinator need.
+///
+/// Local ids within a shard are assigned in ascending global order, so
+/// the global→local map is strictly increasing per shard — which is what
+/// keeps locally-normalized, locally-sorted edge exports normalized and
+/// sorted after translation back to global ids.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    num_vertices: usize,
+    kind: ShardMapKind,
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    globals: Vec<Vec<u32>>,
+}
+
+impl ShardMap {
+    /// Build the partition. `num_vertices` obeys the builder's limits;
+    /// `shards` must be at least 1 and at most `num_vertices` (an empty
+    /// shard would serve no vertex at all).
+    pub fn new(
+        num_vertices: usize,
+        shards: usize,
+        kind: ShardMapKind,
+    ) -> Result<Self, DynConError> {
+        Builder::new(num_vertices).validate()?;
+        if shards == 0 || shards > num_vertices {
+            return Err(DynConError::InvalidVertexCount { requested: shards });
+        }
+        let mut shard_of = vec![0u32; num_vertices];
+        match kind {
+            ShardMapKind::Range => {
+                // Balanced contiguous ranges: the first `rem` shards get
+                // one extra vertex.
+                let (base, rem) = (num_vertices / shards, num_vertices % shards);
+                let mut v = 0usize;
+                for s in 0..shards {
+                    let size = base + usize::from(s < rem);
+                    shard_of[v..v + size].fill(s as u32);
+                    v += size;
+                }
+            }
+            ShardMapKind::Hash => {
+                let rng = SplitMix64::new(HASH_SEED);
+                for (v, slot) in shard_of.iter_mut().enumerate() {
+                    *slot = (rng.at(v as u64) % shards as u64) as u32;
+                }
+            }
+        }
+        let mut local_of = vec![0u32; num_vertices];
+        let mut globals = vec![Vec::new(); shards];
+        for v in 0..num_vertices {
+            let s = shard_of[v] as usize;
+            local_of[v] = globals[s].len() as u32;
+            globals[s].push(v as u32);
+        }
+        Ok(Self {
+            num_vertices,
+            kind,
+            shard_of,
+            local_of,
+            globals,
+        })
+    }
+
+    /// Size of the global vertex universe.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// The partition scheme.
+    pub fn kind(&self) -> ShardMapKind {
+        self.kind
+    }
+
+    /// Which shard owns global vertex `v`.
+    pub fn shard_of(&self, v: u32) -> usize {
+        self.shard_of[v as usize] as usize
+    }
+
+    /// `v`'s dense local id within its shard.
+    pub fn local_of(&self, v: u32) -> u32 {
+        self.local_of[v as usize]
+    }
+
+    /// How many vertices shard `s` owns.
+    pub fn shard_size(&self, s: usize) -> usize {
+        self.globals[s].len()
+    }
+
+    /// Shard `s`'s vertices in ascending global order — index by local id
+    /// to translate back to global.
+    pub fn globals(&self, s: usize) -> &[u32] {
+        &self.globals[s]
+    }
+
+    /// True iff the edge `(u, v)` spans two shards.
+    pub fn is_cross(&self, u: u32, v: u32) -> bool {
+        self.shard_of[u as usize] != self.shard_of[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_partition_is_balanced_and_ordered() {
+        let m = ShardMap::new(10, 3, ShardMapKind::Range).unwrap();
+        assert_eq!(m.num_shards(), 3);
+        // 10 = 4 + 3 + 3.
+        assert_eq!(
+            (m.shard_size(0), m.shard_size(1), m.shard_size(2)),
+            (4, 3, 3)
+        );
+        assert_eq!(m.globals(0), &[0, 1, 2, 3]);
+        assert_eq!(m.globals(1), &[4, 5, 6]);
+        assert_eq!(m.globals(2), &[7, 8, 9]);
+        assert_eq!(m.shard_of(4), 1);
+        assert_eq!(m.local_of(4), 0);
+        assert!(m.is_cross(3, 4) && !m.is_cross(4, 6));
+    }
+
+    #[test]
+    fn hash_partition_is_total_and_reproducible() {
+        let a = ShardMap::new(257, 4, ShardMapKind::Hash).unwrap();
+        let b = ShardMap::new(257, 4, ShardMapKind::Hash).unwrap();
+        let mut seen = 0usize;
+        for s in 0..4 {
+            assert_eq!(a.globals(s), b.globals(s), "partition is deterministic");
+            seen += a.shard_size(s);
+            // Round-trip: global -> (shard, local) -> global.
+            for (local, &g) in a.globals(s).iter().enumerate() {
+                assert_eq!(a.shard_of(g), s);
+                assert_eq!(a.local_of(g) as usize, local);
+            }
+        }
+        assert_eq!(seen, 257, "every vertex is owned by exactly one shard");
+        // The hash spreads 257 vertices over 4 shards reasonably evenly.
+        for s in 0..4 {
+            assert!(a.shard_size(s) > 32, "shard {s}: {}", a.shard_size(s));
+        }
+    }
+
+    #[test]
+    fn local_ids_ascend_with_global_ids() {
+        // The monotonicity the edge-export translation relies on.
+        for kind in [ShardMapKind::Range, ShardMapKind::Hash] {
+            let m = ShardMap::new(64, 5, kind).unwrap();
+            for s in 0..m.num_shards() {
+                let g = m.globals(s);
+                assert!(g.windows(2).all(|w| w[0] < w[1]), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_is_the_identity_partition() {
+        let m = ShardMap::new(8, 1, ShardMapKind::Hash).unwrap();
+        for v in 0..8u32 {
+            assert_eq!((m.shard_of(v), m.local_of(v)), (0, v));
+        }
+    }
+
+    #[test]
+    fn rejects_unusable_shapes() {
+        assert!(ShardMap::new(0, 1, ShardMapKind::Range).is_err());
+        assert!(ShardMap::new(8, 0, ShardMapKind::Range).is_err());
+        assert_eq!(
+            ShardMap::new(4, 5, ShardMapKind::Hash).unwrap_err(),
+            DynConError::InvalidVertexCount { requested: 5 }
+        );
+    }
+}

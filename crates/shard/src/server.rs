@@ -1,0 +1,311 @@
+//! The sharded serving frontend.
+//!
+//! [`ShardedServer`] wraps a [`ShardedBackend`] in an outer
+//! [`ConnServer`], so clients get the familiar group-commit surface
+//! (tickets, coalescing, deterministic mode, backpressure) while each
+//! admitted round fans out into per-shard commit rounds underneath. One
+//! metric registry is pooled across the outer server, every shard
+//! server, every per-shard WAL, and the coordinator itself.
+
+use crate::backend::{ShardShutdown, ShardedBackend};
+use crate::map::ShardMapKind;
+use dyncon_api::{BatchDynamic, BuildFrom, DynConError, ExportEdges, Op};
+use dyncon_durable::FsyncPolicy;
+use dyncon_metrics::{MetricsSnapshot, Registry};
+use dyncon_server::{ConnServer, RoundRecord, ServerConfig, Ticket};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where (and how) the shards persist. Each shard gets its own
+/// WAL/snapshot directory `shard-NNN/` under the base dir, the
+/// cross-edge store gets `cross/`, and the base dir carries a topology
+/// manifest so a reopen with a different partition fails loudly.
+#[derive(Clone, Debug)]
+pub struct DurableShards {
+    pub(crate) dir: PathBuf,
+    pub(crate) fsync: FsyncPolicy,
+    pub(crate) compact_on_join: bool,
+}
+
+impl DurableShards {
+    /// Persist under `dir` with the default policy (fsync every round,
+    /// compact on join) — the same defaults as a standalone
+    /// [`DurableServer`](dyncon_durable::DurableServer).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryRound,
+            compact_on_join: true,
+        }
+    }
+
+    /// When each shard's WAL fsyncs.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Whether each shard snapshots + truncates its WAL at shutdown.
+    pub fn compact_on_join(mut self, yes: bool) -> Self {
+        self.compact_on_join = yes;
+        self
+    }
+}
+
+/// Configuration of a [`ShardedServer`]: the partition shape, the outer
+/// server's admission knobs, and optional per-shard durability.
+///
+/// The *outer* server takes the deterministic/record/batching knobs;
+/// the *shard* servers always run in deterministic mode (the
+/// coordinator is their sole client and seals every sub-round
+/// explicitly, so determinism costs nothing and keeps per-shard WALs
+/// byte-replayable).
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    pub(crate) shards: usize,
+    pub(crate) kind: ShardMapKind,
+    pub(crate) deterministic: bool,
+    pub(crate) record_rounds: bool,
+    pub(crate) max_batch_ops: usize,
+    pub(crate) max_coalesce_wait: Duration,
+    pub(crate) queue_capacity: usize,
+    pub(crate) shard_worker_threads: Option<usize>,
+    pub(crate) metrics: Option<Registry>,
+    pub(crate) durable: Option<DurableShards>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            kind: ShardMapKind::Hash,
+            deterministic: false,
+            record_rounds: false,
+            max_batch_ops: 4096,
+            max_coalesce_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+            shard_worker_threads: None,
+            metrics: None,
+            durable: None,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Two hash shards, throughput-mode outer admission, in-memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards (≥ 1, ≤ the vertex count).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The partition scheme ([`ShardMapKind::Hash`] by default).
+    pub fn kind(mut self, kind: ShardMapKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Deterministic mode for the **outer** server: explicit round
+    /// sealing and canonical `(client, seq)` admission order. Combined
+    /// with the always-deterministic shards and the canonical
+    /// decomposition, results are byte-identical across thread counts
+    /// and shard counts.
+    pub fn deterministic(mut self, yes: bool) -> Self {
+        self.deterministic = yes;
+        self
+    }
+
+    /// Record the outer server's per-round replay log.
+    pub fn record_rounds(mut self, yes: bool) -> Self {
+        self.record_rounds = yes;
+        self
+    }
+
+    /// Outer round size cap.
+    pub fn batch_cap(mut self, ops: usize) -> Self {
+        self.max_batch_ops = ops;
+        self
+    }
+
+    /// Outer coalescing window.
+    pub fn coalesce_wait(mut self, wait: Duration) -> Self {
+        self.max_coalesce_wait = wait;
+        self
+    }
+
+    /// Outer admission queue capacity (requests, for backpressure).
+    pub fn queue_capacity(mut self, requests: usize) -> Self {
+        self.queue_capacity = requests;
+        self
+    }
+
+    /// Rayon pool size for **each** shard's writer (and the outer
+    /// writer). `None` inherits `DYNCON_THREADS`/core count.
+    pub fn shard_worker_threads(mut self, threads: usize) -> Self {
+        self.shard_worker_threads = Some(threads);
+        self
+    }
+
+    /// Pool all metrics (outer server, shard servers, WALs,
+    /// coordinator) in this registry instead of a fresh one.
+    pub fn metrics(mut self, registry: Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Persist every shard (and the cross store) under
+    /// [`DurableShards::new`]'s base directory, recovering on start.
+    pub fn durable(mut self, durable: DurableShards) -> Self {
+        self.durable = Some(durable);
+        self
+    }
+}
+
+/// Final report of a sharded service ([`ShardedServer::join`]).
+#[derive(Debug)]
+pub struct ShardedReport<B> {
+    /// The outer server's per-round replay log (empty unless
+    /// [`ShardConfig::record_rounds`]).
+    pub rounds: Vec<RoundRecord>,
+    /// Outer commit rounds.
+    pub rounds_committed: u64,
+    /// Operations committed through the outer server.
+    pub ops_committed: u64,
+    /// Snapshot of the pooled registry, taken **after** every shard
+    /// joined (so shutdown-compaction metrics are included).
+    pub metrics: MetricsSnapshot,
+    /// Per-shard backends and counters, canonical shard order.
+    pub shards: Vec<ShardShutdown<B>>,
+    /// The cross-edge store's backend and counters.
+    pub cross: ShardShutdown<B>,
+}
+
+/// A sharded group-commit connectivity service: an outer [`ConnServer`]
+/// admitting client traffic, a coordinator decomposing each admitted
+/// round into per-shard sub-rounds, and a contracted boundary graph
+/// recombining cross-shard reachability (see [`ShardedBackend`]).
+pub struct ShardedServer<B>
+where
+    B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
+{
+    inner: ConnServer<ShardedBackend<B>>,
+    registry: Registry,
+    num_shards: usize,
+}
+
+impl<B> ShardedServer<B>
+where
+    B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
+{
+    /// Partition `num_vertices` per `config`, start every shard server,
+    /// and put the outer admission server in front.
+    pub fn start(num_vertices: usize, config: ShardConfig) -> Result<Self, DynConError> {
+        let registry = config.metrics.clone().unwrap_or_default();
+        let backend = ShardedBackend::start(num_vertices, &config, registry.clone())?;
+        let num_shards = backend.shard_map().num_shards();
+        let mut outer = ServerConfig::new()
+            .batch_cap(config.max_batch_ops)
+            .coalesce_wait(config.max_coalesce_wait)
+            .queue_capacity(config.queue_capacity)
+            .deterministic(config.deterministic)
+            .record_rounds(config.record_rounds)
+            .metrics(registry.clone());
+        if let Some(threads) = config.shard_worker_threads {
+            outer = outer.worker_threads(threads);
+        }
+        Ok(Self {
+            inner: ConnServer::start(backend, outer),
+            registry,
+            num_shards,
+        })
+    }
+
+    /// The outer server, for generic harnesses that drive a
+    /// [`ConnServer`] (load generators, replay tools).
+    pub fn conn(&self) -> &ConnServer<ShardedBackend<B>> {
+        &self.inner
+    }
+
+    /// Size of the global vertex universe.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    /// Number of shards serving it.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Submit a batch under a fresh client id.
+    pub fn submit(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit(ops)
+    }
+
+    /// Submit a batch under an explicit client id (deterministic mode
+    /// orders admitted requests by `(client, seq)`).
+    pub fn submit_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit_as(client, ops)
+    }
+
+    /// Blocking submit under a fresh client id.
+    pub fn submit_blocking(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit_blocking(ops)
+    }
+
+    /// Blocking submit under an explicit client id.
+    pub fn submit_blocking_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
+        self.inner.submit_blocking_as(client, ops)
+    }
+
+    /// Seal the current outer round (deterministic mode's commit
+    /// trigger). Returns how many requests the sealed round holds.
+    pub fn seal_round(&self) -> usize {
+        self.inner.seal_round()
+    }
+
+    /// Run a read-only closure against the sharded backend between
+    /// outer rounds (which in turn may inspect individual shards).
+    pub fn inspect<R, F>(&self, f: F) -> Result<R, DynConError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ShardedBackend<B>) -> R + Send + 'static,
+    {
+        self.inner.inspect(f)
+    }
+
+    /// Outer commit rounds so far.
+    pub fn rounds_committed(&self) -> u64 {
+        self.inner.rounds_committed()
+    }
+
+    /// Operations committed through the outer server so far.
+    pub fn ops_committed(&self) -> u64 {
+        self.inner.ops_committed()
+    }
+
+    /// Snapshot the pooled registry (outer + shards + WALs +
+    /// coordinator).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Stop accepting work, drain, and shut down outer server and every
+    /// shard. Fails if any shard's shutdown (e.g. durable compaction)
+    /// fails.
+    pub fn join(self) -> Result<ShardedReport<B>, DynConError> {
+        let report = self.inner.join();
+        let shutdown = report.backend.shutdown()?;
+        Ok(ShardedReport {
+            rounds: report.rounds,
+            rounds_committed: report.rounds_committed,
+            ops_committed: report.ops_committed,
+            metrics: self.registry.snapshot(),
+            shards: shutdown.shards,
+            cross: shutdown.cross,
+        })
+    }
+}

@@ -40,6 +40,13 @@
 //! [`durable::recover`] rebuilds any backend deterministically from the
 //! latest snapshot plus the log tail (see the "Durability" section of
 //! the README and `examples/durable_service.rs`).
+//!
+//! To scale past one commit pipeline, [`shard::ShardedServer`]
+//! partitions the vertex universe across N shard servers (each
+//! optionally durable in its own directory) and recombines cross-shard
+//! reachability through a contracted boundary graph, preserving the
+//! byte-determinism contract at every shard and thread count (see the
+//! "Sharding" section of the README and `examples/sharded_service.rs`).
 
 pub use dyncon_api as api;
 pub use dyncon_core as core;
@@ -50,5 +57,6 @@ pub use dyncon_hdt as hdt;
 pub use dyncon_metrics as metrics;
 pub use dyncon_primitives as primitives;
 pub use dyncon_server as server;
+pub use dyncon_shard as shard;
 pub use dyncon_skiplist as skiplist;
 pub use dyncon_spanning as spanning;

@@ -135,6 +135,127 @@ fn kill_at_round_k_recovery_is_byte_identical_across_worker_threads() {
     }
 }
 
+/// Sharded kill-at-round-k: a durable [`ShardedServer`] writes one WAL
+/// per shard (plus the cross store's). Killing it at a sealed-round
+/// boundary and reopening the same base directory must recover *every*
+/// shard and the lazily rebuilt boundary graph to the same prefix, so
+/// replaying the remaining rounds yields `BatchResult`s — and a final
+/// edge set and component count — byte-identical to the uninterrupted
+/// run, at 1, 2 and 4 worker threads per shard.
+#[test]
+fn sharded_kill_at_round_k_recovers_every_shard_and_the_boundary() {
+    use dyncon_api::Connectivity;
+    use dyncon_shard::{DurableShards, ShardConfig, ShardMapKind, ShardedServer};
+    const SHARDS: usize = 3;
+    let rounds = canonical_rounds();
+    let (reference, expected) = uninterrupted();
+
+    // Serve `rounds[from..upto]` through a durable sharded service on
+    // `dir`, then stop without compaction — every shard's WAL is left
+    // exactly as a kill at that sealed-round boundary would leave it.
+    let serve = |dir: &Path, from: usize, upto: usize, threads: usize| -> Vec<BatchResult> {
+        let server: ShardedServer<BatchDynamicConnectivity> = ShardedServer::start(
+            N,
+            ShardConfig::new()
+                .shards(SHARDS)
+                .kind(ShardMapKind::Hash)
+                .deterministic(true)
+                .shard_worker_threads(threads)
+                .queue_capacity(ROUNDS)
+                .durable(DurableShards::new(dir).compact_on_join(false)),
+        )
+        .unwrap();
+        let mut results = Vec::new();
+        for ops in &rounds[from..upto] {
+            let ticket = server.submit_as(0, ops.clone()).unwrap();
+            assert_eq!(server.seal_round(), 1);
+            let r = ticket.wait().unwrap();
+            results.push(BatchResult {
+                inserted: r.inserted,
+                deleted: r.deleted,
+                answers: r.answers,
+            });
+        }
+        let report = server.join().unwrap();
+        for shard in &report.shards {
+            // Shard WALs number *sub-rounds* (one per mutation segment
+            // that touched the shard), which resume where they left off.
+            assert!(shard.next_round.is_some(), "shard ran durable");
+        }
+        results
+    };
+
+    for worker_threads in [1usize, 2, 4] {
+        for &k in &crash_points(ROUNDS, 2, 31 + worker_threads as u64) {
+            let dir = scratch_dir(&format!("shard-kill-w{worker_threads}-k{k}"));
+            let head = serve(&dir, 0, k, worker_threads);
+            assert_eq!(head, expected[..k], "w={worker_threads} k={k}: head");
+
+            // Reopen: every shard (and the cross store) recovers from
+            // its own WAL; the tail replays byte-identically.
+            let tail = serve(&dir, k, ROUNDS, worker_threads);
+            assert_eq!(tail, expected[k..], "w={worker_threads} k={k}: tail");
+
+            // The recovered ensemble's final structure matches the
+            // never-crashed single backend: same edge set (per-shard
+            // exports recombined), same global component count (through
+            // the rebuilt boundary graph).
+            let server: ShardedServer<BatchDynamicConnectivity> = ShardedServer::start(
+                N,
+                ShardConfig::new()
+                    .shards(SHARDS)
+                    .kind(ShardMapKind::Hash)
+                    .durable(DurableShards::new(&dir)),
+            )
+            .unwrap();
+            let (edges, comps) = server
+                .inspect(|b| (b.export_edges(), b.num_components()))
+                .unwrap();
+            assert_eq!(edges, reference.export_edges(), "w={worker_threads} k={k}");
+            assert_eq!(
+                comps,
+                BatchDynamicConnectivity::num_components(&reference),
+                "w={worker_threads} k={k}"
+            );
+            server.join().unwrap();
+            cleanup(&dir);
+        }
+    }
+}
+
+/// The shard topology is durable state: reopening a base directory with
+/// a different partition must fail with a typed `Corrupt` error instead
+/// of scattering recovered edges across the wrong shards.
+#[test]
+fn sharded_reopen_with_different_topology_is_rejected() {
+    use dyncon_shard::{DurableShards, ShardConfig, ShardMapKind, ShardedServer};
+    let dir = scratch_dir("shard-topology");
+    let open = |shards: usize, kind: ShardMapKind| {
+        ShardedServer::<BatchDynamicConnectivity>::start(
+            N,
+            ShardConfig::new()
+                .shards(shards)
+                .kind(kind)
+                .durable(DurableShards::new(&dir)),
+        )
+    };
+    open(2, ShardMapKind::Hash).unwrap().join().unwrap();
+    // Same topology reopens fine…
+    open(2, ShardMapKind::Hash).unwrap().join().unwrap();
+    // …different shard count or kind does not.
+    for (shards, kind) in [(3, ShardMapKind::Hash), (2, ShardMapKind::Range)] {
+        match open(shards, kind) {
+            Err(DynConError::Corrupt { path, detail, .. }) => {
+                assert!(path.ends_with("shard.manifest"), "{path}");
+                assert!(detail.contains("topology"), "{detail}");
+            }
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("topology mismatch must not open"),
+        }
+    }
+    cleanup(&dir);
+}
+
 #[test]
 fn recovery_agrees_with_the_naive_oracle() {
     let rounds = canonical_rounds();

@@ -404,3 +404,60 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Fewer cases than the in-process panel: every case spins up real
+    // server threads (10 writers plus their rayon pools across the
+    // three shard counts).
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharding layer joins the differential property test:
+    /// arbitrary random mixed-op batches through a
+    /// [`ShardedBackend`](dyncon_shard::ShardedBackend) — whose
+    /// per-shard servers run real writer threads and whose cross-shard
+    /// queries go through the contracted boundary graph — must produce
+    /// `BatchResult`s byte-identical to the naive oracle at every
+    /// tested shard count, plus matching component aggregates and edge
+    /// sets.
+    #[test]
+    fn sharded_differential_random_mixed_batches(
+        batches in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 1..16),
+            1..12,
+        )
+    ) {
+        use dyncon_api::{Connectivity, ExportEdges};
+        use dyncon_shard::{ShardConfig, ShardMapKind, ShardedBackend};
+        let mut oracle = Builder::new(N as usize).build::<NaiveDynamicGraph>().unwrap();
+        let mut sharded: Vec<ShardedBackend<BatchDynamicConnectivity>> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| {
+                let config = ShardConfig::new()
+                    .shards(shards)
+                    .kind(ShardMapKind::Hash)
+                    .shard_worker_threads(2);
+                ShardedBackend::start(N as usize, &config, dyncon_metrics::Registry::new())
+                    .unwrap()
+            })
+            .collect();
+        for (bi, ops) in batches.iter().enumerate() {
+            let reference = oracle.apply(ops).unwrap();
+            for (si, g) in sharded.iter_mut().enumerate() {
+                let got = g.apply(ops).unwrap();
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "{} shards diverged on batch {}",
+                    [1usize, 2, 4][si],
+                    bi
+                );
+            }
+        }
+        for g in sharded {
+            prop_assert_eq!(g.num_components(), oracle.num_components());
+            prop_assert_eq!(g.export_edges(), oracle.export_edges());
+            g.check().map_err(TestCaseError::fail)?;
+            g.shutdown().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+    }
+}

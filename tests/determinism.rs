@@ -2,6 +2,7 @@
 //! identical observable behaviour across runs — the property every
 //! "reproducible experiments" claim in EXPERIMENTS.md rests on.
 
+use dyncon_api::BatchDynamic;
 use dyncon_core::{BatchDynamicConnectivity, Builder, DeletionAlgorithm};
 use dyncon_graphgen::{erdos_renyi, rmat, zipf_client_schedules, UpdateStream};
 use dyncon_server::{ConnServer, RoundRecord, ServerConfig};
@@ -104,6 +105,72 @@ fn metrics_leave_deterministic_rounds_byte_identical() {
             Some(ROUNDS as u64),
             "{threads} worker threads: registry observed every round"
         );
+    }
+}
+
+/// The sharding layer's determinism claim: a deterministic
+/// [`ShardedServer`](dyncon_shard::ShardedServer) commits rounds
+/// **byte-identical** (ops and `BatchResult`s) at every shard count ×
+/// worker thread count combination — and identical to a single
+/// unsharded backend applying the same canonical rounds. The partition,
+/// the decomposition, the per-shard sealed sub-rounds and the boundary
+/// graph must all be invisible in the results.
+#[test]
+fn sharded_rounds_byte_identical_across_shard_and_thread_counts() {
+    use dyncon_shard::{ShardConfig, ShardMapKind, ShardedServer};
+    const N: usize = 96;
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 5;
+    let schedules = zipf_client_schedules(N, CLIENTS, ROUNDS, 24, 0.4, 1.1, 47);
+    let run = |shards: usize, threads: usize, kind: ShardMapKind| -> Vec<RoundRecord> {
+        let server: ShardedServer<BatchDynamicConnectivity> = ShardedServer::start(
+            N,
+            ShardConfig::new()
+                .shards(shards)
+                .kind(kind)
+                .deterministic(true)
+                .record_rounds(true)
+                .shard_worker_threads(threads)
+                .queue_capacity(CLIENTS * ROUNDS),
+        )
+        .unwrap();
+        for round in 0..ROUNDS {
+            for (c, sched) in schedules.iter().enumerate() {
+                server.submit_as(c as u64, sched[round].clone()).unwrap();
+            }
+            assert_eq!(server.seal_round(), CLIENTS);
+        }
+        server.join().unwrap().rounds
+    };
+    // The unsharded reference: one backend applying the canonical
+    // (client-major) round sequence.
+    let mut reference_backend = BatchDynamicConnectivity::new(N);
+    let reference: Vec<_> = (0..ROUNDS)
+        .map(|r| {
+            let ops: Vec<_> = schedules
+                .iter()
+                .flat_map(|client| client[r].iter().copied())
+                .collect();
+            let result = reference_backend.apply(&ops).unwrap();
+            (r as u64, ops, result)
+        })
+        .collect();
+    // Shard counts come from `DYNCON_SHARDS` (default 1,2,4) so the CI
+    // matrix can pin a single count per job the same way it pins threads.
+    for kind in [ShardMapKind::Range, ShardMapKind::Hash] {
+        for shards in dyncon_bench::shard_counts() {
+            for threads in [1usize, 2, 4] {
+                let rounds = run(shards, threads, kind);
+                let got: Vec<_> = rounds
+                    .into_iter()
+                    .map(|r| (r.round, r.ops, r.result))
+                    .collect();
+                assert_eq!(
+                    got, reference,
+                    "{kind:?} x {shards} shards x {threads} threads diverged"
+                );
+            }
+        }
     }
 }
 
