@@ -56,6 +56,21 @@ pub enum DynConError {
         /// The I/O failure, as reported by the OS.
         message: String,
     },
+    /// A versioned read asked for a [`crate::Version`] outside the
+    /// retention window `[oldest, newest]` a serving layer keeps. Either
+    /// the version has been evicted (too old), has not been committed
+    /// yet (a `min_version` read-your-writes fence that ran ahead of the
+    /// writer), or the window is empty — encoded as `oldest > newest`
+    /// (see [`crate::EMPTY_WINDOW`]): view publication is disabled or
+    /// nothing has committed.
+    UnknownVersion {
+        /// The version the caller asked for.
+        requested: u64,
+        /// Oldest version still retained.
+        oldest: u64,
+        /// Newest committed version.
+        newest: u64,
+    },
     /// Durable state failed validation: a checksum mismatch in the middle
     /// of the write-ahead log, a bad magic number, an undecodable record,
     /// or a round-sequence gap. Unlike a *tail* failure (which recovery
@@ -99,6 +114,28 @@ impl fmt::Display for DynConError {
             }
             DynConError::Storage { path, message } => {
                 write!(f, "storage failure at {path}: {message}")
+            }
+            DynConError::UnknownVersion {
+                requested,
+                oldest,
+                newest,
+            } => {
+                if oldest > newest {
+                    write!(
+                        f,
+                        "version {requested} unavailable: no versions retained (view publication disabled, or nothing committed yet)"
+                    )
+                } else if requested > newest {
+                    write!(
+                        f,
+                        "version {requested} not committed yet: newest committed version is {newest}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "version {requested} evicted from the retention window: retained versions are {oldest}..={newest}"
+                    )
+                }
             }
             DynConError::Corrupt {
                 path,
@@ -175,6 +212,41 @@ mod tests {
         assert_ne!(s, c);
         let e: Box<dyn Error> = Box::new(c);
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn unknown_version_display_distinguishes_the_three_cases() {
+        // Evicted: requested below the retained window.
+        let evicted = DynConError::UnknownVersion {
+            requested: 3,
+            oldest: 10,
+            newest: 20,
+        };
+        let text = evicted.to_string();
+        assert!(
+            text.contains("evicted") && text.contains("10..=20"),
+            "{text}"
+        );
+        // Not yet committed: requested above the newest version.
+        let future = DynConError::UnknownVersion {
+            requested: 99,
+            oldest: 10,
+            newest: 20,
+        };
+        let text = future.to_string();
+        assert!(
+            text.contains("not committed yet") && text.contains("20"),
+            "{text}"
+        );
+        // Empty window: oldest > newest.
+        let empty = DynConError::UnknownVersion {
+            requested: 0,
+            oldest: 1,
+            newest: 0,
+        };
+        let text = empty.to_string();
+        assert!(text.contains("no versions retained"), "{text}");
+        assert_eq!(empty.clone(), empty);
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   encoding of mixed-op batches ([`Op::ENCODED_LEN`] bytes per op) that
 //!   the `dyncon-durable` write-ahead log frames and checksums;
 //! * [`ExportEdges`] — the canonical bulk-export surface (normalized,
-//!   sorted edge list) durable snapshots are built on.
+//!   sorted edge list) durable snapshots are built on;
+//! * [`VersionedRead`] / [`ReadView`] — the MVCC read surface: every
+//!   sealed commit round gets a [`Version`] (the WAL round id in a
+//!   durable stack) and a serving layer hands out immutable snapshot
+//!   views **as of** a version, from a bounded retention window, with
+//!   [`DynConError::UnknownVersion`] outside it.
 //!
 //! Backends implementing the contract: `dyncon-core`'s
 //! `BatchDynamicConnectivity` (the paper's structure), `dyncon-hdt`'s
@@ -54,10 +59,12 @@
 mod builder;
 mod error;
 mod op;
+mod view;
 
 pub use builder::{BuildFrom, Builder, DeletionAlgorithm, MAX_VERTICES};
 pub use error::DynConError;
 pub use op::{decode_ops, encode_ops, BatchResult, Op, OpKind};
+pub use view::{empty_window_error, ReadView, Version, VersionedRead, EMPTY_WINDOW};
 
 /// The read side of a connectivity structure: queries only, all `&self`,
 /// so concurrent readers never need exclusive access.

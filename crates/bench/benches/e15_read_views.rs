@@ -1,0 +1,94 @@
+//! E15: the versioned-read plane — writer throughput under concurrent
+//! snapshot readers.
+//!
+//! The same closed-loop Zipf clients as E11 drive a **versioned**
+//! `ConnServer` while 0 / 4 / 16 reader threads poll `read_view()` and
+//! answer connectivity queries against the returned snapshots. Readers
+//! never enter the admission queue — they clone an `Arc` of the last
+//! published label snapshot — so the claim under test is that writer
+//! throughput is flat in the number of readers. The cost the writer
+//! *does* pay is the per-round snapshot publication, which the
+//! zero-reader cell prices against E11's unversioned baseline.
+//!
+//! Readers are **paced** (one read per 200 µs each, a closed loop with
+//! think time) rather than hot-spinning: a spinning reader on a small
+//! CI box measures CPU steal, not read-plane interference, and no real
+//! client polls snapshots at millions of reads per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyncon_api::Connectivity;
+use dyncon_bench::drive_service;
+use dyncon_core::BatchDynamicConnectivity;
+use dyncon_graphgen::zipf_client_schedules;
+use dyncon_server::{ConnServer, ServerConfig, VersionedRead};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 13;
+    let clients = 4usize;
+    let requests_per_client = 16;
+    let ops_per_request = 64;
+    let schedules = zipf_client_schedules(
+        n,
+        clients,
+        requests_per_client,
+        ops_per_request,
+        0.5,
+        1.1,
+        42,
+    );
+    let total_ops = (clients * requests_per_client * ops_per_request) as u64;
+    let mut group = c.benchmark_group("e15_read_views");
+    group.sample_size(10);
+    for threads in dyncon_bench::thread_counts() {
+        for readers in [0usize, 4, 16] {
+            group.throughput(Throughput::Elements(total_ops));
+            group.bench_with_input(
+                BenchmarkId::new(format!("t{threads}"), readers),
+                &readers,
+                |b, &readers| {
+                    b.iter(|| {
+                        let server = ConnServer::start_versioned(
+                            BatchDynamicConnectivity::new(n),
+                            ServerConfig::new()
+                                .batch_cap(4096)
+                                .coalesce_wait(Duration::from_micros(50))
+                                .queue_capacity(2 * clients)
+                                .worker_threads(threads)
+                                .retain_views(8),
+                        );
+                        let stop = AtomicBool::new(false);
+                        let wall = std::thread::scope(|scope| {
+                            for r in 0..readers {
+                                let (server, stop) = (&server, &stop);
+                                scope.spawn(move || {
+                                    let mut probe = r as u32;
+                                    while !stop.load(Ordering::Relaxed) {
+                                        if let Ok(view) = server.read_view() {
+                                            probe = probe.wrapping_add(1) % n as u32;
+                                            std::hint::black_box(
+                                                view.connected(probe, (probe + 7) % n as u32),
+                                            );
+                                        }
+                                        std::thread::sleep(Duration::from_micros(200));
+                                    }
+                                });
+                            }
+                            let (wall, _lats) = drive_service(&server, &schedules);
+                            stop.store(true, Ordering::Relaxed);
+                            wall
+                        });
+                        let report = server.join();
+                        assert_eq!(report.ops_committed, total_ops);
+                        wall
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p dyncon-bench --bin experiments [--quick] [e1 e4 ...]
 //! ```
-//! With no experiment arguments, all of E1–E13 run. `--quick` shrinks
+//! With no experiment arguments, all of E1–E15 run. `--quick` shrinks
 //! problem sizes by 4× for a fast smoke pass.
 
 use dyncon_bench::{
@@ -727,6 +727,99 @@ fn e14(cfg: &Cfg) {
     );
 }
 
+/// E15 — versioned reads: writer throughput with 0 / 4 / 16 concurrent
+/// snapshot readers. Readers poll `read_view()` and answer connectivity
+/// queries against the returned snapshot, paced at one read per 200 µs
+/// each (hot-spinning would measure CPU steal, not interference). The
+/// acceptance claim: the 16-reader cell stays within the bench_diff
+/// tolerance band (2×) of the 0-reader baseline, because readers share
+/// an `Arc` of the published label snapshot and never touch the
+/// admission queue.
+fn e15(cfg: &Cfg) {
+    use dyncon_api::Connectivity;
+    use dyncon_server::VersionedRead;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let n = (1 << 13) / cfg.scale;
+    let clients = 4usize;
+    let requests = (16 / cfg.scale.clamp(1, 4)).max(4);
+    let ops_per_request = 64;
+    let mut rows = Vec::new();
+    for threads in dyncon_bench::thread_counts() {
+        let mut baseline: Option<f64> = None;
+        for readers in [0usize, 4, 16] {
+            let schedules =
+                zipf_client_schedules(n, clients, requests, ops_per_request, 0.5, 1.1, 42);
+            let total_ops = clients * requests * ops_per_request;
+            let server = ConnServer::start_versioned(
+                BatchDynamicConnectivity::new(n),
+                ServerConfig::new()
+                    .batch_cap(4096)
+                    .coalesce_wait(std::time::Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .worker_threads(threads)
+                    .retain_views(8),
+            );
+            let stop = AtomicBool::new(false);
+            let reads = AtomicU64::new(0);
+            let wall = std::thread::scope(|scope| {
+                for r in 0..readers {
+                    let (server, stop, reads) = (&server, &stop, &reads);
+                    scope.spawn(move || {
+                        let mut probe = r as u32;
+                        while !stop.load(Ordering::Relaxed) {
+                            if let Ok(view) = server.read_view() {
+                                probe = probe.wrapping_add(1) % n as u32;
+                                std::hint::black_box(view.connected(probe, (probe + 7) % n as u32));
+                                reads.fetch_add(1, Ordering::Relaxed);
+                            }
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                    });
+                }
+                let (wall, _lats) = drive_service(&server, &schedules);
+                stop.store(true, Ordering::Relaxed);
+                wall
+            });
+            let report = server.join();
+            let kops = total_ops as f64 / wall.as_secs_f64() / 1000.0;
+            let ratio = baseline.map(|b| kops / b).unwrap_or(1.0);
+            if readers == 0 {
+                baseline = Some(kops);
+            }
+            let retained = report
+                .metrics
+                .get("dyncon_server_snapshot_retained")
+                .and_then(|m| m.value.as_gauge())
+                .map(|(v, _)| v)
+                .unwrap_or(0);
+            rows.push(vec![
+                threads.to_string(),
+                readers.to_string(),
+                report.rounds_committed.to_string(),
+                format!("{:.0}", kops),
+                format!("{:.2}x", ratio),
+                reads.load(Ordering::Relaxed).to_string(),
+                retained.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "E15 — versioned reads, n = {n}, {clients} clients × {requests} req × {ops_per_request} ops, readers paced at 200 µs"
+        ),
+        &[
+            "threads",
+            "readers",
+            "rounds",
+            "writer kops/s",
+            "vs 0 readers",
+            "snapshot reads",
+            "views retained",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -783,5 +876,8 @@ fn main() {
     }
     if run("e14") {
         e14(&cfg);
+    }
+    if run("e15") {
+        e15(&cfg);
     }
 }

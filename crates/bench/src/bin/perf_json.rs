@@ -18,6 +18,12 @@
 //! quantiles, `queue_depth_max` is the server's queue-depth gauge
 //! high-water mark from the metrics snapshot (a count, not nanoseconds —
 //! the `median_ns` field carries it for schema uniformity).
+//! The two versioned-read rows measure the MVCC plane:
+//! `read_view_throughput` is the wall time of 4 reader threads answering
+//! 5000 snapshot connectivity queries each against a quiesced versioned
+//! server, `writer_throughput_with_readers` the closed-loop service run
+//! with 16 paced snapshot readers attached (compare against
+//! `service_throughput`).
 //! The two durability rows measure `dyncon-durable`: `wal_append_ns` is
 //! the wall time of appending 128 mixed rounds to the write-ahead log
 //! (fsync off — the stable-in-CI encode+write path), `recovery_ms` the
@@ -267,6 +273,116 @@ fn main() {
             eprintln!("{op} @ {threads} threads: {median_ns}");
         }
 
+        // The versioned-read plane. `read_view_throughput` is the wall
+        // time of 4 reader threads answering 5000 snapshot connectivity
+        // queries each against a quiesced versioned server — the pure
+        // read-path cost (`read_view` Arc clone + label lookup), no
+        // writer interference. `writer_throughput_with_readers` is the
+        // same closed-loop run as `service_throughput` but against a
+        // versioned server with 16 paced snapshot readers (one read per
+        // 200 µs each) — comparable against `service_throughput` to
+        // price snapshot publication plus read-plane interference.
+        {
+            use dyncon_api::Connectivity;
+            use dyncon_server::VersionedRead;
+            use std::sync::atomic::{AtomicBool, Ordering};
+            let read_threads = 4usize;
+            let reads_per_thread = 5000u32;
+            let reader_server = ConnServer::start_versioned(
+                BatchDynamicConnectivity::new(n),
+                ServerConfig::new()
+                    .batch_cap(service_cap)
+                    .coalesce_wait(Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .worker_threads(threads)
+                    .retain_views(8),
+            );
+            for ops in zipf_client_schedules(n, 1, 8, 64, 0.3, 1.1, 19).remove(0) {
+                reader_server
+                    .submit_blocking(ops)
+                    .expect("service is open")
+                    .wait()
+                    .expect("round commits");
+            }
+            let read_run = || {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..read_threads)
+                        .map(|r| {
+                            let server = &reader_server;
+                            scope.spawn(move || {
+                                let mut probe = r as u32;
+                                for _ in 0..reads_per_thread {
+                                    let view = server.read_view().expect("views retained");
+                                    probe = probe.wrapping_add(1) % n as u32;
+                                    std::hint::black_box(
+                                        view.connected(probe, (probe + 7) % n as u32),
+                                    );
+                                }
+                            })
+                        })
+                        .collect();
+                    time(|| {
+                        for h in handles {
+                            h.join().unwrap();
+                        }
+                    })
+                    .0
+                })
+            };
+            let read_wall = median_duration(reps, read_run);
+            reader_server.join();
+
+            let versioned_schedules = zipf_client_schedules(n, clients, 16, 64, 0.5, 1.1, 15);
+            let versioned_run = || {
+                let server = ConnServer::start_versioned(
+                    BatchDynamicConnectivity::new(n),
+                    ServerConfig::new()
+                        .batch_cap(service_cap)
+                        .coalesce_wait(Duration::from_micros(50))
+                        .queue_capacity(2 * clients)
+                        .worker_threads(threads)
+                        .retain_views(8),
+                );
+                let stop = AtomicBool::new(false);
+                let wall = std::thread::scope(|scope| {
+                    for r in 0..16usize {
+                        let (server, stop) = (&server, &stop);
+                        scope.spawn(move || {
+                            let mut probe = r as u32;
+                            while !stop.load(Ordering::Relaxed) {
+                                if let Ok(view) = server.read_view() {
+                                    probe = probe.wrapping_add(1) % n as u32;
+                                    std::hint::black_box(
+                                        view.connected(probe, (probe + 7) % n as u32),
+                                    );
+                                }
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        });
+                    }
+                    let (wall, _lats) = drive_service(&server, &versioned_schedules);
+                    stop.store(true, Ordering::Relaxed);
+                    wall
+                });
+                server.join();
+                wall
+            };
+            let versioned_wall = median_duration(reps, versioned_run);
+            for (op, median_ns) in [
+                ("read_view_throughput", read_wall.as_nanos()),
+                ("writer_throughput_with_readers", versioned_wall.as_nanos()),
+            ] {
+                records.push(Record {
+                    op,
+                    n,
+                    batch: service_cap,
+                    threads,
+                    median_ns,
+                });
+                eprintln!("{op} @ {threads} threads: {median_ns}");
+            }
+        }
+
         // The durable layer: WAL append wall time for `wal_rounds` mixed
         // rounds (no fsync — the pure encode+write path CI can time
         // stably) and full crash recovery (snapshot load + deterministic
@@ -392,6 +508,8 @@ fn main() {
         "queue_depth_max",
         "shard_throughput",
         "shard_boundary_ops",
+        "read_view_throughput",
+        "writer_throughput_with_readers",
         "wal_append_ns",
         "recovery_ms",
     ] {

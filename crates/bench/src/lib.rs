@@ -7,7 +7,7 @@
 
 use dyncon_api::{BatchDynamic, DynConError, Op};
 use dyncon_graphgen::{Batch, UpdateStream};
-use dyncon_server::{ConnServer, Ticket};
+use dyncon_server::{ConnServer, SubmitOptions, Ticket};
 use std::time::{Duration, Instant};
 
 /// The thread matrix for the scaling experiments (E7 and the perf-artifact
@@ -257,7 +257,10 @@ pub fn drive_service<B: BatchDynamic + Send + 'static>(
                     for ops in sched {
                         let t = Instant::now();
                         let ticket = server
-                            .submit_blocking_as(c as u64, ops.clone())
+                            .submit_with(
+                                ops.clone(),
+                                SubmitOptions::new().as_client(c as u64).blocking(true),
+                            )
                             .expect("service open for the whole run");
                         std::hint::black_box(ticket.wait().expect("round commits"));
                         lats.push(t.elapsed());
@@ -342,7 +345,8 @@ pub fn drive_open_loop<B: BatchDynamic + Send + 'static>(
                         if let Some(wait) = due.checked_duration_since(Instant::now()) {
                             std::thread::sleep(wait);
                         }
-                        match server.submit_as(c as u64, ops.clone()) {
+                        let options = SubmitOptions::new().as_client(c as u64);
+                        match server.submit_with(ops.clone(), options) {
                             Ok(ticket) => tx.send((due, ticket)).expect("collector alive"),
                             Err(DynConError::Backpressure { .. }) => rejected += 1,
                             Err(e) => panic!("service open for the whole run: {e}"),

@@ -6,9 +6,12 @@ use crate::metrics::DurableMetrics;
 use crate::recover::{recover_with, RoundMeta};
 use crate::wal::{FsyncPolicy, WalWriter};
 use crate::Snapshot;
-use dyncon_api::{BatchDynamic, BuildFrom, Builder, DynConError, ExportEdges, Op};
+use dyncon_api::{
+    BatchDynamic, BuildFrom, Builder, DynConError, ExportEdges, Op, ReadView, Version,
+    VersionedRead,
+};
 use dyncon_metrics::MetricsSnapshot;
-use dyncon_server::{ConnServer, ServerConfig, ServiceReport, Ticket};
+use dyncon_server::{ConnServer, ReadHandle, ServerConfig, ServiceReport, SubmitOptions, Ticket};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -175,10 +178,23 @@ where
                     abort_metrics.wal_rounds_aborted.inc();
                 }
                 aborted
-            }));
+            }))
+            // Versions ARE WAL round ids: the first round this process
+            // commits is logged as `meta.next_round`, so recovery and
+            // replicas agree on version numbering across lifetimes. The
+            // recovered state itself is version `next_round - 1`.
+            .first_version(meta.next_round);
+        // Versioned reads opt in via `retain_views`; left at 0, the
+        // serving layer skips view publication entirely (no per-round
+        // export cost).
+        let inner = if config.retain_views > 0 {
+            ConnServer::start_versioned(backend, config)
+        } else {
+            ConnServer::start(backend, config)
+        };
         Ok((
             Self {
-                inner: ConnServer::start(backend, config),
+                inner,
                 wal,
                 metrics,
                 registry,
@@ -240,6 +256,14 @@ where
         self.inner.submit_blocking_as(client, ops)
     }
 
+    /// See [`ConnServer::submit_with`]. On a durable server,
+    /// [`SubmitOptions::min_version`] fences against **WAL round ids**
+    /// (versions survive process restarts), so a client may carry a
+    /// version from a previous lifetime.
+    pub fn submit_with(&self, ops: Vec<Op>, options: SubmitOptions) -> Result<Ticket, DynConError> {
+        self.inner.submit_with(ops, options)
+    }
+
     /// See [`ConnServer::seal_round`].
     pub fn seal_round(&self) -> usize {
         self.inner.seal_round()
@@ -253,6 +277,42 @@ where
         F: FnOnce(&B) -> R + Send + 'static,
     {
         self.inner.inspect(f)
+    }
+
+    /// See [`ConnServer::inspect_versioned`]. The version the closure is
+    /// handed is a WAL round id; right after `open` it is
+    /// `meta.next_round - 1` (the recovered state), not `None`.
+    pub fn inspect_versioned<R, F>(&self, f: F) -> Result<R, DynConError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&B, Option<Version>) -> R + Send + 'static,
+    {
+        self.inner.inspect_versioned(f)
+    }
+
+    /// The newest committed version (a WAL round id); after recovery at
+    /// least `meta.next_round - 1` even before any new round commits.
+    pub fn newest_committed(&self) -> Option<Version> {
+        self.inner.newest_committed()
+    }
+
+    /// See [`ConnServer::read_async`]. Requires
+    /// [`ServerConfig::retain_views`] > 0 at `open`.
+    pub fn read_async<R, F>(&self, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        self.inner.read_async(f)
+    }
+
+    /// See [`ConnServer::read_async_at`].
+    pub fn read_async_at<R, F>(&self, version: Version, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        self.inner.read_async_at(version, f)
     }
 
     /// See [`ConnServer::close`].
@@ -300,6 +360,27 @@ where
             next_round,
             compacted: self.compact_on_join,
         })
+    }
+}
+
+impl<B> VersionedRead for DurableServer<B>
+where
+    B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
+{
+    /// Versions here are **WAL round ids**: after recovery the window
+    /// starts at `meta.next_round - 1` (the recovered state, published
+    /// at `open` when [`ServerConfig::retain_views`] > 0) and each new
+    /// round extends it by its logged round id.
+    fn version_window(&self) -> Option<(Version, Version)> {
+        self.inner.version_window()
+    }
+
+    fn read_view(&self) -> Result<ReadView, DynConError> {
+        self.inner.read_view()
+    }
+
+    fn read_view_at(&self, version: Version) -> Result<ReadView, DynConError> {
+        self.inner.read_view_at(version)
     }
 }
 
@@ -558,5 +639,60 @@ mod tests {
         let (recovered, _) = crate::recover::<BatchDynamicConnectivity>(&dir).unwrap();
         assert!(recovered.connected(0, 8));
         assert_eq!(recovered.export_edges().len(), 8);
+    }
+
+    #[test]
+    fn versions_are_wal_round_ids_across_lifetimes() {
+        use dyncon_api::Connectivity;
+        let dir = scratch("dsrv-versions");
+        {
+            let (server, _) = DurableServer::<BatchDynamicConnectivity>::open(
+                &dir,
+                16,
+                ServerConfig::new().deterministic(true).retain_views(4),
+                DurableConfig::new().compact_on_join(false),
+            )
+            .unwrap();
+            // Fresh directory: nothing committed, nothing to read yet.
+            assert_eq!(server.version_window(), None);
+            let t = server.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+            server.seal_round();
+            let r = t.wait().unwrap();
+            assert_eq!(r.version, 0, "first WAL round id");
+            assert!(server.read_view_at(0).unwrap().connected(0, 1));
+            let t = server.submit_as(0, vec![Op::Insert(1, 2)]).unwrap();
+            server.seal_round();
+            assert_eq!(t.wait().unwrap().version, 1);
+            server.join().unwrap();
+        }
+        // Second lifetime: recovery replays WAL rounds 0..=1, so the
+        // recovered state is version 1 — published at open, readable
+        // before any new round commits, and `newest_committed` agrees.
+        let (server, meta) = DurableServer::<BatchDynamicConnectivity>::open(
+            &dir,
+            16,
+            ServerConfig::new().deterministic(true).retain_views(4),
+            DurableConfig::new(),
+        )
+        .unwrap();
+        assert_eq!(meta.next_round, 2);
+        assert_eq!(server.newest_committed(), Some(1));
+        assert_eq!(server.version_window(), Some((1, 1)));
+        let recovered = server.read_view().unwrap();
+        assert_eq!(recovered.version(), 1);
+        assert!(recovered.connected(0, 2), "recovered edges answer");
+        // New rounds continue the WAL numbering: the next commit is
+        // version 2, and a fence on the recovered version admits at once.
+        let t = server
+            .submit_with(
+                vec![Op::Query(0, 2)],
+                SubmitOptions::new().as_client(0).min_version(1),
+            )
+            .unwrap();
+        server.seal_round();
+        let r = t.wait().unwrap();
+        assert_eq!((r.version, r.answers.as_slice()), (2, &[true][..]));
+        assert_eq!(server.version_window(), Some((1, 2)));
+        server.join().unwrap();
     }
 }

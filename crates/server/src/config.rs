@@ -72,6 +72,29 @@ pub struct ServerConfig {
     /// only: enabling them never changes admission, round boundaries, or
     /// results.
     pub metrics: Option<Registry>,
+    /// Size of the versioned-read retention window: how many recently
+    /// committed versions keep a published [`dyncon_api::ReadView`]
+    /// available through [`dyncon_api::VersionedRead::read_view_at`]. `0`
+    /// (default) disables snapshot publication entirely — the writer
+    /// pays no per-round export cost and every view request fails with
+    /// the empty-window [`dyncon_api::DynConError::UnknownVersion`].
+    /// Takes effect only on servers started with
+    /// [`crate::ConnServer::start_versioned`] (publication needs the
+    /// backend's [`dyncon_api::ExportEdges`] surface), which treats `0`
+    /// as "use the default window" instead.
+    pub retain_views: usize,
+    /// Reader threads serving [`crate::ConnServer::read_async`] view
+    /// queries off the commit path. `0` (default) keeps no pool:
+    /// `read_async` then executes inline on the calling thread — still
+    /// against the snapshot, still never touching the writer.
+    pub reader_threads: usize,
+    /// The [`dyncon_api::Version`] the first round committed by this
+    /// server gets: round `r` (server-local, 0-based) commits as version
+    /// `first_version + r`. A durable stack sets this to the recovered
+    /// WAL `next_round`, making versions equal WAL round ids across
+    /// process lifetimes; the recovered state itself is published as
+    /// version `first_version - 1` (recovery restores `newest`).
+    pub first_version: u64,
 }
 
 impl fmt::Debug for ServerConfig {
@@ -92,6 +115,9 @@ impl fmt::Debug for ServerConfig {
                 &self.round_abort.as_ref().map(|_| "<round abort>"),
             )
             .field("metrics", &self.metrics)
+            .field("retain_views", &self.retain_views)
+            .field("reader_threads", &self.reader_threads)
+            .field("first_version", &self.first_version)
             .finish()
     }
 }
@@ -108,6 +134,9 @@ impl Default for ServerConfig {
             round_hook: None,
             round_abort: None,
             metrics: None,
+            retain_views: 0,
+            reader_threads: 0,
+            first_version: 0,
         }
     }
 }
@@ -175,6 +204,87 @@ impl ServerConfig {
         self.metrics = Some(registry);
         self
     }
+
+    /// Set [`ServerConfig::retain_views`] — the versioned-read retention
+    /// window (0 disables publication).
+    pub fn retain_views(mut self, versions: usize) -> Self {
+        self.retain_views = versions;
+        self
+    }
+
+    /// Set [`ServerConfig::reader_threads`] — the off-commit-path view
+    /// query pool (0 executes `read_async` inline).
+    pub fn reader_threads(mut self, threads: usize) -> Self {
+        self.reader_threads = threads;
+        self
+    }
+
+    /// Set [`ServerConfig::first_version`] — the version of this
+    /// server's first committed round (a durable stack passes the
+    /// recovered WAL `next_round`).
+    pub fn first_version(mut self, version: u64) -> Self {
+        self.first_version = version;
+        self
+    }
+}
+
+/// Options of the unified submission surface,
+/// [`crate::ConnServer::submit_with`]. The four classic submit methods
+/// are thin wrappers over combinations of these.
+///
+/// ```
+/// # use dyncon_server::SubmitOptions;
+/// let opts = SubmitOptions::new().as_client(7).blocking(true).min_version(41);
+/// assert_eq!(opts.client, Some(7));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Submit on behalf of this stable client id; `None` (default) draws
+    /// a fresh auto-assigned id. Deterministic mode needs stable ids —
+    /// auto ids are assigned in arrival order, which is exactly what
+    /// that mode must not depend on.
+    pub client: Option<u64>,
+    /// Wait for queue space instead of failing with
+    /// [`dyncon_api::DynConError::Backpressure`] (and wait out a
+    /// not-yet-satisfied [`SubmitOptions::min_version`] fence instead of
+    /// failing with [`dyncon_api::DynConError::UnknownVersion`]).
+    /// Default `false`.
+    pub blocking: bool,
+    /// Read-your-writes fence: admit this request only once the server
+    /// has committed `min_version` (pass the [`dyncon_api::Version`] a
+    /// previous ticket's [`crate::RequestResult::version`] reported).
+    /// Once admitted, the request's own round commits at a strictly
+    /// greater version, so its queries observe everything up to the
+    /// fence. Blocking submits wait for the fence; non-blocking submits
+    /// fail fast with [`dyncon_api::DynConError::UnknownVersion`]
+    /// (`requested > newest`) if the writer has not caught up.
+    pub min_version: Option<u64>,
+}
+
+impl SubmitOptions {
+    /// The defaults: auto client id, non-blocking, no fence — exactly
+    /// [`crate::ConnServer::submit`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set [`SubmitOptions::client`].
+    pub fn as_client(mut self, client: u64) -> Self {
+        self.client = Some(client);
+        self
+    }
+
+    /// Set [`SubmitOptions::blocking`].
+    pub fn blocking(mut self, blocking: bool) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Set [`SubmitOptions::min_version`].
+    pub fn min_version(mut self, version: u64) -> Self {
+        self.min_version = Some(version);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +312,35 @@ mod tests {
         assert_eq!(
             (z.max_batch_ops, z.queue_capacity, z.worker_threads),
             (1, 1, Some(1))
+        );
+    }
+
+    #[test]
+    fn versioned_read_knobs_default_off() {
+        let c = ServerConfig::new();
+        assert_eq!(
+            (c.retain_views, c.reader_threads, c.first_version),
+            (0, 0, 0)
+        );
+        let c = c.retain_views(8).reader_threads(4).first_version(100);
+        assert_eq!(
+            (c.retain_views, c.reader_threads, c.first_version),
+            (8, 4, 100)
+        );
+    }
+
+    #[test]
+    fn submit_options_compose() {
+        let o = SubmitOptions::new();
+        assert_eq!(o, SubmitOptions::default());
+        assert_eq!((o.client, o.blocking, o.min_version), (None, false, None));
+        let o = SubmitOptions::new()
+            .as_client(3)
+            .blocking(true)
+            .min_version(9);
+        assert_eq!(
+            (o.client, o.blocking, o.min_version),
+            (Some(3), true, Some(9))
         );
     }
 

@@ -54,11 +54,32 @@
 //! and stops the service: a round that cannot be made durable never
 //! commits.
 //!
+//! ## Versioned reads (MVCC)
+//!
+//! A server started with [`ConnServer::start_versioned`] assigns every
+//! sealed commit round a [`Version`] (`= `[`ServerConfig::first_version`]
+//! `+ round`; the durable stack passes its recovered WAL round id as
+//! `first_version`, so versions are stable across process lifetimes) and
+//! publishes an immutable [`ReadView`] of the post-round state —
+//! retained for the last [`ServerConfig::retain_views`] versions.
+//! [`ConnServer::read_view`] / [`ConnServer::read_view_at`] (via the
+//! [`VersionedRead`] trait) hand out views without ever blocking the
+//! writer; versions outside the window fail with the typed
+//! [`DynConError::UnknownVersion`]. [`ConnServer::read_async`] runs view
+//! queries on a pool of [`ServerConfig::reader_threads`] reader threads,
+//! off the commit path, returning a [`ReadHandle`].
+//!
+//! The unified [`ConnServer::submit_with`] entry point takes
+//! [`SubmitOptions`] — client identity, blocking, and an optional
+//! [`SubmitOptions::min_version`] read-your-writes fence that holds
+//! admission until the named version has committed.
+//!
 //! ## Observability
 //!
 //! The server records a [`ServerMetrics`] bundle (queue depth with
 //! high-water mark, backpressure and admission rejects, round size,
-//! coalesce wait, per-round apply latency) into the
+//! coalesce wait, per-round apply latency, read-view request/age/publish
+//! costs and the retained-snapshot gauge) into the
 //! [`ServerConfig::metrics`] registry — or a private one when none is
 //! passed. Snapshots come from [`ConnServer::metrics_snapshot`] live or
 //! [`ServiceReport::metrics`] at join. Metrics are observational only:
@@ -69,12 +90,15 @@ mod config;
 mod metrics;
 mod server;
 mod ticket;
+mod views;
 
-pub use config::{RoundHook, ServerConfig};
+pub use config::{RoundHook, ServerConfig, SubmitOptions};
 pub use metrics::ServerMetrics;
-pub use server::{ConnServer, RoundRecord, ServiceReport};
+pub use server::{ConnServer, RoundRecord, ServiceReport, DEFAULT_RETAINED_VERSIONS};
 pub use ticket::{RequestResult, Ticket};
+pub use views::ReadHandle;
 
-// Re-exported so callers can match on server rejections without adding a
-// direct dyncon-api dependency.
-pub use dyncon_api::DynConError;
+// Re-exported so callers can match on server rejections and use the
+// versioned-read vocabulary without adding a direct dyncon-api
+// dependency.
+pub use dyncon_api::{DynConError, ReadView, Version, VersionedRead};

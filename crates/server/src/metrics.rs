@@ -40,6 +40,23 @@ pub struct ServerMetrics {
     pub rounds_committed: Arc<Counter>,
     /// `dyncon_server_ops_committed_total`.
     pub ops_committed: Arc<Counter>,
+    /// `dyncon_server_read_view_requests_total` — versioned-read view
+    /// requests (`read_view` / `read_view_at` / `read_async`), whether
+    /// served or rejected with `UnknownVersion`.
+    pub read_view_requests: Arc<Counter>,
+    /// `dyncon_server_read_view_age_rounds` — how many rounds behind
+    /// `newest` each served view was at handout (0 = the latest
+    /// version). A growing tail means readers pin old versions.
+    pub read_view_age_rounds: Arc<Histogram>,
+    /// `dyncon_server_snapshot_retained` — versions currently held in
+    /// the retention window, set at each publication (gauge; its
+    /// high-water mark is the effective window size).
+    pub snapshot_retained: Arc<Gauge>,
+    /// `dyncon_server_snapshot_publish_ns` — wall time the writer spends
+    /// exporting + labeling one round's snapshot (the per-round cost of
+    /// enabling versioned reads; it is paid whether or not any reader
+    /// ever asks).
+    pub snapshot_publish_ns: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -85,6 +102,26 @@ impl ServerMetrics {
                 "dyncon_server_ops_committed_total",
                 "ops",
                 "operations committed across all rounds",
+            ),
+            read_view_requests: registry.counter(
+                "dyncon_server_read_view_requests_total",
+                "requests",
+                "versioned-read view requests (served or UnknownVersion)",
+            ),
+            read_view_age_rounds: registry.histogram(
+                "dyncon_server_read_view_age_rounds",
+                "rounds",
+                "rounds behind newest of each served read view",
+            ),
+            snapshot_retained: registry.gauge(
+                "dyncon_server_snapshot_retained",
+                "versions",
+                "versions currently retained in the read-view window",
+            ),
+            snapshot_publish_ns: registry.histogram(
+                "dyncon_server_snapshot_publish_ns",
+                "ns",
+                "writer wall time publishing one round's read-view snapshot",
             ),
         })
     }

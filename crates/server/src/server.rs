@@ -1,10 +1,14 @@
 //! The group-commit frontend: bounded admission queue, single writer,
 //! one `apply` per commit round.
 
-use crate::config::ServerConfig;
+use crate::config::{ServerConfig, SubmitOptions};
 use crate::metrics::ServerMetrics;
 use crate::ticket::{RequestResult, Slot, Ticket};
-use dyncon_api::{validate_vertex, BatchDynamic, BatchResult, DynConError, Op, OpKind};
+use crate::views::{ReadHandle, ReaderPool, ViewStore};
+use dyncon_api::{
+    validate_vertex, BatchDynamic, BatchResult, DynConError, ExportEdges, Op, OpKind, ReadView,
+    Version, VersionedRead,
+};
 use dyncon_metrics::{MetricsSnapshot, Registry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,9 +18,56 @@ use std::time::Instant;
 
 /// A queued [`ConnServer::inspect`] closure, type-erased so the queue
 /// state need not be generic over the backend. The writer hands it
-/// `&backend as &dyn Any`; the submitting side downcasts back to `&B`
-/// (always its own server's backend type).
-type InspectJob = Box<dyn FnOnce(&dyn std::any::Any) + Send>;
+/// `&backend as &dyn Any` plus the newest committed [`Version`] at run
+/// time; the submitting side downcasts back to `&B` (always its own
+/// server's backend type).
+type InspectJob = Box<dyn FnOnce(&dyn std::any::Any, Option<Version>) + Send>;
+
+/// Default [`ServerConfig::retain_views`] window applied by
+/// [`ConnServer::start_versioned`] when the knob was left at 0.
+pub const DEFAULT_RETAINED_VERSIONS: usize = 8;
+
+/// The version of this server's `r`-th committed round is
+/// `first_version + r`; the newest committed version is one before the
+/// next round's — or, before any local round, the recovered
+/// `first_version - 1` (`None` on a fresh, never-committed server).
+fn newest_committed(first_version: u64, rounds_committed: u64) -> Option<Version> {
+    if rounds_committed == 0 {
+        first_version.checked_sub(1)
+    } else {
+        Some(first_version + rounds_committed - 1)
+    }
+}
+
+/// How a versioned server exports the backend's canonical edge set:
+/// type-erased so `ConnServer<B>` itself needs no `ExportEdges` bound.
+type EdgeExtract<B> = Arc<dyn Fn(&B) -> Vec<(u32, u32)> + Send + Sync>;
+
+/// The writer-side half of versioned reads: how to export the backend's
+/// canonical edge set, and where to publish the resulting [`ReadView`].
+struct ViewPublisher<B> {
+    extract: EdgeExtract<B>,
+    store: Arc<ViewStore>,
+}
+
+/// Export the backend's edges, label them, and retain the result as the
+/// [`ReadView`] of `version`, recording the publish-cost metrics.
+fn publish_view<B>(
+    publisher: &ViewPublisher<B>,
+    backend: &B,
+    num_vertices: usize,
+    version: Version,
+    metrics: &ServerMetrics,
+) {
+    let started = Instant::now();
+    let edges = (publisher.extract)(backend);
+    let view = ReadView::build(num_vertices, version, edges);
+    let retained = publisher.store.publish(view);
+    metrics.snapshot_retained.set(retained as i64);
+    metrics
+        .snapshot_publish_ns
+        .record_duration(started.elapsed());
+}
 
 /// One admitted, not-yet-committed request.
 struct Request {
@@ -62,6 +113,9 @@ struct Shared {
     submitted: Condvar,
     /// Blocking submitters wait here for queue space.
     space: Condvar,
+    /// [`SubmitOptions::min_version`] fences wait here; the writer
+    /// notifies after every committed round (and every shutdown path).
+    commits: Condvar,
     rounds_committed: AtomicU64,
     ops_committed: AtomicU64,
     next_auto_client: AtomicU64,
@@ -117,6 +171,12 @@ pub struct ConnServer<B: BatchDynamic + Send + 'static> {
     /// query), captured at start so admission can bounce unsupportable
     /// requests before they poison a whole commit round.
     supports: [bool; 3],
+    /// The retained snapshot window — `Some` only on a server started
+    /// with [`ConnServer::start_versioned`].
+    views: Option<Arc<ViewStore>>,
+    /// Reader threads draining [`ConnServer::read_async`] jobs; `None`
+    /// when [`ServerConfig::reader_threads`] is 0 (reads run inline).
+    readers: Option<Arc<ReaderPool>>,
     writer: Option<JoinHandle<(B, Vec<RoundRecord>)>>,
 }
 
@@ -141,7 +201,17 @@ fn kind_operation(kind: OpKind) -> &'static str {
 impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
     /// Take ownership of `backend` and start the writer thread. The
     /// backend is handed back by [`ConnServer::join`].
+    ///
+    /// A server started this way never publishes read views (no
+    /// `ExportEdges` bound is required of the backend);
+    /// [`ConnServer::read_view`] fails with
+    /// [`DynConError::UnknownVersion`]. Use
+    /// [`ConnServer::start_versioned`] for MVCC reads.
     pub fn start(backend: B, config: ServerConfig) -> Self {
+        Self::start_inner(backend, config, None)
+    }
+
+    fn start_inner(backend: B, config: ServerConfig, extract: Option<EdgeExtract<B>>) -> Self {
         let num_vertices = backend.num_vertices();
         let backend_name = backend.backend_name();
         let supports =
@@ -161,17 +231,48 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             }),
             submitted: Condvar::new(),
             space: Condvar::new(),
+            commits: Condvar::new(),
             rounds_committed: AtomicU64::new(0),
             ops_committed: AtomicU64::new(0),
             next_auto_client: AtomicU64::new(0),
             metrics,
         });
+        let publisher = extract.map(|extract| {
+            let retain = match config.retain_views {
+                0 => DEFAULT_RETAINED_VERSIONS,
+                n => n,
+            };
+            let store = Arc::new(ViewStore::new(retain));
+            // Publish the starting state (the recovered version
+            // `first_version - 1` on a durable stack) on the caller's
+            // thread, so `read_view` works before the first local round.
+            // A truly fresh server (first_version 0) has no committed
+            // version yet — its window stays empty until round 0 seals.
+            if let Some(version) = config.first_version.checked_sub(1) {
+                publish_view(
+                    &ViewPublisher {
+                        extract: Arc::clone(&extract),
+                        store: Arc::clone(&store),
+                    },
+                    &backend,
+                    num_vertices,
+                    version,
+                    &shared.metrics,
+                );
+            }
+            ViewPublisher { extract, store }
+        });
+        let views = publisher.as_ref().map(|p| Arc::clone(&p.store));
+        let readers = match config.reader_threads {
+            0 => None,
+            n => Some(Arc::new(ReaderPool::new(n))),
+        };
         let writer = {
             let shared = Arc::clone(&shared);
             let config = config.clone();
             std::thread::Builder::new()
                 .name("dyncon-server-writer".into())
-                .spawn(move || writer_loop(backend, shared, config))
+                .spawn(move || writer_loop(backend, shared, config, publisher))
                 .expect("spawn dyncon-server writer")
         };
         Self {
@@ -181,6 +282,8 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             num_vertices,
             backend_name,
             supports,
+            views,
+            readers,
             writer: Some(writer),
         }
     }
@@ -214,6 +317,31 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         self.registry.snapshot()
     }
 
+    /// The one submission entry point: submit `ops` under `options`.
+    /// The four legacy methods ([`ConnServer::submit`],
+    /// [`ConnServer::submit_as`], [`ConnServer::submit_blocking`],
+    /// [`ConnServer::submit_blocking_as`]) are thin wrappers over this.
+    ///
+    /// - [`SubmitOptions::client`]: stable client identity for canonical
+    ///   ordering; `None` draws a fresh auto id (arrival-ordered — fine
+    ///   in throughput mode, wrong for deterministic replay).
+    /// - [`SubmitOptions::blocking`]: wait for queue space instead of
+    ///   failing with [`DynConError::Backpressure`].
+    /// - [`SubmitOptions::min_version`]: a read-your-writes fence — the
+    ///   request is not admitted until version `v` has committed, so its
+    ///   round (and hence its answers) observes at least `v`. Blocking
+    ///   submissions wait for the fence; non-blocking ones fail with
+    ///   [`DynConError::UnknownVersion`] if `v` has not committed yet.
+    ///   In deterministic mode an unfenced committer (another thread
+    ///   sealing rounds) must exist, or a blocking fence on a future
+    ///   version deadlocks by construction.
+    pub fn submit_with(&self, ops: Vec<Op>, options: SubmitOptions) -> Result<Ticket, DynConError> {
+        let client = options
+            .client
+            .unwrap_or_else(|| self.shared.next_auto_client.fetch_add(1, Ordering::Relaxed));
+        self.submit_inner(client, ops, options.blocking, options.min_version)
+    }
+
     /// Submit one request under an automatically assigned (unique) client
     /// id. Non-blocking: a full queue is [`DynConError::Backpressure`].
     ///
@@ -221,29 +349,33 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
     /// client id — auto ids are assigned in arrival order, which is
     /// exactly what that mode must not depend on.
     pub fn submit(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
-        let client = self.shared.next_auto_client.fetch_add(1, Ordering::Relaxed);
-        self.submit_inner(client, ops, false)
+        self.submit_with(ops, SubmitOptions::new())
     }
 
     /// Submit one request on behalf of `client`. Requests of one client
     /// keep their submission order in every canonical round. Non-blocking.
     pub fn submit_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
-        self.submit_inner(client, ops, false)
+        self.submit_with(ops, SubmitOptions::new().as_client(client))
     }
 
     /// Like [`ConnServer::submit`], but waits for queue space instead of
     /// returning [`DynConError::Backpressure`].
     pub fn submit_blocking(&self, ops: Vec<Op>) -> Result<Ticket, DynConError> {
-        let client = self.shared.next_auto_client.fetch_add(1, Ordering::Relaxed);
-        self.submit_inner(client, ops, true)
+        self.submit_with(ops, SubmitOptions::new().blocking(true))
     }
 
     /// Like [`ConnServer::submit_as`], but waits for queue space.
     pub fn submit_blocking_as(&self, client: u64, ops: Vec<Op>) -> Result<Ticket, DynConError> {
-        self.submit_inner(client, ops, true)
+        self.submit_with(ops, SubmitOptions::new().as_client(client).blocking(true))
     }
 
-    fn submit_inner(&self, client: u64, ops: Vec<Op>, block: bool) -> Result<Ticket, DynConError> {
+    fn submit_inner(
+        &self,
+        client: u64,
+        ops: Vec<Op>,
+        block: bool,
+        min_version: Option<u64>,
+    ) -> Result<Ticket, DynConError> {
         // Validate here so a round never fails on behalf of *other*
         // clients' requests: vertex ranges and the backend's static op
         // capabilities are both admission-time rejections.
@@ -252,6 +384,34 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             return Err(e);
         }
         let mut q = self.shared.q.lock().unwrap();
+        // Read-your-writes fence: hold admission until `min_version` has
+        // committed. Checked before capacity so a fenced request cannot
+        // occupy a queue slot it is not yet allowed to use.
+        if let Some(min) = min_version {
+            loop {
+                if q.closed {
+                    return Err(DynConError::ServiceClosed);
+                }
+                let rounds = self.shared.rounds_committed.load(Ordering::Relaxed);
+                if newest_committed(self.config.first_version, rounds) >= Some(min) {
+                    break;
+                }
+                if !block {
+                    let (oldest, newest) = self
+                        .version_window()
+                        .or_else(|| {
+                            newest_committed(self.config.first_version, rounds).map(|n| (n, n))
+                        })
+                        .unwrap_or(dyncon_api::EMPTY_WINDOW);
+                    return Err(DynConError::UnknownVersion {
+                        requested: min,
+                        oldest,
+                        newest,
+                    });
+                }
+                q = self.shared.commits.wait(q).unwrap();
+            }
+        }
         loop {
             if q.closed {
                 return Err(DynConError::ServiceClosed);
@@ -319,19 +479,39 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
     ///
     /// Fails with [`DynConError::ServiceClosed`] if the service is
     /// closed, or shuts down before the closure could run.
+    ///
+    /// **Version guarantee**: the closure observes exactly one sealed
+    /// version — the state as of [`RequestResult::version`] of the
+    /// newest committed round, with no later round partially applied.
+    /// [`ConnServer::inspect_versioned`] hands the closure that version
+    /// number alongside the backend.
     pub fn inspect<R, F>(&self, f: F) -> Result<R, DynConError>
     where
         R: Send + 'static,
         F: FnOnce(&B) -> R + Send + 'static,
     {
+        self.inspect_versioned(move |backend, _version| f(backend))
+    }
+
+    /// [`ConnServer::inspect`], with the closure also told **which**
+    /// sealed version it is observing: the [`Version`] of the newest
+    /// committed round at the instant the closure runs (`None` only on a
+    /// fresh server before any round committed). This is how a caller
+    /// correlates an inspection with [`ConnServer::read_view_at`] or a
+    /// [`SubmitOptions::min_version`] fence.
+    pub fn inspect_versioned<R, F>(&self, f: F) -> Result<R, DynConError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&B, Option<Version>) -> R + Send + 'static,
+    {
         let (tx, rx) = std::sync::mpsc::channel();
-        let job: InspectJob = Box::new(move |backend: &dyn std::any::Any| {
+        let job: InspectJob = Box::new(move |backend: &dyn std::any::Any, version| {
             let backend = backend
                 .downcast_ref::<B>()
                 .expect("inspect job runs against its own server's backend");
             // A hung-up receiver means the caller gave up waiting; the
             // result is simply discarded.
-            let _ = tx.send(f(backend));
+            let _ = tx.send(f(backend, version));
         });
         {
             let mut q = self.shared.q.lock().unwrap();
@@ -345,6 +525,53 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         // closed-and-empty exit condition, and every shutdown path drops
         // pending jobs (closing this channel) — so this wait always ends.
         rx.recv().map_err(|_| DynConError::ServiceClosed)
+    }
+
+    /// The newest committed [`Version`], independent of view retention:
+    /// `Some` once any round committed (or, on a durable stack, once
+    /// recovery replayed history), `None` on a fresh server.
+    pub fn newest_committed(&self) -> Option<Version> {
+        let rounds = self.shared.rounds_committed.load(Ordering::Relaxed);
+        newest_committed(self.config.first_version, rounds)
+    }
+
+    /// Run `f` against a clone of the **newest** retained view, off the
+    /// commit path: on a reader-pool thread when
+    /// [`ServerConfig::reader_threads`] > 0, inline otherwise. The view
+    /// is resolved now (so the version is pinned at call time); the
+    /// query work happens when the pool gets to it.
+    pub fn read_async<R, F>(&self, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        match self.read_view() {
+            Ok(view) => self.run_read(view, f),
+            Err(e) => ReadHandle::ready(Err(e)),
+        }
+    }
+
+    /// [`ConnServer::read_async`] against the view of exactly `version`.
+    pub fn read_async_at<R, F>(&self, version: Version, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        match self.read_view_at(version) {
+            Ok(view) => self.run_read(view, f),
+            Err(e) => ReadHandle::ready(Err(e)),
+        }
+    }
+
+    fn run_read<R, F>(&self, view: ReadView, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        match &self.readers {
+            Some(pool) => pool.execute(move || Ok(f(&view))),
+            None => ReadHandle::ready(Ok(f(&view))),
+        }
     }
 
     /// Fix the current round boundary: every request admitted since the
@@ -373,6 +600,9 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         q.closed = true;
         self.shared.submitted.notify_all();
         self.shared.space.notify_all();
+        // A min_version fence parked on a version that will now never
+        // commit must observe the close and fail.
+        self.shared.commits.notify_all();
     }
 
     /// Close (if not already closed), drain every pending round, stop the
@@ -392,6 +622,70 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             ops_committed: self.shared.ops_committed.load(Ordering::Relaxed),
             metrics: self.registry.snapshot(),
         }
+    }
+}
+
+impl<B: BatchDynamic + ExportEdges + Send + 'static> ConnServer<B> {
+    /// [`ConnServer::start`], with MVCC versioned reads enabled: after
+    /// every committed round the writer exports the backend's canonical
+    /// edge list ([`ExportEdges`]) and publishes it as the [`ReadView`]
+    /// of that round's [`Version`], retained for the last
+    /// [`ServerConfig::retain_views`] versions
+    /// ([`DEFAULT_RETAINED_VERSIONS`] when left at 0).
+    ///
+    /// Readers ([`ConnServer::read_view`], [`ConnServer::read_view_at`],
+    /// [`ConnServer::read_async`]) clone retained views out from under a
+    /// constant-time lock and never block the writer; the writer's only
+    /// extra cost is the per-round export + label pass
+    /// (`dyncon_server_snapshot_publish_ns`).
+    ///
+    /// When [`ServerConfig::first_version`] > 0 (a durable stack passing
+    /// its recovered WAL round id), the starting state is published
+    /// immediately as version `first_version - 1`, so recovered history
+    /// is readable before the first new round commits.
+    pub fn start_versioned(backend: B, config: ServerConfig) -> Self {
+        Self::start_inner(
+            backend,
+            config,
+            Some(Arc::new(|b: &B| b.export_edges()) as _),
+        )
+    }
+}
+
+impl<B: BatchDynamic + Send + 'static> VersionedRead for ConnServer<B> {
+    /// The retained `[oldest, newest]` version range — `None` until the
+    /// first publication, and always `None` on a server started without
+    /// [`ConnServer::start_versioned`].
+    fn version_window(&self) -> Option<(Version, Version)> {
+        self.views.as_ref().and_then(|store| store.bounds())
+    }
+
+    /// A read-only view of the newest committed version. Never blocks
+    /// the writer; the returned [`ReadView`] stays valid (and keeps
+    /// answering as of its version) however far the server advances.
+    fn read_view(&self) -> Result<ReadView, DynConError> {
+        self.shared.metrics.read_view_requests.inc();
+        let store = self
+            .views
+            .as_ref()
+            .ok_or_else(|| dyncon_api::empty_window_error(0))?;
+        let view = store.get_newest()?;
+        self.shared.metrics.read_view_age_rounds.record(0);
+        Ok(view)
+    }
+
+    /// The view of exactly `version`, if still retained. Outside the
+    /// window the error reports the retained bounds, typed:
+    /// [`DynConError::UnknownVersion`].
+    fn read_view_at(&self, version: Version) -> Result<ReadView, DynConError> {
+        self.shared.metrics.read_view_requests.inc();
+        let store = self
+            .views
+            .as_ref()
+            .ok_or_else(|| dyncon_api::empty_window_error(version))?;
+        let (view, age) = store.get_at(version)?;
+        self.shared.metrics.read_view_age_rounds.record(age);
+        Ok(view)
     }
 }
 
@@ -457,7 +751,9 @@ fn writer_loop<B: BatchDynamic + 'static>(
     mut backend: B,
     shared: Arc<Shared>,
     config: ServerConfig,
+    publisher: Option<ViewPublisher<B>>,
 ) -> (B, Vec<RoundRecord>) {
+    let num_vertices = backend.num_vertices();
     let pool = config.worker_threads.map(|t| {
         rayon::ThreadPoolBuilder::new()
             .num_threads(t)
@@ -477,8 +773,12 @@ fn writer_loop<B: BatchDynamic + 'static>(
                 if !q.inspects.is_empty() {
                     let jobs: Vec<InspectJob> = q.inspects.drain(..).collect();
                     drop(q);
+                    let version = newest_committed(
+                        config.first_version,
+                        shared.rounds_committed.load(Ordering::Relaxed),
+                    );
                     for job in jobs {
-                        job(&backend);
+                        job(&backend, version);
                     }
                     q = shared.q.lock().unwrap();
                     continue;
@@ -588,9 +888,17 @@ fn writer_loop<B: BatchDynamic + 'static>(
             .apply_ns
             .record_duration(apply_started.elapsed());
 
-        // Phase 3: hand each submitter its slice of the answers.
+        // Phase 3: publish the round's view, then hand each submitter its
+        // slice of the answers.
         match applied {
             Ok(result) => {
+                let version = config.first_version + round_no;
+                // Publish BEFORE resolving tickets: a client that saw its
+                // ticket commit as `version` must find `read_view_at(version)`
+                // already there.
+                if let Some(publisher) = &publisher {
+                    publish_view(publisher, &backend, num_vertices, version, &shared.metrics);
+                }
                 shared.rounds_committed.fetch_add(1, Ordering::Relaxed);
                 shared
                     .ops_committed
@@ -598,6 +906,12 @@ fn writer_loop<B: BatchDynamic + 'static>(
                 shared.metrics.rounds_committed.inc();
                 shared.metrics.ops_committed.add(ops.len() as u64);
                 shared.metrics.round_size_ops.record(ops.len() as u64);
+                // Wake min_version fences now that the commit counter
+                // advanced (the notify pairs with the fence's q-lock wait).
+                {
+                    let _q = shared.q.lock().unwrap();
+                    shared.commits.notify_all();
+                }
                 let mut cursor = result.answers.iter().copied();
                 for req in &round {
                     let queries = req
@@ -609,6 +923,7 @@ fn writer_loop<B: BatchDynamic + 'static>(
                     debug_assert_eq!(answers.len(), queries, "answer underrun");
                     req.slot.fill(Ok(RequestResult {
                         round: round_no,
+                        version,
                         inserted: result.inserted,
                         deleted: result.deleted,
                         answers,
@@ -664,6 +979,7 @@ fn fail_all_pending(shared: &Shared, round_in_flight: &[Request]) {
     drop(q);
     shared.space.notify_all();
     shared.submitted.notify_all();
+    shared.commits.notify_all();
     for req in pending {
         req.slot.fill(Err(DynConError::ServiceClosed));
     }
@@ -1214,6 +1530,228 @@ mod tests {
         t.wait().unwrap();
         assert_eq!(s.rounds_committed(), 1);
         assert_eq!(s.ops_committed(), 1);
+        s.join();
+    }
+
+    fn versioned_server(n: usize, config: ServerConfig) -> ConnServer<BatchDynamicConnectivity> {
+        ConnServer::start_versioned(BatchDynamicConnectivity::new(n), config)
+    }
+
+    #[test]
+    fn versioned_server_publishes_one_view_per_round() {
+        let s = versioned_server(8, ServerConfig::new().deterministic(true).retain_views(2));
+        assert_eq!(s.version_window(), None, "nothing committed yet");
+        assert_eq!(s.newest_committed(), None);
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        let r = t.wait().unwrap();
+        assert_eq!((r.round, r.version), (0, 0));
+        // The view of the committed version is already there (publish
+        // happens before the ticket resolves) and answers as-of.
+        let v0 = s.read_view_at(r.version).unwrap();
+        assert!(v0.connected(0, 1));
+        assert!(!v0.connected(0, 2));
+        let t = s.submit_as(0, vec![Op::Insert(1, 2)]).unwrap();
+        s.seal_round();
+        let r1 = t.wait().unwrap();
+        assert_eq!(r1.version, 1);
+        // v0 is immutable: it still answers as of version 0.
+        assert!(!v0.connected(0, 2));
+        assert!(s.read_view().unwrap().connected(0, 2));
+        assert_eq!(s.version_window(), Some((0, 1)));
+        // A third round evicts version 0 from the retain=2 window.
+        let t = s.submit_as(0, vec![Op::Delete(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        assert_eq!(s.version_window(), Some((1, 2)));
+        assert_eq!(
+            s.read_view_at(0).unwrap_err(),
+            DynConError::UnknownVersion {
+                requested: 0,
+                oldest: 1,
+                newest: 2
+            }
+        );
+        s.join();
+    }
+
+    #[test]
+    fn unversioned_server_has_no_views() {
+        let s = server(8, ServerConfig::new());
+        s.submit(vec![Op::Insert(0, 1)]).unwrap().wait().unwrap();
+        assert_eq!(s.version_window(), None);
+        assert!(matches!(
+            s.read_view().unwrap_err(),
+            DynConError::UnknownVersion { .. }
+        ));
+        // newest_committed still advances: it is a commit fact, not a
+        // retention fact.
+        assert_eq!(s.newest_committed(), Some(0));
+        s.join();
+    }
+
+    #[test]
+    fn min_version_fence_gates_admission() {
+        let s = versioned_server(8, ServerConfig::new().deterministic(true));
+        // Non-blocking fence on a future version: typed rejection.
+        let err = s
+            .submit_with(
+                vec![Op::Query(0, 1)],
+                SubmitOptions::new().as_client(0).min_version(0),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, DynConError::UnknownVersion { requested: 0, .. }),
+            "{err:?}"
+        );
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        assert_eq!(t.wait().unwrap().version, 0);
+        // Version 0 committed: the same fence now admits, and the round
+        // observes the fenced write (read-your-writes).
+        let t = s
+            .submit_with(
+                vec![Op::Query(0, 1)],
+                SubmitOptions::new().as_client(0).min_version(0),
+            )
+            .unwrap();
+        s.seal_round();
+        assert_eq!(t.wait().unwrap().answers, vec![true]);
+        s.join();
+    }
+
+    #[test]
+    fn blocking_fence_waits_for_the_commit() {
+        let s = Arc::new(versioned_server(8, ServerConfig::new().deterministic(true)));
+        let fenced = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                s.submit_with(
+                    vec![Op::Query(0, 1)],
+                    SubmitOptions::new()
+                        .as_client(9)
+                        .blocking(true)
+                        .min_version(0),
+                )
+                .and_then(|t| {
+                    // The fenced request is admitted into the NEXT round;
+                    // seal it from here (the submitting side) so the test
+                    // does not race the main thread's seals.
+                    s.seal_round();
+                    t.wait()
+                })
+            })
+        };
+        // Give the fence a moment to park, then commit version 0.
+        std::thread::sleep(Duration::from_millis(10));
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        let r = fenced.join().unwrap().unwrap();
+        assert_eq!(r.answers, vec![true], "fence admitted after version 0");
+        assert!(r.version >= 1);
+        Arc::try_unwrap(s).ok().expect("last owner").join();
+    }
+
+    #[test]
+    fn blocking_fence_fails_on_close_instead_of_hanging() {
+        let s = Arc::new(versioned_server(8, ServerConfig::new().deterministic(true)));
+        let fenced = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                s.submit_with(
+                    vec![Op::Query(0, 1)],
+                    SubmitOptions::new().blocking(true).min_version(7),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        s.close();
+        assert_eq!(
+            fenced.join().unwrap().unwrap_err(),
+            DynConError::ServiceClosed
+        );
+        Arc::try_unwrap(s).ok().expect("last owner").join();
+    }
+
+    #[test]
+    fn read_async_runs_on_the_reader_pool() {
+        let s = versioned_server(8, ServerConfig::new().deterministic(true).reader_threads(2));
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.read_async(|view| (view.version(), view.connected(0, 1))))
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().unwrap().unwrap(), (0, true));
+        }
+        // An out-of-window version resolves immediately with the error.
+        let h = s.read_async_at(42, |view| view.version());
+        assert!(h.wait().unwrap().is_err());
+        s.join();
+    }
+
+    #[test]
+    fn inspect_versioned_names_the_observed_version() {
+        let s = versioned_server(8, ServerConfig::new().deterministic(true));
+        assert_eq!(
+            s.inspect_versioned(|_, version| version).unwrap(),
+            None,
+            "no round committed yet"
+        );
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        let (version, connected) = s
+            .inspect_versioned(|b, version| (version, b.connected(0, 1)))
+            .unwrap();
+        assert_eq!(version, Some(0));
+        assert!(connected);
+        s.join();
+    }
+
+    #[test]
+    fn view_metrics_count_requests_and_retention() {
+        let registry = dyncon_metrics::Registry::new();
+        let s = versioned_server(
+            8,
+            ServerConfig::new()
+                .deterministic(true)
+                .retain_views(4)
+                .metrics(registry.clone()),
+        );
+        let t = s.submit_as(0, vec![Op::Insert(0, 1)]).unwrap();
+        s.seal_round();
+        t.wait().unwrap();
+        s.read_view().unwrap();
+        s.read_view_at(0).unwrap();
+        let _ = s.read_view_at(9); // rejected, still counted
+        let snap = s.metrics_snapshot();
+        let get = |name: &str| snap.get(name).unwrap().value.clone();
+        assert_eq!(
+            get("dyncon_server_read_view_requests_total").as_counter(),
+            Some(3)
+        );
+        assert_eq!(
+            get("dyncon_server_snapshot_retained").as_gauge(),
+            Some((1, 1))
+        );
+        assert_eq!(
+            get("dyncon_server_snapshot_publish_ns")
+                .as_histogram()
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            get("dyncon_server_read_view_age_rounds")
+                .as_histogram()
+                .unwrap()
+                .count,
+            2,
+            "only served views record an age"
+        );
         s.join();
     }
 }

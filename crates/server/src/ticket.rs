@@ -6,10 +6,18 @@ use std::sync::{Arc, Condvar, Mutex};
 /// What one submitted request gets back after its round commits.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RequestResult {
-    /// The commit round (0-based, monotonically increasing) that applied
-    /// this request. Rounds are durable in submission order: once a
-    /// ticket resolves, every request of every earlier round is applied.
+    /// The commit round (0-based, monotonically increasing, **local to
+    /// this server process**) that applied this request. Rounds are
+    /// durable in submission order: once a ticket resolves, every
+    /// request of every earlier round is applied.
     pub round: u64,
+    /// The [`dyncon_api::Version`] the round committed as:
+    /// [`crate::ServerConfig::first_version`]` + `[`RequestResult::round`].
+    /// In a durable stack this is the WAL round id — stable across
+    /// process lifetimes, unlike `round` — so it is the value to pass to
+    /// [`dyncon_api::VersionedRead::read_view_at`] or to a later request's
+    /// [`crate::SubmitOptions::min_version`] read-your-writes fence.
+    pub version: u64,
     /// Edges the request's **whole round** inserted. A round coalesces
     /// many requests into one backend batch and the backend counts per
     /// batch call, so per-request attribution is not defined — these are
@@ -89,12 +97,13 @@ mod tests {
         let h = thread::spawn(move || ticket.wait());
         slot.fill(Ok(RequestResult {
             round: 3,
+            version: 13,
             inserted: 0,
             deleted: 0,
             answers: vec![true, false],
         }));
         let r = h.join().unwrap().unwrap();
-        assert_eq!((r.round, r.answers.len()), (3, 2));
+        assert_eq!((r.round, r.version, r.answers.len()), (3, 13, 2));
     }
 
     #[test]

@@ -10,9 +10,10 @@
 use crate::backend::{ShardShutdown, ShardedBackend};
 use crate::map::ShardMapKind;
 use dyncon_api::{BatchDynamic, BuildFrom, DynConError, ExportEdges, Op};
+use dyncon_api::{ReadView, Version, VersionedRead};
 use dyncon_durable::FsyncPolicy;
 use dyncon_metrics::{MetricsSnapshot, Registry};
-use dyncon_server::{ConnServer, RoundRecord, ServerConfig, Ticket};
+use dyncon_server::{ConnServer, ReadHandle, RoundRecord, ServerConfig, SubmitOptions, Ticket};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -70,6 +71,8 @@ pub struct ShardConfig {
     pub(crate) max_coalesce_wait: Duration,
     pub(crate) queue_capacity: usize,
     pub(crate) shard_worker_threads: Option<usize>,
+    pub(crate) retain_views: usize,
+    pub(crate) reader_threads: usize,
     pub(crate) metrics: Option<Registry>,
     pub(crate) durable: Option<DurableShards>,
 }
@@ -85,6 +88,8 @@ impl Default for ShardConfig {
             max_coalesce_wait: Duration::from_micros(200),
             queue_capacity: 1024,
             shard_worker_threads: None,
+            retain_views: 0,
+            reader_threads: 0,
             metrics: None,
             durable: None,
         }
@@ -147,6 +152,26 @@ impl ShardConfig {
     /// writer). `None` inherits `DYNCON_THREADS`/core count.
     pub fn shard_worker_threads(mut self, threads: usize) -> Self {
         self.shard_worker_threads = Some(threads);
+        self
+    }
+
+    /// Enable MVCC versioned reads on the **outer** server: after every
+    /// outer commit round the coordinator exports the global edge set
+    /// (each shard quiesced at that same outer version, boundary graph
+    /// included) and retains it as that outer [`dyncon_api::Version`]'s
+    /// snapshot, keeping the last `versions` of them (0, the default,
+    /// disables publication; see
+    /// [`dyncon_server::ServerConfig::retain_views`]).
+    pub fn retain_views(mut self, versions: usize) -> Self {
+        self.retain_views = versions;
+        self
+    }
+
+    /// Reader threads serving [`ShardedServer::read_async`] off the
+    /// commit path (0, the default, runs reads inline). See
+    /// [`dyncon_server::ServerConfig::reader_threads`].
+    pub fn reader_threads(mut self, threads: usize) -> Self {
+        self.reader_threads = threads;
         self
     }
 
@@ -213,12 +238,26 @@ where
             .queue_capacity(config.queue_capacity)
             .deterministic(config.deterministic)
             .record_rounds(config.record_rounds)
+            .retain_views(config.retain_views)
+            .reader_threads(config.reader_threads)
             .metrics(registry.clone());
         if let Some(threads) = config.shard_worker_threads {
             outer = outer.worker_threads(threads);
         }
+        // With views on, the outer writer exports the global edge set
+        // between outer rounds — every shard has fully committed its
+        // sub-rounds of outer round r and none has seen r+1, so the
+        // per-shard states and the boundary graph are all pinned at the
+        // same outer version. Note: outer versions are process-local
+        // (per-shard WALs log *sub*-rounds, so there is no durable outer
+        // round id to anchor to across restarts).
+        let inner = if config.retain_views > 0 {
+            ConnServer::start_versioned(backend, outer)
+        } else {
+            ConnServer::start(backend, outer)
+        };
         Ok(Self {
-            inner: ConnServer::start(backend, outer),
+            inner,
             registry,
             num_shards,
         })
@@ -261,10 +300,40 @@ where
         self.inner.submit_blocking_as(client, ops)
     }
 
+    /// See [`ConnServer::submit_with`]. Versions here are **outer**
+    /// round versions (process-local; per-shard WALs number sub-rounds).
+    pub fn submit_with(&self, ops: Vec<Op>, options: SubmitOptions) -> Result<Ticket, DynConError> {
+        self.inner.submit_with(ops, options)
+    }
+
     /// Seal the current outer round (deterministic mode's commit
     /// trigger). Returns how many requests the sealed round holds.
     pub fn seal_round(&self) -> usize {
         self.inner.seal_round()
+    }
+
+    /// The newest committed outer version.
+    pub fn newest_committed(&self) -> Option<Version> {
+        self.inner.newest_committed()
+    }
+
+    /// See [`ConnServer::read_async`]. Requires
+    /// [`ShardConfig::retain_views`] > 0.
+    pub fn read_async<R, F>(&self, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        self.inner.read_async(f)
+    }
+
+    /// See [`ConnServer::read_async_at`].
+    pub fn read_async_at<R, F>(&self, version: Version, f: F) -> ReadHandle<Result<R, DynConError>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ReadView) -> R + Send + 'static,
+    {
+        self.inner.read_async_at(version, f)
     }
 
     /// Run a read-only closure against the sharded backend between
@@ -307,5 +376,26 @@ where
             shards: shutdown.shards,
             cross: shutdown.cross,
         })
+    }
+}
+
+impl<B> VersionedRead for ShardedServer<B>
+where
+    B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
+{
+    /// The retained window of **outer** versions. Each retained view is
+    /// a globally consistent snapshot: all shards and the boundary graph
+    /// pinned at the same outer version (the coordinator exports between
+    /// outer rounds, when every shard has quiesced).
+    fn version_window(&self) -> Option<(Version, Version)> {
+        self.inner.version_window()
+    }
+
+    fn read_view(&self) -> Result<ReadView, DynConError> {
+        self.inner.read_view()
+    }
+
+    fn read_view_at(&self, version: Version) -> Result<ReadView, DynConError> {
+        self.inner.read_view_at(version)
     }
 }

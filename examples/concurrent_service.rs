@@ -18,7 +18,7 @@
 use dyncon_api::{BatchDynamic, Op, OpKind};
 use dyncon_core::BatchDynamicConnectivity;
 use dyncon_graphgen::zipf_client_schedules;
-use dyncon_server::{ConnServer, ServerConfig};
+use dyncon_server::{ConnServer, ServerConfig, SubmitOptions};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -53,7 +53,10 @@ fn throughput_demo() {
                 let mut connected = 0usize;
                 for ops in sched {
                     let ticket = server
-                        .submit_blocking_as(c as u64, ops.clone())
+                        .submit_with(
+                            ops.clone(),
+                            SubmitOptions::new().as_client(c as u64).blocking(true),
+                        )
                         .expect("service is open");
                     let result = ticket.wait().expect("round commits");
                     connected += result.answers.iter().filter(|&&a| a).count();
@@ -103,7 +106,9 @@ fn determinism_demo() {
             let (server, submitted, committed) = (&server, &submitted, &committed);
             scope.spawn(move || {
                 for ops in sched {
-                    let ticket = server.submit_as(c as u64, ops.clone()).unwrap();
+                    let ticket = server
+                        .submit_with(ops.clone(), SubmitOptions::new().as_client(c as u64))
+                        .unwrap();
                     submitted.wait();
                     let result = ticket.wait().unwrap();
                     let queries = ops.iter().filter(|o| o.kind() == OpKind::Query).count();
