@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <candidate.json> [--tolerance X] [--strict]
+//!            [--normalize <op>]
 //! ```
 //!
 //! Rows pair up by `(op, n, batch, threads)`. A baseline row missing
@@ -12,11 +13,23 @@
 //! runners are noisy) are printed as deviations: warnings by default,
 //! failures under `--strict`. Candidate-only rows are informational
 //! (new measurements land with new code).
+//!
+//! `--normalize <op>` divides the machine factor out before comparing:
+//! both sides are expressed relative to their own `<op>` row at
+//! `threads=1` (the calibration row), so a uniformly slower runner no
+//! longer trips the band and `--strict` becomes a real gate. Count
+//! rows (`queue_depth_max`, `shard_boundary_ops`, `trace_overhead_pct`)
+//! still compare raw — they are machine-speed invariant already.
 
-use dyncon_bench::{diff_bench_records, parse_bench_json, BenchRecord};
+use dyncon_bench::{
+    diff_bench_records, diff_bench_records_normalized, parse_bench_json, BenchRecord,
+};
 
 fn usage() -> ! {
-    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--tolerance X] [--strict]");
+    eprintln!(
+        "usage: bench_diff <baseline.json> <candidate.json> \
+         [--tolerance X] [--strict] [--normalize <op>]"
+    );
     std::process::exit(2);
 }
 
@@ -43,6 +56,7 @@ fn main() {
     let mut paths: Vec<&str> = Vec::new();
     let mut tolerance = 0.5f64;
     let mut strict = false;
+    let mut normalize: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,6 +68,9 @@ fn main() {
                     .filter(|t| t.is_finite() && *t >= 0.0)
                     .unwrap_or_else(|| usage());
             }
+            "--normalize" => {
+                normalize = Some(it.next().map(String::as_str).unwrap_or_else(|| usage()));
+            }
             p if !p.starts_with('-') => paths.push(p),
             _ => usage(),
         }
@@ -64,14 +81,25 @@ fn main() {
 
     let baseline = load(baseline_path);
     let candidate = load(candidate_path);
-    let diff = diff_bench_records(&baseline, &candidate, tolerance);
+    let diff = match normalize {
+        None => diff_bench_records(&baseline, &candidate, tolerance),
+        Some(op) => diff_bench_records_normalized(&baseline, &candidate, tolerance, op)
+            .unwrap_or_else(|e| {
+                eprintln!("bench_diff: {e}");
+                std::process::exit(2);
+            }),
+    };
 
     println!(
-        "bench_diff: {} baseline rows vs {} candidate rows (tolerance ±{:.0}%{})",
+        "bench_diff: {} baseline rows vs {} candidate rows (tolerance ±{:.0}%{}{})",
         baseline.len(),
         candidate.len(),
         tolerance * 100.0,
-        if strict { ", strict" } else { "" }
+        if strict { ", strict" } else { "" },
+        match normalize {
+            Some(op) => format!(", normalized to {op}@1"),
+            None => String::new(),
+        }
     );
     println!("  {} matched within the band", diff.matched);
     for r in &diff.added {

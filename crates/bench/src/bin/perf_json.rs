@@ -18,6 +18,11 @@
 //! quantiles, `queue_depth_max` is the server's queue-depth gauge
 //! high-water mark from the metrics snapshot (a count, not nanoseconds —
 //! the `median_ns` field carries it for schema uniformity).
+//! The two tracing rows price the observability layer itself:
+//! `trace_overhead_pct` re-runs the closed-loop service with a
+//! `TraceRecorder` attached and reports the traced wall as a percentage
+//! of the untraced one (≈100; a machine-invariant ratio, gated ≤105),
+//! `slow_round_p99_ns` is the recorder's p99 round wall time.
 //! The two versioned-read rows measure the MVCC plane:
 //! `read_view_throughput` is the wall time of 4 reader threads answering
 //! 5000 snapshot connectivity queries each against a quiesced versioned
@@ -44,6 +49,7 @@ use dyncon_durable::{recover, scratch_dir, FsyncPolicy, Snapshot, WalWriter};
 use dyncon_graphgen::{erdos_renyi, poisson_arrivals, zipf_client_schedules, UpdateStream};
 use dyncon_server::{ConnServer, ServerConfig};
 use dyncon_shard::{ShardConfig, ShardedServer};
+use dyncon_trace::TraceRecorder;
 use std::time::Duration;
 
 struct Record {
@@ -167,6 +173,48 @@ fn main() {
                 median_ns: median.as_nanos(),
             });
             eprintln!("{op} @ {threads} threads: median {} ns", median.as_nanos());
+        }
+
+        // Tracing overhead: the identical closed-loop run with a
+        // `TraceRecorder` attached. `trace_overhead_pct` is the traced
+        // wall as a percentage of the untraced `service_throughput`
+        // median (≈100; the acceptance band is ≤105 = ≤5% overhead) — a
+        // ratio of same-machine walls, so it carries no machine factor.
+        // `slow_round_p99_ns` is the recorder's own p99 round wall time
+        // across every traced round.
+        let recorder = TraceRecorder::new();
+        let traced_run = || {
+            let server = ConnServer::start(
+                BatchDynamicConnectivity::new(n),
+                ServerConfig::new()
+                    .batch_cap(service_cap)
+                    .coalesce_wait(Duration::from_micros(50))
+                    .queue_capacity(2 * clients)
+                    .worker_threads(threads)
+                    .trace(recorder.clone()),
+            );
+            let (wall, _lats) = drive_service(&server, &schedules);
+            server.join();
+            wall
+        };
+        let traced_wall = median_duration(reps, traced_run);
+        let overhead_pct = ((traced_wall.as_nanos() as f64 * 100.0)
+            / (wall.as_nanos().max(1) as f64))
+            .round()
+            .max(1.0) as u128;
+        let slow_p99 = recorder.round_wall_quantile(0.99).unwrap_or(1).max(1) as u128;
+        for (op, median_ns) in [
+            ("trace_overhead_pct", overhead_pct),
+            ("slow_round_p99_ns", slow_p99),
+        ] {
+            records.push(Record {
+                op,
+                n,
+                batch: service_cap,
+                threads,
+                median_ns,
+            });
+            eprintln!("{op} @ {threads} threads: {median_ns}");
         }
 
         // The open-loop load observatory: Poisson arrivals at a fixed
@@ -502,6 +550,8 @@ fn main() {
         "batch_delete",
         "service_throughput",
         "service_latency_p50",
+        "trace_overhead_pct",
+        "slow_round_p99_ns",
         "load_p50_ns",
         "load_p99_ns",
         "load_p999_ns",

@@ -173,6 +173,64 @@ pub fn diff_bench_records(
     diff
 }
 
+/// Ops whose `median_ns` field carries a count or a ratio rather than a
+/// wall time. Counts are machine-speed invariant, so normalization
+/// would *introduce* the machine factor it is meant to remove — these
+/// rows always compare raw.
+pub const COUNT_OPS: &[&str] = &[
+    "queue_depth_max",
+    "shard_boundary_ops",
+    "trace_overhead_pct",
+];
+
+/// [`diff_bench_records`] with the machine factor divided out: both
+/// sides are expressed relative to their own **calibration row** — the
+/// `calibrate` op at `threads == 1` — so a uniformly 2× slower CI
+/// runner shows every ratio ≈ 1.0 instead of 2.0, and the tolerance
+/// band can be tightened into a gate. Each matched timing row deviates
+/// when `(candidate/baseline) / (calib_cand/calib_base)` leaves
+/// `[1/(1+tolerance), 1+tolerance]`; rows in [`COUNT_OPS`] still
+/// compare raw. Errors when either side lacks the calibration row.
+pub fn diff_bench_records_normalized(
+    baseline: &[BenchRecord],
+    candidate: &[BenchRecord],
+    tolerance: f64,
+    calibrate: &str,
+) -> Result<BenchDiff, String> {
+    let calib = |records: &[BenchRecord], side: &str| -> Result<f64, String> {
+        records
+            .iter()
+            .find(|r| r.op == calibrate && r.threads == 1)
+            .map(|r| (r.median_ns as f64).max(1.0))
+            .ok_or_else(|| format!("{side} has no calibration row {calibrate} at threads=1"))
+    };
+    let calib_ratio = calib(candidate, "candidate")? / calib(baseline, "baseline")?;
+    let mut diff = BenchDiff::default();
+    let mut unseen: Vec<&BenchRecord> = candidate.iter().collect();
+    for base in baseline {
+        match unseen.iter().position(|c| c.key() == base.key()) {
+            None => diff.missing.push(base.clone()),
+            Some(at) => {
+                let cand = unseen.swap_remove(at);
+                let raw = cand.median_ns as f64 / (base.median_ns as f64).max(1.0);
+                let ratio = if COUNT_OPS.contains(&base.op.as_str()) {
+                    raw
+                } else {
+                    raw / calib_ratio
+                };
+                let band = 1.0 + tolerance.max(0.0);
+                if ratio > band || ratio < 1.0 / band {
+                    diff.deviations.push((base.clone(), cand.clone(), ratio));
+                } else {
+                    diff.matched += 1;
+                }
+            }
+        }
+    }
+    diff.added = unseen.into_iter().cloned().collect();
+    Ok(diff)
+}
+
 /// Wall-clock a closure.
 pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     let t = Instant::now();
@@ -561,5 +619,72 @@ mod tests {
             0.5,
         );
         assert_eq!(fast.deviations.len(), 1);
+    }
+
+    #[test]
+    fn normalized_diff_divides_out_the_machine_factor() {
+        use super::{diff_bench_records, diff_bench_records_normalized, parse_bench_json};
+        let base = parse_bench_json(&artifact(&[
+            ("service_throughput", 1, 1_000_000),
+            ("batch_insert", 1, 400_000),
+            ("recovery_ms", 1, 5_000_000),
+            ("queue_depth_max", 1, 6),
+        ]))
+        .unwrap();
+        // A uniformly 2x slower runner: every timing doubled, counts
+        // unchanged. The raw diff at ±20% flags every timing row; the
+        // normalized diff sees every ratio as exactly 1.0.
+        let cand = parse_bench_json(&artifact(&[
+            ("service_throughput", 1, 2_000_000),
+            ("batch_insert", 1, 800_000),
+            ("recovery_ms", 1, 10_000_000),
+            ("queue_depth_max", 1, 6),
+        ]))
+        .unwrap();
+        let raw = diff_bench_records(&base, &cand, 0.2);
+        assert_eq!(raw.deviations.len(), 3);
+        let norm = diff_bench_records_normalized(&base, &cand, 0.2, "service_throughput").unwrap();
+        assert_eq!(norm.deviations.len(), 0);
+        assert_eq!(norm.matched, 4);
+
+        // A genuine regression survives normalization: recovery got 3x
+        // slower while the calibration row only doubled.
+        let regressed = parse_bench_json(&artifact(&[
+            ("service_throughput", 1, 2_000_000),
+            ("batch_insert", 1, 800_000),
+            ("recovery_ms", 1, 30_000_000),
+            ("queue_depth_max", 1, 6),
+        ]))
+        .unwrap();
+        let norm =
+            diff_bench_records_normalized(&base, &regressed, 0.2, "service_throughput").unwrap();
+        assert_eq!(norm.deviations.len(), 1);
+        let (b, _, ratio) = &norm.deviations[0];
+        assert_eq!(b.op, "recovery_ms");
+        assert!((ratio - 3.0).abs() < 1e-9, "normalized ratio {ratio}");
+
+        // Count rows stay raw: a doubled queue depth deviates even
+        // though the machine factor would excuse a doubled timing.
+        let counts = parse_bench_json(&artifact(&[
+            ("service_throughput", 1, 2_000_000),
+            ("queue_depth_max", 1, 12),
+        ]))
+        .unwrap();
+        let norm = diff_bench_records_normalized(&base[..1], &counts, 0.2, "service_throughput")
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(norm.matched, 1, "calibration row matches itself");
+        let counts_diff =
+            diff_bench_records_normalized(&base[3..], &counts[1..], 0.2, "service_throughput");
+        assert!(counts_diff.is_err(), "missing calibration row is an error");
+        let both = [base[0].clone(), base[3].clone()];
+        let norm =
+            diff_bench_records_normalized(&both, &counts, 0.2, "service_throughput").unwrap();
+        assert_eq!(norm.deviations.len(), 1);
+        assert_eq!(norm.deviations[0].0.op, "queue_depth_max");
+
+        // Missing rows are still always reported.
+        let norm =
+            diff_bench_records_normalized(&base, &cand[..2], 0.2, "service_throughput").unwrap();
+        assert_eq!(norm.missing.len(), 2);
     }
 }

@@ -12,9 +12,10 @@ use dyncon_api::{
 };
 use dyncon_metrics::MetricsSnapshot;
 use dyncon_server::{ConnServer, ReadHandle, ServerConfig, ServiceReport, SubmitOptions, Ticket};
+use dyncon_trace::Stage;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Durability knobs of a [`DurableServer`].
 #[derive(Clone, Debug)]
@@ -143,15 +144,17 @@ where
         let abort_wal = Arc::clone(&wal);
         let hook_metrics = Arc::clone(&metrics);
         let abort_metrics = Arc::clone(&metrics);
+        let hook_trace = config.trace.clone();
+        let abort_trace = config.trace.clone();
         let config = config
-            .round_hook(Arc::new(move |_server_round, ops: &[Op]| {
+            .round_hook(Arc::new(move |server_round, ops: &[Op]| {
                 let mut wal = hook_wal.lock().expect("WAL writer lock poisoned");
                 let (bytes_before, fsyncs_before) = (wal.log_bytes(), wal.fsync_count());
+                let sync_ns_before = wal.sync_ns();
                 let started = Instant::now();
                 let appended = wal.append_round(ops).map(|_| ());
-                hook_metrics
-                    .wal_append_ns
-                    .record_duration(started.elapsed());
+                let append_took = started.elapsed();
+                hook_metrics.wal_append_ns.record_duration(append_took);
                 // A failed append rolls its frame back, so the byte delta
                 // is zero exactly when nothing durable was added.
                 hook_metrics
@@ -163,19 +166,43 @@ where
                 if appended.is_ok() {
                     hook_metrics.wal_rounds_logged.inc();
                 }
+                if let Some(t) = &hook_trace {
+                    let ops_n = ops.len() as u64;
+                    t.record_parts(
+                        server_round,
+                        Stage::WalAppend,
+                        started,
+                        append_took,
+                        ops_n,
+                        None,
+                    );
+                    // The fsync (when the policy made one due) happened
+                    // inside the append; attribute its share as a nested
+                    // span so the breakdown separates encode+write from
+                    // the stable-storage wait.
+                    let fsync_ns = wal.sync_ns().saturating_sub(sync_ns_before);
+                    if fsync_ns > 0 {
+                        let dur = Duration::from_nanos(fsync_ns);
+                        t.record_parts(server_round, Stage::WalFsync, started, dur, ops_n, None);
+                    }
+                }
                 appended
             }))
             // A logged round whose apply then fails is un-logged, so the
             // failure the clients see and the durable history agree.
-            .round_abort(Arc::new(move |_server_round, _ops: &[Op]| {
+            .round_abort(Arc::new(move |server_round, ops: &[Op]| {
                 let mut wal = abort_wal.lock().expect("WAL writer lock poisoned");
                 let fsyncs_before = wal.fsync_count();
+                let started = Instant::now();
                 let aborted = wal.abort_round().map(|_| ());
                 abort_metrics
                     .wal_fsyncs
                     .add(wal.fsync_count() - fsyncs_before);
                 if aborted.is_ok() {
                     abort_metrics.wal_rounds_aborted.inc();
+                }
+                if let Some(t) = &abort_trace {
+                    t.record(server_round, Stage::WalAbort, started, ops.len() as u64);
                 }
                 aborted
             }))

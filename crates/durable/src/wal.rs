@@ -37,6 +37,7 @@ use dyncon_primitives::hash64;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// File name of the write-ahead log inside a durable directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -226,6 +227,9 @@ pub struct WalWriter {
     /// Lifetime fsync count of this writer handle (observability; see
     /// [`WalWriter::fsync_count`]).
     fsyncs: u64,
+    /// Lifetime nanoseconds spent inside fsync calls (observability; see
+    /// [`WalWriter::sync_ns`]).
+    sync_ns: u64,
     /// Byte offset just past the last fully-appended record — the
     /// rollback point when an append or sync fails mid-frame.
     end_offset: u64,
@@ -268,6 +272,7 @@ impl WalWriter {
             next_round,
             unsynced_rounds: 0,
             fsyncs: 0,
+            sync_ns: 0,
             end_offset: WAL_MAGIC.len() as u64,
             last_record_start: None,
             poisoned: false,
@@ -308,6 +313,14 @@ impl WalWriter {
     /// alike). Observability only.
     pub fn fsync_count(&self) -> u64 {
         self.fsyncs
+    }
+
+    /// Lifetime nanoseconds this writer handle has spent inside fsync
+    /// calls. Observability only; successive readings around an append
+    /// give that append's fsync cost (zero when the policy deferred the
+    /// sync).
+    pub fn sync_ns(&self) -> u64 {
+        self.sync_ns
     }
 
     /// Bytes of valid log currently on disk (magic + every appended
@@ -404,9 +417,11 @@ impl WalWriter {
 
     /// Force everything appended so far onto stable storage.
     pub fn sync(&mut self) -> Result<(), DynConError> {
+        let started = Instant::now();
         self.file
             .sync_all()
             .map_err(|e| storage_err(&self.path, e))?;
+        self.sync_ns += started.elapsed().as_nanos() as u64;
         self.unsynced_rounds = 0;
         self.fsyncs += 1;
         Ok(())

@@ -2,6 +2,7 @@
 
 use dyncon_api::{DynConError, Op};
 use dyncon_metrics::Registry;
+use dyncon_trace::TraceRecorder;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -72,6 +73,19 @@ pub struct ServerConfig {
     /// only: enabling them never changes admission, round boundaries, or
     /// results.
     pub metrics: Option<Registry>,
+    /// Recorder the server traces its pipeline stages into: one
+    /// [`dyncon_trace::Span`] per stage occurrence (coalesce wait,
+    /// WAL append/fsync via the hooks, apply, snapshot publish, ticket
+    /// fill, versioned reads), folded into per-round breakdowns with
+    /// slow-round capture. `None` (default) records nothing — the
+    /// instrumentation is an `Option` check, no clock reads. Tracing
+    /// follows the same contract as metrics: **observational only**,
+    /// never influencing admission, round boundaries, or results
+    /// (byte-determinism with a recorder attached is proven in
+    /// `tests/determinism.rs`). Share one recorder across a stack
+    /// (server + durability + shards) the way a metric registry is
+    /// shared, then scrape it with [`dyncon_trace::serve_telemetry`].
+    pub trace: Option<TraceRecorder>,
     /// Size of the versioned-read retention window: how many recently
     /// committed versions keep a published [`dyncon_api::ReadView`]
     /// available through [`dyncon_api::VersionedRead::read_view_at`]. `0`
@@ -115,6 +129,7 @@ impl fmt::Debug for ServerConfig {
                 &self.round_abort.as_ref().map(|_| "<round abort>"),
             )
             .field("metrics", &self.metrics)
+            .field("trace", &self.trace)
             .field("retain_views", &self.retain_views)
             .field("reader_threads", &self.reader_threads)
             .field("first_version", &self.first_version)
@@ -134,6 +149,7 @@ impl Default for ServerConfig {
             round_hook: None,
             round_abort: None,
             metrics: None,
+            trace: None,
             retain_views: 0,
             reader_threads: 0,
             first_version: 0,
@@ -202,6 +218,13 @@ impl ServerConfig {
     /// [`ServerConfig::metrics`]).
     pub fn metrics(mut self, registry: Registry) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Trace pipeline stages into `recorder` (see
+    /// [`ServerConfig::trace`]).
+    pub fn trace(mut self, recorder: TraceRecorder) -> Self {
+        self.trace = Some(recorder);
         self
     }
 

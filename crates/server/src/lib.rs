@@ -85,6 +85,17 @@
 //! [`ServiceReport::metrics`] at join. Metrics are observational only:
 //! nothing reads them on a decision path, so enabling them leaves every
 //! committed round byte-identical (held in `tests/determinism.rs`).
+//!
+//! Where metrics aggregate, **tracing attributes**: attach a
+//! [`TraceRecorder`] via [`ServerConfig::trace`] and every pipeline
+//! stage of every round (coalesce wait, WAL append/fsync through the
+//! hooks, apply, snapshot publish, ticket fill, plus the reader path)
+//! records a span into a bounded ring buffer, folded into per-round
+//! stage breakdowns with slow-round capture. Read the slowest round's
+//! breakdown from [`ServiceReport::slowest_round`], export the ring as
+//! Chrome-trace JSON, or serve both live with
+//! [`dyncon_trace::serve_telemetry`]. Same observational-only contract
+//! as metrics, proven by the same determinism suite.
 
 mod config;
 mod metrics;
@@ -102,3 +113,8 @@ pub use views::ReadHandle;
 // versioned-read vocabulary without adding a direct dyncon-api
 // dependency.
 pub use dyncon_api::{DynConError, ReadView, Version, VersionedRead};
+
+// Re-exported so attaching a recorder and reading
+// [`ServiceReport::slowest_round`] need no direct dyncon-trace
+// dependency.
+pub use dyncon_trace::{RoundTrace, TraceRecorder};

@@ -10,6 +10,7 @@ use dyncon_api::{
     Version, VersionedRead,
 };
 use dyncon_metrics::{MetricsSnapshot, Registry};
+use dyncon_trace::{traced, RoundTrace, Stage};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -151,6 +152,11 @@ pub struct ServiceReport<B> {
     /// registry from [`ServerConfig::metrics`] if one was passed, so
     /// durability metrics pooled there are included).
     pub metrics: MetricsSnapshot,
+    /// Stage breakdown of the slowest committed round, when a
+    /// [`ServerConfig::trace`] recorder was attached (`None` otherwise,
+    /// and before any round committed) — post-mortem attribution
+    /// without scraping the live telemetry endpoint.
+    pub slowest_round: Option<RoundTrace>,
 }
 
 /// A group-commit batching frontend over any [`BatchDynamic`] backend.
@@ -499,6 +505,12 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
     /// fresh server before any round committed). This is how a caller
     /// correlates an inspection with [`ConnServer::read_view_at`] or a
     /// [`SubmitOptions::min_version`] fence.
+    ///
+    /// For *timing* attribution of the rounds an inspection interleaves
+    /// with — which stage a slow round spent its wall time in — attach
+    /// a [`ServerConfig::trace`] recorder and read
+    /// [`ServiceReport::slowest_round`] (or scrape the live
+    /// [`dyncon_trace::serve_telemetry`] endpoint).
     pub fn inspect_versioned<R, F>(&self, f: F) -> Result<R, DynConError>
     where
         R: Send + 'static,
@@ -568,9 +580,19 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         R: Send + 'static,
         F: FnOnce(&ReadView) -> R + Send + 'static,
     {
+        // Read-execute spans attribute to the view's version (not a
+        // commit round): the question a trace answers here is "what
+        // were reads at version v doing while round r was slow".
+        let trace = self.config.trace.clone();
+        let job = move || {
+            let version = view.version();
+            Ok(traced(trace.as_ref(), version, Stage::ReadExec, 0, || {
+                f(&view)
+            }))
+        };
         match &self.readers {
-            Some(pool) => pool.execute(move || Ok(f(&view))),
-            None => ReadHandle::ready(Ok(f(&view))),
+            Some(pool) => pool.execute(job),
+            None => ReadHandle::ready(job()),
         }
     }
 
@@ -621,6 +643,7 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             rounds_committed: self.shared.rounds_committed.load(Ordering::Relaxed),
             ops_committed: self.shared.ops_committed.load(Ordering::Relaxed),
             metrics: self.registry.snapshot(),
+            slowest_round: self.config.trace.as_ref().and_then(|t| t.slowest_round()),
         }
     }
 }
@@ -669,8 +692,12 @@ impl<B: BatchDynamic + Send + 'static> VersionedRead for ConnServer<B> {
             .views
             .as_ref()
             .ok_or_else(|| dyncon_api::empty_window_error(0))?;
+        let started = self.config.trace.as_ref().map(|_| Instant::now());
         let view = store.get_newest()?;
         self.shared.metrics.read_view_age_rounds.record(0);
+        if let (Some(t), Some(started)) = (&self.config.trace, started) {
+            t.record(view.version(), Stage::ViewResolve, started, 0);
+        }
         Ok(view)
     }
 
@@ -683,8 +710,12 @@ impl<B: BatchDynamic + Send + 'static> VersionedRead for ConnServer<B> {
             .views
             .as_ref()
             .ok_or_else(|| dyncon_api::empty_window_error(version))?;
+        let started = self.config.trace.as_ref().map(|_| Instant::now());
         let (view, age) = store.get_at(version)?;
         self.shared.metrics.read_view_age_rounds.record(age);
+        if let (Some(t), Some(started)) = (&self.config.trace, started) {
+            t.record(version, Stage::ViewResolve, started, 0);
+        }
         Ok(view)
     }
 }
@@ -823,22 +854,40 @@ fn writer_loop<B: BatchDynamic + 'static>(
             }
         };
         shared.space.notify_all();
-        // Coalesce wait: how long the round's oldest request sat admitted.
-        if let Some(oldest) = round.iter().map(|r| r.admitted).min() {
-            shared
-                .metrics
-                .coalesce_wait_ns
-                .record_duration(oldest.elapsed());
-        }
-
-        // Phase 2: apply the round as ONE mixed-op batch, outside the lock.
-        let mut ops: Vec<Op> = Vec::with_capacity(round.iter().map(|r| r.ops.len()).sum());
-        for req in &round {
-            ops.extend_from_slice(&req.ops);
-        }
         // Only the writer increments the counter, so this load is the
         // number the round will commit under.
         let round_no = shared.rounds_committed.load(Ordering::Relaxed);
+        let total_ops: usize = round.iter().map(|r| r.ops.len()).sum();
+        // Tracing starts the round's wall clock at the instant the
+        // writer took the round, and publishes the round number as the
+        // attribution context for nested instrumentation (the WAL hook
+        // and the shard coordinator run inside this round but only the
+        // hook is told its number).
+        let round_started = config.trace.as_ref().map(|t| {
+            t.set_current_round(round_no);
+            Instant::now()
+        });
+        // Coalesce wait: how long the round's oldest request sat admitted.
+        if let Some(oldest) = round.iter().map(|r| r.admitted).min() {
+            let waited = oldest.elapsed();
+            shared.metrics.coalesce_wait_ns.record_duration(waited);
+            if let Some(t) = &config.trace {
+                t.record_parts(
+                    round_no,
+                    Stage::CoalesceWait,
+                    oldest,
+                    waited,
+                    total_ops as u64,
+                    None,
+                );
+            }
+        }
+
+        // Phase 2: apply the round as ONE mixed-op batch, outside the lock.
+        let mut ops: Vec<Op> = Vec::with_capacity(total_ops);
+        for req in &round {
+            ops.extend_from_slice(&req.ops);
+        }
 
         // Durability hook: the round's contents are fixed now, so log it
         // BEFORE apply — one append (and one fsync) per commit round,
@@ -887,6 +936,9 @@ fn writer_loop<B: BatchDynamic + 'static>(
             .metrics
             .apply_ns
             .record_duration(apply_started.elapsed());
+        if let Some(t) = &config.trace {
+            t.record(round_no, Stage::Apply, apply_started, total_ops as u64);
+        }
 
         // Phase 3: publish the round's view, then hand each submitter its
         // slice of the answers.
@@ -897,7 +949,9 @@ fn writer_loop<B: BatchDynamic + 'static>(
                 // ticket commit as `version` must find `read_view_at(version)`
                 // already there.
                 if let Some(publisher) = &publisher {
-                    publish_view(publisher, &backend, num_vertices, version, &shared.metrics);
+                    traced(config.trace.as_ref(), round_no, Stage::Publish, 0, || {
+                        publish_view(publisher, &backend, num_vertices, version, &shared.metrics)
+                    });
                 }
                 shared.rounds_committed.fetch_add(1, Ordering::Relaxed);
                 shared
@@ -912,22 +966,35 @@ fn writer_loop<B: BatchDynamic + 'static>(
                     let _q = shared.q.lock().unwrap();
                     shared.commits.notify_all();
                 }
-                let mut cursor = result.answers.iter().copied();
-                for req in &round {
-                    let queries = req
-                        .ops
-                        .iter()
-                        .filter(|op| op.kind() == OpKind::Query)
-                        .count();
-                    let answers: Vec<bool> = cursor.by_ref().take(queries).collect();
-                    debug_assert_eq!(answers.len(), queries, "answer underrun");
-                    req.slot.fill(Ok(RequestResult {
-                        round: round_no,
-                        version,
-                        inserted: result.inserted,
-                        deleted: result.deleted,
-                        answers,
-                    }));
+                // The fill span counts requests resolved, not ops — a
+                // round's fill cost scales with its coalesced clients.
+                traced(
+                    config.trace.as_ref(),
+                    round_no,
+                    Stage::Fill,
+                    round.len() as u64,
+                    || {
+                        let mut cursor = result.answers.iter().copied();
+                        for req in &round {
+                            let queries = req
+                                .ops
+                                .iter()
+                                .filter(|op| op.kind() == OpKind::Query)
+                                .count();
+                            let answers: Vec<bool> = cursor.by_ref().take(queries).collect();
+                            debug_assert_eq!(answers.len(), queries, "answer underrun");
+                            req.slot.fill(Ok(RequestResult {
+                                round: round_no,
+                                version,
+                                inserted: result.inserted,
+                                deleted: result.deleted,
+                                answers,
+                            }));
+                        }
+                    },
+                );
+                if let (Some(t), Some(started)) = (&config.trace, round_started) {
+                    t.complete_round(round_no, started.elapsed(), total_ops as u64);
                 }
                 if config.record_rounds {
                     log.push(RoundRecord {

@@ -18,6 +18,7 @@ use dyncon_api::{
 use dyncon_durable::{DurableConfig, DurableServer};
 use dyncon_metrics::Registry;
 use dyncon_server::{ConnServer, ServerConfig, Ticket};
+use dyncon_trace::{Stage, TraceRecorder};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -36,7 +37,7 @@ enum ShardHandle<B>
 where
     B: BatchDynamic + BuildFrom + ExportEdges + Send + 'static,
 {
-    Mem(ConnServer<B>),
+    Mem(Box<ConnServer<B>>),
     Durable(Box<DurableServer<B>>),
 }
 
@@ -183,6 +184,11 @@ where
     cross: ShardHandle<B>,
     boundary: Mutex<BoundaryCache<B>>,
     metrics: Arc<ShardMetrics>,
+    /// The outer server's recorder (shared, not the shards'): the
+    /// coordinator runs inside the outer writer's apply, so spans are
+    /// attributed to [`TraceRecorder::current_round`], which that writer
+    /// sets before each round.
+    trace: Option<TraceRecorder>,
     supports: [bool; 3],
 }
 
@@ -269,10 +275,13 @@ where
                     // its backend still needs a non-empty universe (one
                     // dummy vertex no operation ever routes to).
                     let b: B = Builder::new(map.shard_size(s).max(1)).build()?;
-                    shards.push(ShardHandle::Mem(ConnServer::start(b, server_config())));
+                    shards.push(ShardHandle::Mem(Box::new(ConnServer::start(
+                        b,
+                        server_config(),
+                    ))));
                 }
                 let b: B = Builder::new(num_vertices).build()?;
-                ShardHandle::Mem(ConnServer::start(b, server_config()))
+                ShardHandle::Mem(Box::new(ConnServer::start(b, server_config())))
             }
             Some(d) => {
                 check_manifest(&d.dir, &map)?;
@@ -305,6 +314,7 @@ where
             cross,
             boundary,
             metrics,
+            trace: config.trace.clone(),
             supports,
         })
     }
@@ -348,6 +358,9 @@ where
     /// in parallel on the shards' writer threads, then wait every ticket
     /// (canonical order again) and sum the round counts.
     fn run_mutation_segment(&self, segment: &[Op]) -> Result<(usize, usize), DynConError> {
+        // Spans attribute to the outer round in flight: the segment runs
+        // inside the outer writer's apply, which set `current_round`.
+        let round = self.trace.as_ref().map(|t| t.current_round());
         let started = Instant::now();
         let mut per_shard: Vec<Vec<Op>> = vec![Vec::new(); self.map.num_shards()];
         let mut cross_ops: Vec<Op> = Vec::new();
@@ -360,27 +373,46 @@ where
             }
         }
         self.metrics.decompose_ns.record_duration(started.elapsed());
+        if let (Some(t), Some(round)) = (&self.trace, round) {
+            t.record(round, Stage::Decompose, started, segment.len() as u64);
+        }
+        // (ticket, shard id or None for the cross store, submit instant,
+        // sub-batch size) — the instant is only taken when tracing.
         let mut tickets = Vec::new();
         for (s, ops) in per_shard.into_iter().enumerate() {
             if ops.is_empty() {
                 continue;
             }
+            let ops_n = ops.len() as u64;
+            let submitted = self.trace.as_ref().map(|_| Instant::now());
             let ticket = self.shards[s].submit_as(COORDINATOR, ops)?;
             self.shards[s].seal_round();
             self.metrics.subrounds.inc();
-            tickets.push(ticket);
+            tickets.push((ticket, Some(s as u32), submitted, ops_n));
         }
         if !cross_ops.is_empty() {
+            let ops_n = cross_ops.len() as u64;
+            let submitted = self.trace.as_ref().map(|_| Instant::now());
             let ticket = self.cross.submit_as(COORDINATOR, cross_ops)?;
             self.cross.seal_round();
             self.metrics.subrounds.inc();
-            tickets.push(ticket);
+            tickets.push((ticket, None, submitted, ops_n));
         }
         let (mut inserted, mut deleted) = (0usize, 0usize);
-        for ticket in tickets {
+        for (ticket, shard, submitted, ops_n) in tickets {
             // The coordinator's sub-batch is the only request of its
             // shard round, so the round-level counts are its own.
             let result = ticket.wait()?;
+            // Sub-round latency as the coordinator observes it: submit
+            // through commit acknowledgement, waited in canonical order
+            // (a span can include time spent queued behind an earlier
+            // shard's wait).
+            if let (Some(t), Some(round), Some(submitted)) = (&self.trace, round, submitted) {
+                match shard {
+                    Some(s) => t.record_shard(round, Stage::ShardRound, submitted, ops_n, s),
+                    None => t.record(round, Stage::CrossRound, submitted, ops_n),
+                }
+            }
             inserted += result.inserted;
             deleted += result.deleted;
         }
@@ -399,6 +431,7 @@ where
         if cache.fresh {
             return Ok(());
         }
+        let rebuild_started = self.trace.as_ref().map(|_| Instant::now());
         let cross_edges = self.cross.inspect(|b| b.export_edges())?;
         // Distinct cross-edge endpoints per shard, ascending local ids —
         // the canonical input order `component_groups` labels against.
@@ -471,6 +504,14 @@ where
             Some(g)
         };
         self.metrics.boundary_rebuilds.inc();
+        if let (Some(t), Some(started)) = (&self.trace, rebuild_started) {
+            t.record(
+                t.current_round(),
+                Stage::BoundaryRebuild,
+                started,
+                cross_edges.len() as u64,
+            );
+        }
         *cache = BoundaryCache {
             fresh: true,
             reps,
@@ -545,50 +586,63 @@ where
         }
         unresolved.sort_unstable();
         self.metrics.cross_queries.record(unresolved.len() as u64);
-        let mut cache = self.boundary.lock().unwrap();
-        self.ensure_boundary(&mut cache)?;
-        if cache.nodes == 0 {
-            // No cross edges anywhere: nothing unresolved can connect.
-            return Ok(answers);
-        }
-        // Resolve each distinct queried endpoint to its boundary node.
-        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.map.num_shards()];
-        for &i in &unresolved {
-            for u in [pairs[i].0, pairs[i].1] {
-                per_shard[self.map.shard_of(u)].push(self.map.local_of(u));
-            }
-        }
-        let mut node_of: HashMap<u32, u32> = HashMap::new();
-        for (s, mut locals) in per_shard.into_iter().enumerate() {
-            if locals.is_empty() {
-                continue;
-            }
-            locals.sort_unstable();
-            locals.dedup();
-            for (&local_id, node) in locals.iter().zip(self.nodes_of(&cache, s, &locals)?) {
-                if let Some(node) = node {
-                    node_of.insert(self.map.globals(s)[local_id as usize], node);
+        let round = self.trace.as_ref().map_or(0, |t| t.current_round());
+        dyncon_trace::traced(
+            self.trace.as_ref(),
+            round,
+            Stage::CrossQuery,
+            unresolved.len() as u64,
+            || -> Result<(), DynConError> {
+                let mut cache = self.boundary.lock().unwrap();
+                self.ensure_boundary(&mut cache)?;
+                if cache.nodes == 0 {
+                    // No cross edges anywhere: nothing unresolved can
+                    // connect.
+                    return Ok(());
                 }
-            }
-        }
-        let graph = cache.graph.as_ref().expect("nodes > 0 implies a graph");
-        let mut boundary_pairs: Vec<(u32, u32)> = Vec::new();
-        let mut boundary_slots: Vec<usize> = Vec::new();
-        for &i in &unresolved {
-            let (u, v) = pairs[i];
-            // An endpoint with no boundary node lives in a component
-            // confined to its shard — and it was not locally connected.
-            if let (Some(&nu), Some(&nv)) = (node_of.get(&u), node_of.get(&v)) {
-                boundary_pairs.push((nu, nv));
-                boundary_slots.push(i);
-            }
-        }
-        for (&i, hit) in boundary_slots
-            .iter()
-            .zip(graph.batch_connected(&boundary_pairs))
-        {
-            answers[i] = hit;
-        }
+                // Resolve each distinct queried endpoint to its boundary
+                // node.
+                let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.map.num_shards()];
+                for &i in &unresolved {
+                    for u in [pairs[i].0, pairs[i].1] {
+                        per_shard[self.map.shard_of(u)].push(self.map.local_of(u));
+                    }
+                }
+                let mut node_of: HashMap<u32, u32> = HashMap::new();
+                for (s, mut locals) in per_shard.into_iter().enumerate() {
+                    if locals.is_empty() {
+                        continue;
+                    }
+                    locals.sort_unstable();
+                    locals.dedup();
+                    for (&local_id, node) in locals.iter().zip(self.nodes_of(&cache, s, &locals)?) {
+                        if let Some(node) = node {
+                            node_of.insert(self.map.globals(s)[local_id as usize], node);
+                        }
+                    }
+                }
+                let graph = cache.graph.as_ref().expect("nodes > 0 implies a graph");
+                let mut boundary_pairs: Vec<(u32, u32)> = Vec::new();
+                let mut boundary_slots: Vec<usize> = Vec::new();
+                for &i in &unresolved {
+                    let (u, v) = pairs[i];
+                    // An endpoint with no boundary node lives in a
+                    // component confined to its shard — and it was not
+                    // locally connected.
+                    if let (Some(&nu), Some(&nv)) = (node_of.get(&u), node_of.get(&v)) {
+                        boundary_pairs.push((nu, nv));
+                        boundary_slots.push(i);
+                    }
+                }
+                for (&i, hit) in boundary_slots
+                    .iter()
+                    .zip(graph.batch_connected(&boundary_pairs))
+                {
+                    answers[i] = hit;
+                }
+                Ok(())
+            },
+        )?;
         Ok(answers)
     }
 }

@@ -14,6 +14,7 @@ use dyncon_api::{ReadView, Version, VersionedRead};
 use dyncon_durable::FsyncPolicy;
 use dyncon_metrics::{MetricsSnapshot, Registry};
 use dyncon_server::{ConnServer, ReadHandle, RoundRecord, ServerConfig, SubmitOptions, Ticket};
+use dyncon_trace::{RoundTrace, TraceRecorder};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -74,6 +75,7 @@ pub struct ShardConfig {
     pub(crate) retain_views: usize,
     pub(crate) reader_threads: usize,
     pub(crate) metrics: Option<Registry>,
+    pub(crate) trace: Option<TraceRecorder>,
     pub(crate) durable: Option<DurableShards>,
 }
 
@@ -91,6 +93,7 @@ impl Default for ShardConfig {
             retain_views: 0,
             reader_threads: 0,
             metrics: None,
+            trace: None,
             durable: None,
         }
     }
@@ -182,6 +185,19 @@ impl ShardConfig {
         self
     }
 
+    /// Attach a [`TraceRecorder`]: the outer writer records its own
+    /// pipeline stages (coalesce wait, apply, publish, fill), and the
+    /// coordinator attributes each outer round's fan-out — decompose,
+    /// one sub-round span per shard, the cross store's sub-round, lazy
+    /// boundary rebuilds, and cross-shard query resolution. The shard
+    /// servers themselves are *not* instrumented (their writer stages
+    /// are inside the coordinator's per-shard sub-round spans).
+    /// Observational only; see [`dyncon_server::ServerConfig::trace`].
+    pub fn trace(mut self, recorder: TraceRecorder) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
     /// Persist every shard (and the cross store) under
     /// [`DurableShards::new`]'s base directory, recovering on start.
     pub fn durable(mut self, durable: DurableShards) -> Self {
@@ -207,6 +223,9 @@ pub struct ShardedReport<B> {
     pub shards: Vec<ShardShutdown<B>>,
     /// The cross-edge store's backend and counters.
     pub cross: ShardShutdown<B>,
+    /// The slowest outer round's stage breakdown, when a
+    /// [`ShardConfig::trace`] recorder was attached (`None` otherwise).
+    pub slowest_round: Option<RoundTrace>,
 }
 
 /// A sharded group-commit connectivity service: an outer [`ConnServer`]
@@ -243,6 +262,9 @@ where
             .metrics(registry.clone());
         if let Some(threads) = config.shard_worker_threads {
             outer = outer.worker_threads(threads);
+        }
+        if let Some(trace) = config.trace.clone() {
+            outer = outer.trace(trace);
         }
         // With views on, the outer writer exports the global edge set
         // between outer rounds — every shard has fully committed its
@@ -375,6 +397,7 @@ where
             metrics: self.registry.snapshot(),
             shards: shutdown.shards,
             cross: shutdown.cross,
+            slowest_round: report.slowest_round,
         })
     }
 }

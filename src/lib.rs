@@ -47,6 +47,14 @@
 //! reachability through a contracted boundary graph, preserving the
 //! byte-determinism contract at every shard and thread count (see the
 //! "Sharding" section of the README and `examples/sharded_service.rs`).
+//!
+//! To see where each round's time goes, attach a
+//! [`trace::TraceRecorder`] via `ServerConfig::trace` and (optionally)
+//! expose it with [`trace::serve_telemetry`] — per-round stage
+//! breakdowns, a slow-round log, Chrome-trace export and a scrapeable
+//! `/metrics`–`/trace`–`/slow` endpoint, all observational-only (see
+//! the "Tracing & telemetry endpoint" section of the README and
+//! `examples/telemetry.rs`).
 
 pub use dyncon_api as api;
 pub use dyncon_core as core;
@@ -60,3 +68,4 @@ pub use dyncon_server as server;
 pub use dyncon_shard as shard;
 pub use dyncon_skiplist as skiplist;
 pub use dyncon_spanning as spanning;
+pub use dyncon_trace as trace;

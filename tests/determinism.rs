@@ -174,6 +174,95 @@ fn sharded_rounds_byte_identical_across_shard_and_thread_counts() {
     }
 }
 
+/// Tracing extends the observational-only promise to the stage level: a
+/// deterministic sharded server with a [`TraceRecorder`] attached — and
+/// a live telemetry endpoint being scraped while rounds commit — must
+/// produce rounds **byte-identical** to an untraced run at every worker
+/// thread count × shard count, while the recorder really does capture
+/// per-stage spans and the endpoint really serves them.
+#[test]
+fn tracing_and_telemetry_leave_deterministic_rounds_byte_identical() {
+    use dyncon_shard::{ShardConfig, ShardedServer};
+    use dyncon_trace::{serve_telemetry, TraceRecorder};
+    use std::io::{Read, Write};
+    const N: usize = 96;
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 5;
+    let schedules = zipf_client_schedules(N, CLIENTS, ROUNDS, 24, 0.4, 1.1, 47);
+    let run = |shards: usize, threads: usize, trace: Option<TraceRecorder>| -> Vec<RoundRecord> {
+        let mut config = ShardConfig::new()
+            .shards(shards)
+            .deterministic(true)
+            .record_rounds(true)
+            .shard_worker_threads(threads)
+            .queue_capacity(CLIENTS * ROUNDS);
+        if let Some(t) = trace {
+            config = config.trace(t);
+        }
+        let server: ShardedServer<BatchDynamicConnectivity> =
+            ShardedServer::start(N, config).unwrap();
+        for round in 0..ROUNDS {
+            for (c, sched) in schedules.iter().enumerate() {
+                server.submit_as(c as u64, sched[round].clone()).unwrap();
+            }
+            assert_eq!(server.seal_round(), CLIENTS);
+        }
+        server.join().unwrap().rounds
+    };
+    let scrape = |addr: std::net::SocketAddr, path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        body
+    };
+    for shards in dyncon_bench::shard_counts() {
+        let baseline = run(shards, 1, None);
+        for threads in [1usize, 2, 4] {
+            let recorder = TraceRecorder::new();
+            let registry = dyncon_metrics::Registry::new();
+            let telemetry = serve_telemetry("127.0.0.1:0", registry, recorder.clone()).unwrap();
+            let addr = telemetry.local_addr();
+            // A scraper hammers the endpoint while rounds commit, so any
+            // exporter-vs-recorder interference would surface here.
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let scraper_stop = std::sync::Arc::clone(&stop);
+            let scraper = std::thread::spawn(move || {
+                let mut scrapes = 0u32;
+                while !scraper_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    scrape(addr, "/metrics");
+                    scrape(addr, "/trace");
+                    scrapes += 1;
+                }
+                scrapes
+            });
+            let traced = run(shards, threads, Some(recorder.clone()));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(scraper.join().unwrap() > 0, "scraper never got through");
+            assert_eq!(
+                traced, baseline,
+                "{shards} shards x {threads} threads diverged under tracing"
+            );
+            assert!(
+                recorder.rounds_completed() >= ROUNDS as u64,
+                "recorder saw every outer round"
+            );
+            let slowest = recorder.slowest_round().expect("a slowest round exists");
+            assert!(slowest.wall_ns > 0 && !slowest.stages.is_empty());
+            let trace_body = scrape(addr, "/trace");
+            assert!(
+                trace_body.contains("traceEvents"),
+                "endpoint serves the ring"
+            );
+            telemetry.close();
+        }
+    }
+}
+
 #[test]
 fn algorithms_agree_on_observables() {
     for seed in [5u64, 21] {
