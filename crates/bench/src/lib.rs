@@ -181,6 +181,7 @@ pub const COUNT_OPS: &[&str] = &[
     "queue_depth_max",
     "shard_boundary_ops",
     "trace_overhead_pct",
+    "export_lag_ms",
 ];
 
 /// [`diff_bench_records`] with the machine factor divided out: both

@@ -146,6 +146,8 @@ where
         let abort_metrics = Arc::clone(&metrics);
         let hook_trace = config.trace.clone();
         let abort_trace = config.trace.clone();
+        let hook_health = config.health.clone();
+        let abort_health = config.health.clone();
         let config = config
             .round_hook(Arc::new(move |server_round, ops: &[Op]| {
                 let mut wal = hook_wal.lock().expect("WAL writer lock poisoned");
@@ -165,6 +167,10 @@ where
                     .add(wal.fsync_count() - fsyncs_before);
                 if appended.is_ok() {
                     hook_metrics.wal_rounds_logged.inc();
+                } else if let Some(h) = &hook_health {
+                    // A failed append closes the service; readiness must
+                    // flip before the load balancer retries here.
+                    h.note_wal_error();
                 }
                 if let Some(t) = &hook_trace {
                     let ops_n = ops.len() as u64;
@@ -200,6 +206,8 @@ where
                     .add(wal.fsync_count() - fsyncs_before);
                 if aborted.is_ok() {
                     abort_metrics.wal_rounds_aborted.inc();
+                } else if let Some(h) = &abort_health {
+                    h.note_wal_error();
                 }
                 if let Some(t) = &abort_trace {
                     t.record(server_round, Stage::WalAbort, started, ops.len() as u64);

@@ -1,0 +1,64 @@
+//! The fleet-aggregation sink as a process: accept exporter frames on
+//! one port, serve the merged Prometheus text on stdout on demand.
+//!
+//! ```text
+//! dyncon-collector [LISTEN_ADDR] [--once SECONDS]
+//! ```
+//!
+//! With `--once N` the collector runs for N seconds, prints the merged
+//! exposition and summary counters, and exits — the shape CI smoke
+//! runs and scripted experiments want. Without it, it runs until
+//! SIGINT/EOF and prints the merged view every 10 s.
+
+use dyncon_export::Collector;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen = "127.0.0.1:4317".to_string();
+    let mut once: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => {
+                let secs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--once needs a positive integer of seconds");
+                once = Some(secs);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: dyncon-collector [LISTEN_ADDR] [--once SECONDS]");
+                return;
+            }
+            other => listen = other.to_string(),
+        }
+    }
+    let collector = Collector::bind(listen.as_str())
+        .unwrap_or_else(|e| panic!("dyncon-collector: cannot bind {listen}: {e}"));
+    eprintln!("dyncon-collector: listening on {}", collector.local_addr());
+    let report = |collector: &Collector| {
+        println!("{}", collector.render_prometheus());
+        eprintln!(
+            "dyncon-collector: {} source(s), {} frame(s), {} span(s), {} slow round(s), {} checksum failure(s)",
+            collector.sources().len(),
+            collector.frames_received(),
+            collector.spans_received(),
+            collector.slow_rounds_received(),
+            collector.checksum_failures(),
+        );
+    };
+    match once {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            report(&collector);
+            collector.close();
+        }
+        None => loop {
+            let tick = Instant::now();
+            std::thread::sleep(Duration::from_secs(10));
+            report(&collector);
+            // A wedged stdout (closed pipe) is our exit signal too.
+            let _ = tick;
+        },
+    }
+}

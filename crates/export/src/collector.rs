@@ -1,0 +1,297 @@
+//! The pull-side of the push pipeline: a TCP sink that accepts framed
+//! telemetry from any number of exporters, validates every checksum,
+//! aggregates per source, and re-renders the merged fleet view as
+//! Prometheus text.
+//!
+//! Exporters send metric **deltas**, so the collector accumulates:
+//! each source's deltas are [`MetricsSnapshot::merge`]d into that
+//! source's running total, and [`Collector::merged_snapshot`] folds the
+//! per-source totals into one fleet-wide snapshot (counters and
+//! histogram buckets add, gauge high-water marks take the max).
+//!
+//! Corruption policy mirrors the WAL's: a frame that fails its header
+//! or payload checksum is counted in
+//! [`Collector::checksum_failures`] and the connection is dropped —
+//! a TCP byte stream cannot be resynchronised trustworthily past a bad
+//! length field, and the exporter reconnects with a fresh stream
+//! anyway.
+
+use crate::frame::{decode_frame, FramePayload, WireSlowRound, EXPORT_MAGIC};
+use dyncon_metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Read timeout for collector connections: bounds how long a dead
+/// exporter holds a handler thread, and how often a live one checks
+/// the stop flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Retained slow-round captures across all sources (newest win).
+const SLOW_RETAIN: usize = 64;
+
+/// What the collector accumulated from one exporting process.
+#[derive(Default)]
+struct SourceState {
+    metrics: MetricsSnapshot,
+    frames: u64,
+    spans: u64,
+    slow_rounds: u64,
+}
+
+#[derive(Default)]
+struct Shared {
+    sources: Mutex<BTreeMap<String, SourceState>>,
+    slow: Mutex<Vec<(String, WireSlowRound)>>,
+    frames_received: AtomicU64,
+    spans_received: AtomicU64,
+    slow_rounds_received: AtomicU64,
+    checksum_failures: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A running collector. Bind with [`Collector::bind`], point exporters
+/// at [`Collector::local_addr`], read the fleet view with
+/// [`Collector::render_prometheus`]; stop with [`Collector::close`]
+/// (drop does too).
+pub struct Collector {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<Shared>,
+}
+
+impl Collector {
+    /// Bind and start accepting exporter connections (each served on
+    /// its own thread).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Collector> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared::default());
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_shared = Arc::clone(&shared);
+        let thread_handles = Arc::clone(&conn_handles);
+        let accept_handle = std::thread::Builder::new()
+            .name("dyncon-collector".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_stop = Arc::clone(&thread_stop);
+                    let conn_shared = Arc::clone(&thread_shared);
+                    let handle = std::thread::Builder::new()
+                        .name("dyncon-collector-conn".into())
+                        .spawn(move || serve_connection(stream, &conn_shared, &conn_stop));
+                    if let Ok(handle) = handle {
+                        thread_handles.lock().unwrap().push(handle);
+                    }
+                }
+            })
+            .expect("spawn dyncon collector thread");
+        Ok(Collector {
+            addr,
+            stop,
+            accept_handle: Mutex::new(Some(accept_handle)),
+            conn_handles,
+            shared,
+        })
+    }
+
+    /// The bound address (bind to port 0 for an ephemeral one).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Valid frames accepted so far (across all connections).
+    pub fn frames_received(&self) -> u64 {
+        self.shared.frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Frames rejected for checksum/format corruption.
+    pub fn checksum_failures(&self) -> u64 {
+        self.shared.checksum_failures.load(Ordering::Relaxed)
+    }
+
+    /// Spans received across all span frames.
+    pub fn spans_received(&self) -> u64 {
+        self.shared.spans_received.load(Ordering::Relaxed)
+    }
+
+    /// Slow-round captures received.
+    pub fn slow_rounds_received(&self) -> u64 {
+        self.shared.slow_rounds_received.load(Ordering::Relaxed)
+    }
+
+    /// Exporter connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// The sources that have reported, sorted.
+    pub fn sources(&self) -> Vec<String> {
+        self.shared
+            .sources
+            .lock()
+            .unwrap()
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// One source's accumulated metric totals, if it has reported.
+    pub fn source_snapshot(&self, source: &str) -> Option<MetricsSnapshot> {
+        self.shared
+            .sources
+            .lock()
+            .unwrap()
+            .get(source)
+            .map(|s| s.metrics.clone())
+    }
+
+    /// The fleet view: every source's accumulated totals merged into
+    /// one snapshot.
+    pub fn merged_snapshot(&self) -> MetricsSnapshot {
+        let sources = self.shared.sources.lock().unwrap();
+        sources
+            .values()
+            .fold(MetricsSnapshot::default(), |acc, s| acc.merge(&s.metrics))
+    }
+
+    /// [`merged_snapshot`](Self::merged_snapshot) rendered as
+    /// Prometheus text exposition — what a fleet-level scrape serves.
+    pub fn render_prometheus(&self) -> String {
+        self.merged_snapshot().render_prometheus()
+    }
+
+    /// The most recent slow-round captures (source, capture), oldest
+    /// first, bounded.
+    pub fn slow_rounds(&self) -> Vec<(String, WireSlowRound)> {
+        self.shared.slow.lock().unwrap().clone()
+    }
+
+    /// Stop accepting, close connection handlers, join all threads.
+    /// Accumulated state (counters, per-source totals, slow captures)
+    /// stays readable afterwards — [`Collector::shutdown`] is the
+    /// shared-reference variant for killing a collector mid-run while
+    /// something else still holds it.
+    pub fn close(self) {
+        self.shutdown();
+    }
+
+    /// Stop the collector through a shared reference: refuse new
+    /// connections, unblock and join every handler thread. Idempotent;
+    /// accessors keep returning the state accumulated before the stop.
+    pub fn shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        let accept = self.accept_handle.lock().unwrap().take();
+        if let Some(handle) = accept {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.conn_handles.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one exporter connection: verify the magic, then decode and
+/// apply frames until EOF, corruption, or shutdown.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, stop: &AtomicBool) {
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut magic_ok = false;
+    loop {
+        // Parse everything complete in the buffer before reading more.
+        loop {
+            if !magic_ok {
+                if buf.len() < EXPORT_MAGIC.len() {
+                    break;
+                }
+                if buf[..EXPORT_MAGIC.len()] != EXPORT_MAGIC {
+                    shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                buf.drain(..EXPORT_MAGIC.len());
+                magic_ok = true;
+            }
+            match decode_frame(&buf) {
+                Ok(None) => break,
+                Ok(Some((frame, consumed))) => {
+                    buf.drain(..consumed);
+                    apply_frame(shared, frame);
+                }
+                Err(_) => {
+                    shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        // Check on every pass, not just on timeout: a live exporter
+        // pushing faster than READ_TIMEOUT would otherwise keep this
+        // handler unjoinable through a shutdown.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn apply_frame(shared: &Shared, frame: crate::frame::Frame) {
+    shared.frames_received.fetch_add(1, Ordering::Relaxed);
+    let mut sources = shared.sources.lock().unwrap();
+    let entry = sources.entry(frame.source.clone()).or_default();
+    entry.frames += 1;
+    match frame.payload {
+        FramePayload::Metrics(delta) => {
+            entry.metrics = entry.metrics.merge(&delta);
+        }
+        FramePayload::Spans(spans) => {
+            entry.spans += spans.len() as u64;
+            shared
+                .spans_received
+                .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        }
+        FramePayload::SlowRounds(rounds) => {
+            entry.slow_rounds += rounds.len() as u64;
+            shared
+                .slow_rounds_received
+                .fetch_add(rounds.len() as u64, Ordering::Relaxed);
+            drop(sources);
+            let mut slow = shared.slow.lock().unwrap();
+            for r in rounds {
+                slow.push((frame.source.clone(), r));
+            }
+            let excess = slow.len().saturating_sub(SLOW_RETAIN);
+            if excess > 0 {
+                slow.drain(..excess);
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The push-side: a background thread draining telemetry into framed
+//! TCP pushes, built so it can NEVER block or slow the commit path.
+//!
+//! Isolation from the writer is structural, not best-effort:
+//!
+//! - The exporter shares nothing with the serving hot path except the
+//!   metric handles (relaxed atomics) and the trace ring (per-slot
+//!   locks the recorder already takes). Draining means one registry
+//!   snapshot and two cursor reads per tick — the same cost as a
+//!   `/metrics` scrape.
+//! - All socket work happens on the exporter's own thread, behind a
+//!   **bounded drop-oldest buffer**: a slow or dead collector fills the
+//!   buffer and evicts the oldest frames (counted in
+//!   `dyncon_export_frames_dropped_total`), it never applies
+//!   backpressure inward.
+//! - Reconnects use capped exponential backoff with deterministic
+//!   jitter, so a restarting collector is rediscovered quickly without
+//!   a thundering herd from a fleet of exporters.
+
+use crate::frame::{encode_frame, Frame, FramePayload, WireSlowRound, WireSpan, EXPORT_MAGIC};
+use dyncon_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
+use dyncon_primitives::hash64;
+use dyncon_trace::TraceRecorder;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::health::HealthState;
+
+const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Tuning for a [`TelemetryExporter`]. All knobs have working defaults.
+#[derive(Clone, Debug, Default)]
+pub struct ExportConfig {
+    interval: Option<Duration>,
+    buffer_frames: Option<usize>,
+    max_backoff: Option<Duration>,
+    source: Option<String>,
+    io_timeout: Option<Duration>,
+    trace: Option<TraceRecorder>,
+    health: Option<HealthState>,
+}
+
+impl ExportConfig {
+    /// Defaults: 100 ms interval, 256-frame buffer, 2 s max backoff,
+    /// source `"dyncon"`, 250 ms connect/write timeout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How often the exporter drains and pushes (default 100 ms).
+    pub fn interval(mut self, d: Duration) -> Self {
+        self.interval = Some(d);
+        self
+    }
+
+    /// Drop-oldest buffer capacity in frames (default 256). When the
+    /// collector is slow or away, at most this many frames of history
+    /// are retained; older ones are dropped and counted.
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.buffer_frames = Some(frames.max(1));
+        self
+    }
+
+    /// Cap on the reconnect backoff (default 2 s; initial is 10 ms,
+    /// doubling per failed attempt, with deterministic jitter).
+    pub fn max_backoff(mut self, d: Duration) -> Self {
+        self.max_backoff = Some(d);
+        self
+    }
+
+    /// The resource identity stamped on every frame (default
+    /// `"dyncon"`). Give each process in a fleet a distinct one; the
+    /// collector aggregates per source.
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Connect/write timeout for the push socket (default 250 ms). A
+    /// write that cannot finish within it is treated as a dead
+    /// connection (frames stay buffered; the stream is re-framed on
+    /// reconnect).
+    pub fn io_timeout(mut self, d: Duration) -> Self {
+        self.io_timeout = Some(d);
+        self
+    }
+
+    /// Also drain fresh spans and slow-round captures from this
+    /// recorder (metrics-only export without it).
+    pub fn trace(mut self, recorder: TraceRecorder) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// Refresh this health engine every tick, so the stall watchdog
+    /// runs on the exporter's heartbeat without a dedicated thread.
+    pub fn health(mut self, health: HealthState) -> Self {
+        self.health = Some(health);
+        self
+    }
+}
+
+struct Resolved {
+    interval: Duration,
+    buffer_frames: usize,
+    max_backoff: Duration,
+    source: String,
+    io_timeout: Duration,
+    trace: Option<TraceRecorder>,
+    health: Option<HealthState>,
+}
+
+impl Resolved {
+    fn from(config: ExportConfig) -> Self {
+        Resolved {
+            interval: config.interval.unwrap_or(Duration::from_millis(100)),
+            buffer_frames: config.buffer_frames.unwrap_or(256),
+            max_backoff: config.max_backoff.unwrap_or(Duration::from_secs(2)),
+            source: config.source.unwrap_or_else(|| "dyncon".to_string()),
+            io_timeout: config.io_timeout.unwrap_or(Duration::from_millis(250)),
+            trace: config.trace,
+            health: config.health,
+        }
+    }
+}
+
+/// Exporter-side instrumentation, registered on the exported registry
+/// itself (so the collector sees the exporter's own health).
+struct ExportMetrics {
+    frames_total: Arc<Counter>,
+    frames_dropped_total: Arc<Counter>,
+    reconnects_total: Arc<Counter>,
+    bytes_total: Arc<Counter>,
+    lag_ns: Arc<Histogram>,
+}
+
+impl ExportMetrics {
+    fn register(registry: &Registry) -> Self {
+        ExportMetrics {
+            frames_total: registry.counter(
+                "dyncon_export_frames_total",
+                "frames",
+                "telemetry frames successfully pushed to the collector",
+            ),
+            frames_dropped_total: registry.counter(
+                "dyncon_export_frames_dropped_total",
+                "frames",
+                "frames evicted from the bounded buffer (collector slow or away)",
+            ),
+            reconnects_total: registry.counter(
+                "dyncon_export_reconnects_total",
+                "connects",
+                "collector connections established after the first",
+            ),
+            bytes_total: registry.counter(
+                "dyncon_export_bytes_total",
+                "bytes",
+                "wire bytes successfully pushed",
+            ),
+            lag_ns: registry.histogram(
+                "dyncon_export_lag_ns",
+                "ns",
+                "frame creation to successful socket write",
+            ),
+        }
+    }
+}
+
+/// A frame queued for push: its wire bytes plus when it was created
+/// (for the lag histogram).
+struct Queued {
+    bytes: Vec<u8>,
+    created: Instant,
+}
+
+/// Handle of a running exporter thread. Stop it with
+/// [`TelemetryExporter::close`] (final drain + best-effort flush);
+/// dropping without `close` stops it without the final flush wait.
+pub struct TelemetryExporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    metrics: ExportMetrics,
+}
+
+impl TelemetryExporter {
+    /// Start pushing `registry` (and optionally trace data, see
+    /// [`ExportConfig::trace`]) to the collector at `addr` ("host:port").
+    ///
+    /// Never fails and never blocks on the collector: if it is
+    /// unreachable the exporter buffers (bounded) and retries with
+    /// backoff forever.
+    pub fn start(addr: impl Into<String>, registry: Registry, config: ExportConfig) -> Self {
+        let addr = addr.into();
+        let resolved = Resolved::from(config);
+        let metrics = ExportMetrics::register(&registry);
+        let thread_metrics = ExportMetrics::register(&registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dyncon-export".into())
+            .spawn(move || run(addr, registry, resolved, thread_metrics, thread_stop))
+            .expect("spawn dyncon export thread");
+        TelemetryExporter {
+            stop,
+            handle: Some(handle),
+            metrics,
+        }
+    }
+
+    /// Frames successfully pushed so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.metrics.frames_total.get()
+    }
+
+    /// Frames evicted from the bounded buffer so far.
+    pub fn frames_dropped(&self) -> u64 {
+        self.metrics.frames_dropped_total.get()
+    }
+
+    /// Collector connections established after the first.
+    pub fn reconnects(&self) -> u64 {
+        self.metrics.reconnects_total.get()
+    }
+
+    /// Stop the exporter: one final drain (so everything recorded
+    /// before `close` is framed), one best-effort flush, then join.
+    /// Frames that still cannot be delivered are counted dropped —
+    /// `close` never hangs on a dead collector.
+    pub fn close(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryExporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Everything the exporter thread owns.
+struct ExporterLoop {
+    addr: String,
+    registry: Registry,
+    config: Resolved,
+    metrics: ExportMetrics,
+    prev_snapshot: MetricsSnapshot,
+    spans_seen: u64,
+    slow_seen: u64,
+    seq: u64,
+    buffer: VecDeque<Queued>,
+    conn: Option<TcpStream>,
+    connected_once: bool,
+    backoff: Duration,
+    next_connect_at: Instant,
+    attempts: u64,
+}
+
+fn run(
+    addr: String,
+    registry: Registry,
+    config: Resolved,
+    metrics: ExportMetrics,
+    stop: Arc<AtomicBool>,
+) {
+    let interval = config.interval;
+    let mut state = ExporterLoop {
+        addr,
+        registry,
+        config,
+        metrics,
+        prev_snapshot: MetricsSnapshot::default(),
+        spans_seen: 0,
+        slow_seen: 0,
+        seq: 0,
+        buffer: VecDeque::new(),
+        conn: None,
+        connected_once: false,
+        backoff: INITIAL_BACKOFF,
+        next_connect_at: Instant::now(),
+        attempts: 0,
+    };
+    while !stop.load(Ordering::SeqCst) {
+        // Sleep in small slices so close() latency stays low even with
+        // long export intervals.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2).min(interval));
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(health) = &state.config.health {
+            health.refresh();
+        }
+        state.drain();
+        state.flush();
+    }
+    // Final tick: frame everything recorded before close, then one
+    // best-effort flush (a fresh connect attempt is allowed, backoff
+    // or not — this is the last chance).
+    if let Some(health) = &state.config.health {
+        health.refresh();
+    }
+    state.drain();
+    state.next_connect_at = Instant::now();
+    state.flush();
+    // Whatever could not be delivered is dropped, visibly.
+    let undelivered = state.buffer.len() as u64;
+    if undelivered > 0 {
+        state.metrics.frames_dropped_total.add(undelivered);
+    }
+}
+
+impl ExporterLoop {
+    /// Snapshot the registry and the trace cursors into frames.
+    fn drain(&mut self) {
+        let cur = self.registry.snapshot();
+        let delta = cur.delta(&self.prev_snapshot);
+        self.prev_snapshot = cur;
+        let source = self.config.source.clone();
+        self.enqueue(FramePayload::Metrics(delta), &source);
+        if let Some(recorder) = self.config.trace.clone() {
+            // Fresh spans: everything recorded since the last drain
+            // that the ring still retains (the cursor rides the
+            // lifetime count; overwritten spans are simply gone — the
+            // ring is sized for scrape intervals, same as /trace).
+            let recorded = recorder.recorded();
+            if recorded > self.spans_seen {
+                let retained = recorder.spans();
+                let fresh_count = ((recorded - self.spans_seen) as usize).min(retained.len());
+                let fresh: Vec<WireSpan> = retained[retained.len() - fresh_count..]
+                    .iter()
+                    .map(WireSpan::from)
+                    .collect();
+                self.spans_seen = recorded;
+                if !fresh.is_empty() {
+                    self.enqueue(FramePayload::Spans(fresh), &source);
+                }
+            }
+            let slow = recorder.slow_round_log();
+            if slow.captured > self.slow_seen {
+                let fresh_count =
+                    ((slow.captured - self.slow_seen) as usize).min(slow.rounds.len());
+                let fresh: Vec<WireSlowRound> = slow.rounds[slow.rounds.len() - fresh_count..]
+                    .iter()
+                    .map(|r| WireSlowRound {
+                        round: r.round,
+                        wall_ns: r.wall_ns,
+                        ops: r.ops,
+                        text: r.render_text(),
+                    })
+                    .collect();
+                self.slow_seen = slow.captured;
+                self.enqueue(FramePayload::SlowRounds(fresh), &source);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, payload: FramePayload, source: &str) {
+        let frame = Frame {
+            seq: self.seq,
+            source: source.to_string(),
+            payload,
+        };
+        self.seq += 1;
+        if self.buffer.len() >= self.config.buffer_frames {
+            self.buffer.pop_front();
+            self.metrics.frames_dropped_total.inc();
+        }
+        self.buffer.push_back(Queued {
+            bytes: encode_frame(&frame),
+            created: Instant::now(),
+        });
+    }
+
+    /// Push buffered frames; on any socket trouble, drop the connection
+    /// and schedule a backoff reconnect. Partial writes would tear the
+    /// framing, so a timed-out write also means reconnect (the stream
+    /// restarts with a fresh magic; the collector treats connections
+    /// independently).
+    fn flush(&mut self) {
+        if self.conn.is_none() {
+            if self.buffer.is_empty() || Instant::now() < self.next_connect_at {
+                return;
+            }
+            match self.connect() {
+                Some(stream) => {
+                    if self.connected_once {
+                        self.metrics.reconnects_total.inc();
+                    }
+                    self.connected_once = true;
+                    self.backoff = INITIAL_BACKOFF;
+                    self.conn = Some(stream);
+                }
+                None => {
+                    self.schedule_backoff();
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
+        while let Some(front) = self.buffer.front() {
+            match conn.write_all(&front.bytes) {
+                Ok(()) => {
+                    self.metrics.frames_total.inc();
+                    self.metrics.bytes_total.add(front.bytes.len() as u64);
+                    self.metrics
+                        .lag_ns
+                        .record(front.created.elapsed().as_nanos() as u64);
+                    self.buffer.pop_front();
+                }
+                Err(_) => {
+                    self.conn = None;
+                    self.schedule_backoff();
+                    return;
+                }
+            }
+        }
+        let _ = conn.flush();
+    }
+
+    /// One connection attempt: resolve, connect with timeout, write the
+    /// stream magic. Sequence numbers keep ascending across
+    /// connections; the collector only requires per-connection order.
+    fn connect(&mut self) -> Option<TcpStream> {
+        self.attempts += 1;
+        let addr = self.addr.to_socket_addrs().ok()?.next()?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.config.io_timeout).ok()?;
+        stream.set_nodelay(true).ok();
+        stream.set_write_timeout(Some(self.config.io_timeout)).ok();
+        stream.write_all(&EXPORT_MAGIC).ok()?;
+        Some(stream)
+    }
+
+    fn schedule_backoff(&mut self) {
+        // Deterministic jitter (hash of the attempt counter): spread a
+        // fleet's retries over [backoff/2, backoff).
+        let base = self.backoff.as_nanos() as u64;
+        let jittered = base / 2 + hash64(self.attempts) % (base / 2).max(1);
+        self.next_connect_at = Instant::now() + Duration::from_nanos(jittered);
+        self.backoff = (self.backoff * 2).min(self.config.max_backoff);
+    }
+}

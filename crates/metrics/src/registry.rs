@@ -213,6 +213,69 @@ impl Registry {
     }
 }
 
+/// Subtract one [`MetricValue`] from another of the same kind (the
+/// delta side of [`MetricsSnapshot::delta`]). `None` on kind mismatch.
+fn delta_value(cur: &MetricValue, prev: &MetricValue) -> Option<MetricValue> {
+    match (cur, prev) {
+        (MetricValue::Counter(c), MetricValue::Counter(p)) => {
+            Some(MetricValue::Counter(c.saturating_sub(*p)))
+        }
+        // Gauge deltas subtract the value but carry the *current* max:
+        // the high-water mark is monotonic, so merge's max-of-max puts
+        // the round-trip back exactly.
+        (MetricValue::Gauge { value: c, max: cm }, MetricValue::Gauge { value: p, .. }) => {
+            Some(MetricValue::Gauge {
+                value: c.wrapping_sub(*p),
+                max: *cm,
+            })
+        }
+        (MetricValue::Histogram(c), MetricValue::Histogram(p)) => {
+            let buckets = c
+                .buckets
+                .iter()
+                .zip(&p.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect();
+            Some(MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                count: c.count.saturating_sub(p.count),
+                sum: c.sum.wrapping_sub(p.sum),
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Add two [`MetricValue`]s of the same kind (the merge side of
+/// [`MetricsSnapshot::merge`]). `None` on kind mismatch.
+fn merge_value(a: &MetricValue, b: &MetricValue) -> Option<MetricValue> {
+    match (a, b) {
+        (MetricValue::Counter(x), MetricValue::Counter(y)) => {
+            Some(MetricValue::Counter(x.saturating_add(*y)))
+        }
+        (MetricValue::Gauge { value: xv, max: xm }, MetricValue::Gauge { value: yv, max: ym }) => {
+            Some(MetricValue::Gauge {
+                value: xv.wrapping_add(*yv),
+                max: (*xm).max(*ym),
+            })
+        }
+        (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+            let buckets = x
+                .buckets
+                .iter()
+                .zip(&y.buckets)
+                .map(|(a, b)| a.saturating_add(*b))
+                .collect();
+            Some(MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                count: x.count.saturating_add(y.count),
+                sum: x.sum.wrapping_add(y.sum),
+            }))
+        }
+        _ => None,
+    }
+}
+
 impl MetricsSnapshot {
     /// Look a metric up by name (binary search — snapshots are sorted).
     pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
@@ -220,6 +283,75 @@ impl MetricsSnapshot {
             .binary_search_by(|m| m.name.as_str().cmp(name))
             .ok()
             .map(|i| &self.metrics[i])
+    }
+
+    /// What happened between `prev` and `self`: counter differences,
+    /// gauge value differences (carrying the current high-water mark,
+    /// which is monotonic), and bucket-wise histogram subtraction.
+    /// Metrics absent from `prev` (registered since) pass through
+    /// whole; metrics absent from `self` are dropped. Designed so that
+    /// `prev.merge(&self.delta(&prev)) == self` whenever both snapshots
+    /// came from the same registry (counters and buckets only grow).
+    pub fn delta(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|cur| {
+                    let value = prev
+                        .get(&cur.name)
+                        .and_then(|p| delta_value(&cur.value, &p.value))
+                        .unwrap_or_else(|| cur.value.clone());
+                    MetricSnapshot {
+                        name: cur.name.clone(),
+                        unit: cur.unit.clone(),
+                        help: cur.help.clone(),
+                        value,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Accumulate `other` (typically a [`delta`](Self::delta)) into a
+    /// copy of `self`: counters and histogram buckets add, gauge values
+    /// add with max-of-max high-water marks. Names present in only one
+    /// side pass through; a name bound to different kinds keeps
+    /// `other`'s value (last writer wins). The result stays name-sorted.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut metrics = Vec::with_capacity(self.metrics.len().max(other.metrics.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.metrics.len() || j < other.metrics.len() {
+            let take_left = match (self.metrics.get(i), other.metrics.get(j)) {
+                (Some(a), Some(b)) => match a.name.cmp(&b.name) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        let value =
+                            merge_value(&a.value, &b.value).unwrap_or_else(|| b.value.clone());
+                        metrics.push(MetricSnapshot {
+                            name: a.name.clone(),
+                            unit: a.unit.clone(),
+                            help: a.help.clone(),
+                            value,
+                        });
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                },
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_left {
+                metrics.push(self.metrics[i].clone());
+                i += 1;
+            } else {
+                metrics.push(other.metrics[j].clone());
+                j += 1;
+            }
+        }
+        MetricsSnapshot { metrics }
     }
 
     /// Render the snapshot in the Prometheus text exposition format:
@@ -353,5 +485,114 @@ mod tests {
     fn empty_registry_renders_empty() {
         assert_eq!(Registry::new().snapshot().render_prometheus(), "");
         assert_eq!(Registry::new().snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_subtracts_every_kind() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "ops", "");
+        let g = r.gauge("g_depth", "requests", "");
+        let h = r.histogram("h_ns", "ns", "");
+        c.add(5);
+        g.set(9);
+        h.record(3);
+        h.record(900);
+        let prev = r.snapshot();
+        c.add(2);
+        g.set(4); // below the high-water mark of 9
+        h.record(3);
+        let cur = r.snapshot();
+        let d = cur.delta(&prev);
+        assert_eq!(d.get("c_total").unwrap().value.as_counter(), Some(2));
+        // Gauge delta: value difference, but the *current* max rides
+        // along (it is monotonic, so merge restores it exactly).
+        assert_eq!(d.get("g_depth").unwrap().value.as_gauge(), Some((-5, 9)));
+        let dh = d.get("h_ns").unwrap().value.as_histogram().unwrap();
+        assert_eq!(dh.count, 1);
+        assert_eq!(dh.sum, 3);
+        assert_eq!(dh.buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn delta_passes_new_metrics_through_whole() {
+        let r = Registry::new();
+        r.counter("old_total", "ops", "").add(1);
+        let prev = r.snapshot();
+        r.counter("new_total", "ops", "").add(7);
+        let cur = r.snapshot();
+        let d = cur.delta(&prev);
+        assert_eq!(d.get("new_total").unwrap().value.as_counter(), Some(7));
+        assert_eq!(d.get("old_total").unwrap().value.as_counter(), Some(0));
+    }
+
+    #[test]
+    fn delta_then_merge_round_trips() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "ops", "");
+        let g = r.gauge("g_depth", "requests", "");
+        let h = r.histogram("h_ns", "ns", "");
+        c.add(11);
+        g.set(6);
+        h.record(0);
+        h.record(42);
+        let prev = r.snapshot();
+        c.add(3);
+        g.set(2);
+        h.record(42);
+        h.record(1 << 30);
+        let cur = r.snapshot();
+        assert_eq!(prev.merge(&cur.delta(&prev)), cur);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_processes() {
+        // Two processes, overlapping + disjoint names: the collector's
+        // aggregation case.
+        let a = Registry::new();
+        a.counter("shared_total", "ops", "").add(2);
+        a.gauge("only_a_depth", "requests", "").set(3);
+        let b = Registry::new();
+        b.counter("shared_total", "ops", "").add(5);
+        let hb = b.histogram("only_b_ns", "ns", "");
+        hb.record(7);
+        let merged = a.snapshot().merge(&b.snapshot());
+        let names: Vec<&str> = merged.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["only_a_depth", "only_b_ns", "shared_total"]);
+        assert_eq!(
+            merged.get("shared_total").unwrap().value.as_counter(),
+            Some(7)
+        );
+        assert_eq!(
+            merged.get("only_a_depth").unwrap().value.as_gauge(),
+            Some((3, 3))
+        );
+        assert_eq!(
+            merged
+                .get("only_b_ns")
+                .unwrap()
+                .value
+                .as_histogram()
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn merged_histograms_render_cumulative_and_monotone() {
+        let a = Registry::new();
+        let ha = a.histogram("lat_ns", "ns", "latency");
+        ha.record(3);
+        ha.record(900);
+        let b = Registry::new();
+        let hb = b.histogram("lat_ns", "ns", "latency");
+        hb.record(3);
+        let merged = a.snapshot().merge(&b.snapshot());
+        let h = merged.get("lat_ns").unwrap().value.as_histogram().unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 906);
+        let text = merged.render_prometheus();
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests for the snapshot algebra behind push-mode export:
+//! `MetricsSnapshot::delta` and `MetricsSnapshot::merge` must round-trip
+//! (`prev.merge(&cur.delta(&prev)) == cur` for any monotonic history)
+//! and merged histograms must stay internally consistent (bucket counts
+//! sum to `count`, cumulative rendering monotone). These are the exact
+//! invariants the exporter→collector pipeline relies on: exporters ship
+//! deltas, collectors re-accumulate by merging.
+
+use dyncon_metrics::Registry;
+use proptest::prelude::*;
+
+/// One recorded observation against a fixed metric family. Drawn as
+/// plain integers because the vendored proptest subset has no float or
+/// enum strategies.
+#[derive(Clone, Copy, Debug)]
+struct Observation {
+    /// 0..2 → one of two counters, 2 → gauge, 3..5 → one of two
+    /// histograms.
+    metric: u8,
+    amount: u64,
+}
+
+fn observation() -> impl Strategy<Value = Observation> {
+    (0u8..5, 0u64..1 << 48).prop_map(|(metric, amount)| Observation { metric, amount })
+}
+
+/// Apply observations to a registry holding the fixed metric family.
+fn apply(registry: &Registry, observations: &[Observation]) {
+    let c0 = registry.counter("dyncon_test_alpha_total", "ops", "test");
+    let c1 = registry.counter("dyncon_test_beta_total", "ops", "test");
+    let g = registry.gauge("dyncon_test_depth", "items", "test");
+    let h0 = registry.histogram("dyncon_test_lat_ns", "ns", "test");
+    let h1 = registry.histogram("dyncon_test_size_ops", "ops", "test");
+    for o in observations {
+        match o.metric {
+            0 => c0.add(o.amount % 1000),
+            1 => c1.add(o.amount % 1000),
+            // Gauges move both ways; keep them in i64 range.
+            2 => g.set((o.amount % 2001) as i64 - 1000),
+            3 => h0.record(o.amount),
+            _ => h1.record(o.amount),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The exporter's core identity: for any history split into a
+    /// prefix (what the collector already accumulated) and a suffix
+    /// (what happened since), shipping `delta` and re-`merge`-ing
+    /// reconstructs the full snapshot exactly — across counters,
+    /// gauges (value and high-water mark) and histograms.
+    #[test]
+    fn delta_then_merge_round_trips(
+        prefix in prop::collection::vec(observation(), 0..60),
+        suffix in prop::collection::vec(observation(), 0..60),
+    ) {
+        let registry = Registry::new();
+        apply(&registry, &prefix);
+        let prev = registry.snapshot();
+        apply(&registry, &suffix);
+        let cur = registry.snapshot();
+        let delta = cur.delta(&prev);
+        let rebuilt = prev.merge(&delta);
+        prop_assert_eq!(rebuilt, cur);
+    }
+
+    /// Merging snapshots from *different processes* (the collector's
+    /// fleet view) keeps every histogram internally consistent: bucket
+    /// counts sum to `count`, `count`/`sum` add across sources, and the
+    /// Prometheus rendering's cumulative buckets are monotone.
+    #[test]
+    fn merged_histograms_stay_consistent(
+        a in prop::collection::vec(observation(), 0..60),
+        b in prop::collection::vec(observation(), 0..60),
+    ) {
+        let ra = Registry::new();
+        let rb = Registry::new();
+        apply(&ra, &a);
+        apply(&rb, &b);
+        let sa = ra.snapshot();
+        let sb = rb.snapshot();
+        let merged = sa.merge(&sb);
+        for m in &merged.metrics {
+            let Some(h) = m.value.as_histogram() else { continue };
+            let ha = sa.get(&m.name).and_then(|x| x.value.as_histogram()).unwrap();
+            let hb = sb.get(&m.name).and_then(|x| x.value.as_histogram()).unwrap();
+            prop_assert_eq!(h.count, ha.count + hb.count, "{}: count adds", &m.name);
+            prop_assert_eq!(
+                h.sum,
+                ha.sum.wrapping_add(hb.sum),
+                "{}: sum adds", &m.name
+            );
+            prop_assert_eq!(
+                h.buckets.iter().sum::<u64>(),
+                h.count,
+                "{}: buckets sum to count", &m.name
+            );
+            for (i, (&ma, (&ba, &bb))) in h
+                .buckets
+                .iter()
+                .zip(ha.buckets.iter().zip(hb.buckets.iter()))
+                .enumerate()
+            {
+                prop_assert_eq!(ma, ba + bb, "{}: bucket {} adds", &m.name, i);
+            }
+        }
+        // The cumulative `_bucket` series in the rendered exposition is
+        // non-decreasing — the property Prometheus quantile math needs.
+        let rendered = merged.render_prometheus();
+        let mut last: Option<(String, u64)> = None;
+        for line in rendered.lines() {
+            let Some((name_le, value)) = line.rsplit_once(' ') else { continue };
+            let Some((name, _le)) = name_le.split_once("_bucket{le=") else {
+                last = None;
+                continue;
+            };
+            let cumulative: u64 = value.parse().unwrap();
+            if let Some((prev_name, prev_value)) = &last {
+                if prev_name == name {
+                    prop_assert!(
+                        cumulative >= *prev_value,
+                        "{name}: cumulative bucket decreased ({prev_value} -> {cumulative})"
+                    );
+                }
+            }
+            last = Some((name.to_string(), cumulative));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Group-commit knobs.
 
 use dyncon_api::{DynConError, Op};
+use dyncon_export::HealthState;
 use dyncon_metrics::Registry;
 use dyncon_trace::TraceRecorder;
 use std::fmt;
@@ -86,6 +87,17 @@ pub struct ServerConfig {
     /// (server + durability + shards) the way a metric registry is
     /// shared, then scrape it with [`dyncon_trace::serve_telemetry`].
     pub trace: Option<TraceRecorder>,
+    /// Health engine the server feeds its liveness signals into: the
+    /// writer heartbeat (round taken / round committed with its wall
+    /// time, driving the stall watchdog and the SLO burn windows),
+    /// queue depth, backpressure rejects, WAL errors (via the durable
+    /// layer) and served reads. `None` (default) records nothing — the
+    /// instrumentation is an `Option` check. Same contract as metrics
+    /// and tracing: **observational only**, never an input; share one
+    /// [`HealthState`] across a stack, then probe it via
+    /// [`dyncon_trace::serve_telemetry_with_health`]
+    /// (`HealthState::routes()`) or a watchdog thread.
+    pub health: Option<HealthState>,
     /// Size of the versioned-read retention window: how many recently
     /// committed versions keep a published [`dyncon_api::ReadView`]
     /// available through [`dyncon_api::VersionedRead::read_view_at`]. `0`
@@ -130,6 +142,7 @@ impl fmt::Debug for ServerConfig {
             )
             .field("metrics", &self.metrics)
             .field("trace", &self.trace)
+            .field("health", &self.health)
             .field("retain_views", &self.retain_views)
             .field("reader_threads", &self.reader_threads)
             .field("first_version", &self.first_version)
@@ -150,6 +163,7 @@ impl Default for ServerConfig {
             round_abort: None,
             metrics: None,
             trace: None,
+            health: None,
             retain_views: 0,
             reader_threads: 0,
             first_version: 0,
@@ -225,6 +239,13 @@ impl ServerConfig {
     /// [`ServerConfig::trace`]).
     pub fn trace(mut self, recorder: TraceRecorder) -> Self {
         self.trace = Some(recorder);
+        self
+    }
+
+    /// Feed liveness signals into `health` (see
+    /// [`ServerConfig::health`]).
+    pub fn health(mut self, health: HealthState) -> Self {
+        self.health = Some(health);
         self
     }
 

@@ -114,6 +114,10 @@ pub use views::ReadHandle;
 // dependency.
 pub use dyncon_api::{DynConError, ReadView, Version, VersionedRead};
 
+// Re-exported so attaching a health engine ([`ServerConfig::health`])
+// needs no direct dyncon-export dependency.
+pub use dyncon_export::{HealthConfig, HealthState};
+
 // Re-exported so attaching a recorder and reading
 // [`ServiceReport::slowest_round`] need no direct dyncon-trace
 // dependency.

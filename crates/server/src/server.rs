@@ -427,6 +427,9 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
             }
             if !block {
                 self.shared.metrics.backpressure_rejects.inc();
+                if let Some(health) = &self.config.health {
+                    health.note_backpressure_reject();
+                }
                 return Err(DynConError::Backpressure {
                     capacity: self.config.queue_capacity,
                 });
@@ -442,6 +445,9 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         q.open_ops += ops.len();
         q.queued += 1;
         self.shared.metrics.queue_depth.set(q.queued as i64);
+        if let Some(health) = &self.config.health {
+            health.set_pending(q.queued as i64);
+        }
         q.open.push(Request {
             client,
             seq,
@@ -584,11 +590,18 @@ impl<B: BatchDynamic + Send + 'static> ConnServer<B> {
         // commit round): the question a trace answers here is "what
         // were reads at version v doing while round r was slow".
         let trace = self.config.trace.clone();
+        let health = self.config.health.clone();
         let job = move || {
             let version = view.version();
-            Ok(traced(trace.as_ref(), version, Stage::ReadExec, 0, || {
+            let out = Ok(traced(trace.as_ref(), version, Stage::ReadExec, 0, || {
                 f(&view)
-            }))
+            }));
+            // The read plane's health heartbeat: fires where the read
+            // actually executed (pool thread or inline).
+            if let Some(h) = &health {
+                h.note_read_served();
+            }
+            out
         };
         match &self.readers {
             Some(pool) => pool.execute(job),
@@ -819,6 +832,9 @@ fn writer_loop<B: BatchDynamic + 'static>(
                 if let Some(round) = q.sealed.pop_front() {
                     q.queued -= round.len();
                     shared.metrics.queue_depth.set(q.queued as i64);
+                    if let Some(health) = &config.health {
+                        health.set_pending(q.queued as i64);
+                    }
                     break round;
                 }
                 if config.deterministic || q.open.is_empty() {
@@ -844,6 +860,9 @@ fn writer_loop<B: BatchDynamic + 'static>(
                     let round = take_open_prefix(&mut q, config.max_batch_ops);
                     q.queued -= round.len();
                     shared.metrics.queue_depth.set(q.queued as i64);
+                    if let Some(health) = &config.health {
+                        health.set_pending(q.queued as i64);
+                    }
                     break round;
                 }
                 let (guard, _timeout) = shared
@@ -865,6 +884,12 @@ fn writer_loop<B: BatchDynamic + 'static>(
         // hook is told its number).
         let round_started = config.trace.as_ref().map(|t| {
             t.set_current_round(round_no);
+            Instant::now()
+        });
+        // The health heartbeat keeps its own wall clock: taking a round
+        // is progress (stall detection), committing it grades the SLO.
+        let health_started = config.health.as_ref().map(|h| {
+            h.note_round_start();
             Instant::now()
         });
         // Coalesce wait: how long the round's oldest request sat admitted.
@@ -960,6 +985,9 @@ fn writer_loop<B: BatchDynamic + 'static>(
                 shared.metrics.rounds_committed.inc();
                 shared.metrics.ops_committed.add(ops.len() as u64);
                 shared.metrics.round_size_ops.record(ops.len() as u64);
+                if let (Some(h), Some(started)) = (&config.health, health_started) {
+                    h.note_round_commit(started.elapsed());
+                }
                 // Wake min_version fences now that the commit counter
                 // advanced (the notify pairs with the fence's q-lock wait).
                 {

@@ -12,6 +12,7 @@ use crate::map::ShardMapKind;
 use dyncon_api::{BatchDynamic, BuildFrom, DynConError, ExportEdges, Op};
 use dyncon_api::{ReadView, Version, VersionedRead};
 use dyncon_durable::FsyncPolicy;
+use dyncon_export::HealthState;
 use dyncon_metrics::{MetricsSnapshot, Registry};
 use dyncon_server::{ConnServer, ReadHandle, RoundRecord, ServerConfig, SubmitOptions, Ticket};
 use dyncon_trace::{RoundTrace, TraceRecorder};
@@ -76,6 +77,7 @@ pub struct ShardConfig {
     pub(crate) reader_threads: usize,
     pub(crate) metrics: Option<Registry>,
     pub(crate) trace: Option<TraceRecorder>,
+    pub(crate) health: Option<HealthState>,
     pub(crate) durable: Option<DurableShards>,
 }
 
@@ -94,6 +96,7 @@ impl Default for ShardConfig {
             reader_threads: 0,
             metrics: None,
             trace: None,
+            health: None,
             durable: None,
         }
     }
@@ -198,6 +201,17 @@ impl ShardConfig {
         self
     }
 
+    /// Feed the **outer** server's liveness signals (writer heartbeat,
+    /// queue depth, backpressure, SLO grading of outer rounds) into
+    /// this health engine. The shard servers are not separately
+    /// instrumented: a wedged shard stalls the outer writer, which is
+    /// exactly what the watchdog watches. Observational only; see
+    /// [`dyncon_server::ServerConfig::health`].
+    pub fn health(mut self, health: HealthState) -> Self {
+        self.health = Some(health);
+        self
+    }
+
     /// Persist every shard (and the cross store) under
     /// [`DurableShards::new`]'s base directory, recovering on start.
     pub fn durable(mut self, durable: DurableShards) -> Self {
@@ -265,6 +279,9 @@ where
         }
         if let Some(trace) = config.trace.clone() {
             outer = outer.trace(trace);
+        }
+        if let Some(health) = config.health.clone() {
+            outer = outer.health(health);
         }
         // With views on, the outer writer exports the global edge set
         // between outer rounds — every shard has fully committed its

@@ -23,7 +23,11 @@
 //! - [`serve_telemetry`] — a `TcpListener` thread serving `GET /metrics`
 //!   (Prometheus text from a [`dyncon_metrics::Registry`]), `GET /trace`
 //!   (Chrome-trace JSON) and `GET /slow` (the slow-round log), so a
-//!   scraper or a human with `curl` can observe a live service.
+//!   scraper or a human with `curl` can observe a live service. Each
+//!   connection gets its own short-lived handler thread (bounded), and
+//!   [`serve_telemetry_with_health`] adds `/healthz` + `/readyz` routes
+//!   backed by caller-supplied [`HealthRoutes`] probes (the
+//!   `dyncon-export` health engine is the canonical producer).
 //!
 //! Attach a recorder with `ServerConfig::trace` (serving layer) or
 //! `ShardConfig::trace` (sharded layer). The contract is the same as
@@ -41,4 +45,6 @@ pub use chrome::chrome_trace_json_from;
 pub use recorder::{
     traced, RoundTrace, SlowRoundLog, Span, Stage, StageBreakdown, TraceConfig, TraceRecorder,
 };
-pub use telemetry::{serve_telemetry, TelemetryServer};
+pub use telemetry::{
+    serve_telemetry, serve_telemetry_with_health, HealthProbe, HealthRoutes, TelemetryServer,
+};

@@ -5,14 +5,44 @@ use crate::recorder::TraceRecorder;
 use dyncon_metrics::Registry;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-connection socket timeout: a scraper that stalls mid-request
-/// must not wedge the (single) serving thread.
+/// Per-connection socket timeout: a scraper that stalls mid-request is
+/// cut off here, freeing its handler thread.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on concurrent per-connection handler threads. At the cap the
+/// accept loop serves inline, which backpressures accepting — still
+/// strictly better than the old serve-everything-serially behaviour.
+const MAX_CONCURRENT_HANDLERS: usize = 32;
+
+/// A health probe: `(healthy, body)`. The closure must be cheap and
+/// non-blocking — it runs on the telemetry serving path.
+pub type HealthProbe = Arc<dyn Fn() -> (bool, String) + Send + Sync>;
+
+/// Liveness + readiness probes for the `/healthz` and `/readyz` routes.
+///
+/// Defined here (rather than in the health engine that feeds it) so the
+/// telemetry endpoint stays decoupled: any layer can hand in closures.
+/// `dyncon-export`'s `HealthState::routes()` is the canonical producer.
+#[derive(Clone)]
+pub struct HealthRoutes {
+    /// `/healthz`: is the process alive and serving at all?
+    pub healthz: HealthProbe,
+    /// `/readyz`: should a load balancer route traffic here? Flips to
+    /// `false` (HTTP 503) on writer stall, WAL errors or backpressure
+    /// saturation.
+    pub readyz: HealthProbe,
+}
+
+impl std::fmt::Debug for HealthRoutes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthRoutes").finish_non_exhaustive()
+    }
+}
 
 /// Handle of a running [`serve_telemetry`] endpoint. Scrape it at
 /// [`TelemetryServer::local_addr`]; stop it with
@@ -74,12 +104,38 @@ impl Drop for TelemetryServer {
 ///
 /// Observational only, like the recorder itself: scraping snapshots
 /// shared-state copies and never touches admission or the writer.
-/// One request per connection (`Connection: close`), one serving
-/// thread — this is a scrape endpoint, not a web server.
+/// One request per connection (`Connection: close`); each accepted
+/// connection is served on a short-lived thread (capped at
+/// `MAX_CONCURRENT_HANDLERS`, 32) so one stalled scraper cannot
+/// head-of-line block `/metrics` for everyone else.
 pub fn serve_telemetry(
     addr: impl ToSocketAddrs,
     registry: Registry,
     recorder: TraceRecorder,
+) -> io::Result<TelemetryServer> {
+    serve_telemetry_with_health(addr, registry, recorder, None)
+}
+
+/// Decrements the live-handler count when the connection finishes —
+/// or when a failed `spawn` drops the un-run closure holding it.
+struct HandlerGuard(Arc<AtomicUsize>);
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// [`serve_telemetry`], plus `/healthz` and `/readyz` backed by the
+/// given [`HealthRoutes`]. With `None` both routes answer 200 (the
+/// process is trivially alive and nothing is tracking readiness);
+/// with probes attached an unhealthy/unready answer is an HTTP 503
+/// whose body explains why.
+pub fn serve_telemetry_with_health(
+    addr: impl ToSocketAddrs,
+    registry: Registry,
+    recorder: TraceRecorder,
+    health: Option<HealthRoutes>,
 ) -> io::Result<TelemetryServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
@@ -88,6 +144,7 @@ pub fn serve_telemetry(
     let handle = std::thread::Builder::new()
         .name("dyncon-telemetry".into())
         .spawn(move || {
+            let active = Arc::new(AtomicUsize::new(0));
             for conn in listener.incoming() {
                 if thread_stop.load(Ordering::SeqCst) {
                     return;
@@ -95,7 +152,26 @@ pub fn serve_telemetry(
                 let Ok(stream) = conn else { continue };
                 // Serve errors are the scraper's problem (it hung up,
                 // timed out, or sent garbage); the endpoint lives on.
-                let _ = serve_one(stream, &registry, &recorder);
+                if active.fetch_add(1, Ordering::AcqRel) < MAX_CONCURRENT_HANDLERS {
+                    let guard = HandlerGuard(Arc::clone(&active));
+                    let registry = registry.clone();
+                    let recorder = recorder.clone();
+                    let health = health.clone();
+                    // Failed spawns drop the closure, which drops the
+                    // guard (count stays balanced) and the stream (the
+                    // scraper sees a reset and retries).
+                    let _ = std::thread::Builder::new()
+                        .name("dyncon-telemetry-conn".into())
+                        .spawn(move || {
+                            let _guard = guard;
+                            let _ = serve_one(stream, &registry, &recorder, health.as_ref());
+                        });
+                } else {
+                    // At the cap: serve inline, backpressuring accepts
+                    // rather than spawning without bound.
+                    let _guard = HandlerGuard(Arc::clone(&active));
+                    let _ = serve_one(stream, &registry, &recorder, health.as_ref());
+                }
             }
         })
         .expect("spawn dyncon telemetry thread");
@@ -111,6 +187,7 @@ fn serve_one(
     mut stream: TcpStream,
     registry: &Registry,
     recorder: &TraceRecorder,
+    health: Option<&HealthRoutes>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -150,10 +227,12 @@ fn serve_one(
             "text/plain; charset=utf-8",
             recorder.slow_round_log().render_text(),
         ),
+        "/healthz" => probe_response(health.map(|h| &h.healthz)),
+        "/readyz" => probe_response(health.map(|h| &h.readyz)),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "404: try /metrics, /trace or /slow\n".to_string(),
+            "404: try /metrics, /trace, /slow, /healthz or /readyz\n".to_string(),
         ),
     };
     let response = format!(
@@ -161,6 +240,21 @@ fn serve_one(
         body.len(),
     );
     stream.write_all(response.as_bytes())
+}
+
+/// Render one health probe as `(status, content-type, body)`. No probe
+/// attached means the route is trivially healthy.
+fn probe_response(probe: Option<&HealthProbe>) -> (&'static str, &'static str, String) {
+    let (ok, body) = match probe {
+        Some(p) => p(),
+        None => (true, "ok (no health engine attached)\n".to_string()),
+    };
+    let status = if ok {
+        "200 OK"
+    } else {
+        "503 Service Unavailable"
+    };
+    (status, "text/plain; charset=utf-8", body)
 }
 
 #[cfg(test)]
@@ -234,5 +328,80 @@ mod tests {
         server.close();
         server.close();
         drop(server); // must not hang
+    }
+
+    #[test]
+    fn health_routes_default_to_ok_without_probes() {
+        let server = serve_telemetry("127.0.0.1:0", Registry::new(), TraceRecorder::new()).unwrap();
+        let addr = server.local_addr();
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("ok"));
+        let (head, _) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        server.join();
+    }
+
+    #[test]
+    fn health_routes_reflect_probe_verdicts() {
+        use std::sync::atomic::AtomicBool;
+        let ready = Arc::new(AtomicBool::new(true));
+        let probe_ready = Arc::clone(&ready);
+        let routes = HealthRoutes {
+            healthz: Arc::new(|| (true, "alive\n".to_string())),
+            readyz: Arc::new(move || {
+                if probe_ready.load(Ordering::SeqCst) {
+                    (true, "ready\n".to_string())
+                } else {
+                    (false, "writer stalled\n".to_string())
+                }
+            }),
+        };
+        let server = serve_telemetry_with_health(
+            "127.0.0.1:0",
+            Registry::new(),
+            TraceRecorder::new(),
+            Some(routes),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "alive\n");
+        let (head, body) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ready\n");
+        ready.store(false, Ordering::SeqCst);
+        let (head, body) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert_eq!(body, "writer stalled\n");
+        // Liveness is independent of readiness.
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        server.join();
+    }
+
+    /// The head-of-line fix: a connection that never sends its request
+    /// (it would hold its handler for the full 2 s IO timeout) must not
+    /// delay other scrapers.
+    #[test]
+    fn stalled_connection_does_not_block_other_scrapers() {
+        let registry = Registry::new();
+        registry.counter("alive_total", "ops", "").inc();
+        let server = serve_telemetry("127.0.0.1:0", registry, TraceRecorder::new()).unwrap();
+        let addr = server.local_addr();
+        // Open (and hold) connections that send nothing.
+        let stalled: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let start = Instant::now();
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("alive_total 1"));
+        assert!(
+            start.elapsed() < IO_TIMEOUT,
+            "scrape waited on a stalled peer: {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
+        server.join();
     }
 }

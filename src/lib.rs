@@ -55,11 +55,22 @@
 //! `/metrics`–`/trace`–`/slow` endpoint, all observational-only (see
 //! the "Tracing & telemetry endpoint" section of the README and
 //! `examples/telemetry.rs`).
+//!
+//! To push telemetry instead of waiting to be scraped, attach an
+//! [`export::TelemetryExporter`]: it drains metric deltas, fresh spans
+//! and slow-round captures into checksummed binary frames and ships
+//! them to an [`export::Collector`] (fleet aggregation + merged
+//! Prometheus re-render), never blocking the commit path. The same
+//! crate's [`export::HealthState`] adds a writer-stall watchdog,
+//! WAL-error/backpressure signals and SLO burn-rate windows behind
+//! `/healthz` + `/readyz` (see the "Telemetry export & health" section
+//! of the README and `examples/export_pipeline.rs`).
 
 pub use dyncon_api as api;
 pub use dyncon_core as core;
 pub use dyncon_durable as durable;
 pub use dyncon_ett as ett;
+pub use dyncon_export as export;
 pub use dyncon_graphgen as graphgen;
 pub use dyncon_hdt as hdt;
 pub use dyncon_metrics as metrics;

@@ -263,6 +263,139 @@ fn tracing_and_telemetry_leave_deterministic_rounds_byte_identical() {
     }
 }
 
+/// The export layer's determinism claim: a deterministic sharded server
+/// with a [`TelemetryExporter`](dyncon_export::TelemetryExporter)
+/// attached — pushing metric deltas, spans and health state to a live
+/// [`Collector`](dyncon_export::Collector) while rounds commit — must
+/// produce rounds **byte-identical** to an unexported run at every
+/// worker thread count × shard count. And because the exporter may
+/// never sit on the commit path, killing the collector mid-run must
+/// not stall, fail or reorder a single round.
+#[test]
+fn export_pipeline_leaves_deterministic_rounds_byte_identical() {
+    use dyncon_export::{Collector, ExportConfig, HealthState, TelemetryExporter};
+    use dyncon_shard::{ShardConfig, ShardedServer};
+    use dyncon_trace::TraceRecorder;
+    use std::time::{Duration, Instant};
+    const N: usize = 96;
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 5;
+    let schedules = zipf_client_schedules(N, CLIENTS, ROUNDS, 24, 0.4, 1.1, 47);
+    struct Observability {
+        registry: dyncon_metrics::Registry,
+        recorder: TraceRecorder,
+        health: HealthState,
+    }
+    // `kill_collector_after`: shut the collector down after this many
+    // sealed rounds, mid-run, and keep committing against a dead peer.
+    let run = |shards: usize,
+               threads: usize,
+               obs: Option<&Observability>,
+               kill_collector_after: Option<(usize, &Collector)>|
+     -> Vec<RoundRecord> {
+        let mut config = ShardConfig::new()
+            .shards(shards)
+            .deterministic(true)
+            .record_rounds(true)
+            .shard_worker_threads(threads)
+            .queue_capacity(CLIENTS * ROUNDS);
+        if let Some(obs) = obs {
+            config = config
+                .metrics(obs.registry.clone())
+                .trace(obs.recorder.clone())
+                .health(obs.health.clone());
+        }
+        let server: ShardedServer<BatchDynamicConnectivity> =
+            ShardedServer::start(N, config).unwrap();
+        for round in 0..ROUNDS {
+            for (c, sched) in schedules.iter().enumerate() {
+                server.submit_as(c as u64, sched[round].clone()).unwrap();
+            }
+            assert_eq!(server.seal_round(), CLIENTS);
+            if let Some((after, collector)) = kill_collector_after {
+                if round + 1 == after {
+                    collector.shutdown();
+                }
+            }
+        }
+        server.join().unwrap().rounds
+    };
+    for shards in dyncon_bench::shard_counts() {
+        let baseline = run(shards, 1, None, None);
+        for threads in [1usize, 2, 4] {
+            let obs = Observability {
+                registry: dyncon_metrics::Registry::new(),
+                recorder: TraceRecorder::new(),
+                health: HealthState::default(),
+            };
+            let collector = Collector::bind("127.0.0.1:0").unwrap();
+            let exporter = TelemetryExporter::start(
+                collector.local_addr().to_string(),
+                obs.registry.clone(),
+                ExportConfig::new()
+                    .interval(Duration::from_millis(2))
+                    .trace(obs.recorder.clone())
+                    .health(obs.health.clone())
+                    .source("determinism-test"),
+            );
+            let exported = run(shards, threads, Some(&obs), None);
+            assert_eq!(
+                exported, baseline,
+                "{shards} shards x {threads} threads diverged under export"
+            );
+            exporter.close();
+            // The collector really received frames from the run — the
+            // exporter was live, not a no-op — and the merged fleet
+            // view accumulated the server's own counters.
+            let rounds_seen = |c: &Collector| {
+                c.merged_snapshot()
+                    .get("dyncon_server_rounds_committed_total")
+                    .and_then(|m| m.value.as_counter())
+                    .unwrap_or(0)
+            };
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while rounds_seen(&collector) < ROUNDS as u64 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert!(
+                collector.frames_received() > 0,
+                "{shards} shards x {threads} threads: collector saw no frames"
+            );
+            assert_eq!(collector.checksum_failures(), 0);
+            assert!(
+                rounds_seen(&collector) >= ROUNDS as u64,
+                "merged exposition carries the server's round counter"
+            );
+            collector.shutdown();
+
+            // Kill the collector two rounds in: the remaining rounds
+            // must still commit, byte-identically, with the exporter
+            // reconnect-looping against a dead address.
+            let obs = Observability {
+                registry: dyncon_metrics::Registry::new(),
+                recorder: TraceRecorder::new(),
+                health: HealthState::default(),
+            };
+            let collector = Collector::bind("127.0.0.1:0").unwrap();
+            let exporter = TelemetryExporter::start(
+                collector.local_addr().to_string(),
+                obs.registry.clone(),
+                ExportConfig::new()
+                    .interval(Duration::from_millis(2))
+                    .trace(obs.recorder.clone())
+                    .health(obs.health.clone()),
+            );
+            let survived = run(shards, threads, Some(&obs), Some((2, &collector)));
+            assert_eq!(
+                survived, baseline,
+                "{shards} shards x {threads} threads diverged after collector death"
+            );
+            exporter.close();
+            collector.shutdown();
+        }
+    }
+}
+
 #[test]
 fn algorithms_agree_on_observables() {
     for seed in [5u64, 21] {

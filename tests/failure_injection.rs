@@ -468,3 +468,183 @@ fn disabled_stats_stay_zero() {
     );
     g.check_invariants().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry exporter failure paths: the push pipeline's contract is that
+// collector trouble is *invisible* to the process being observed — the
+// exporter buffers (bounded), drops (counted), reconnects (backed off),
+// and never returns an error or blocks anything.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exporter_with_collector_down_at_startup_never_errors() {
+    use dyncon_export::{ExportConfig, HealthState, TelemetryExporter};
+    use std::time::Duration;
+    // A port that was just bound and released: nothing listens there,
+    // every connect is refused.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let registry = dyncon_metrics::Registry::new();
+    let health = HealthState::default();
+    let exporter = TelemetryExporter::start(
+        dead_addr,
+        registry.clone(),
+        ExportConfig::new()
+            .interval(Duration::from_millis(2))
+            .max_backoff(Duration::from_millis(20))
+            .health(health.clone()),
+    );
+    // The observed server runs a full deterministic workload while the
+    // exporter fails to connect in the background.
+    let server = ConnServer::start(
+        BatchDynamicConnectivity::new(32),
+        ServerConfig::new()
+            .deterministic(true)
+            .metrics(registry.clone())
+            .health(health),
+    );
+    for round in 0..5u32 {
+        server
+            .submit_as(
+                0,
+                vec![Op::Insert(round, round + 1), Op::Query(0, round + 1)],
+            )
+            .unwrap();
+        server.seal_round();
+    }
+    let report = server.join();
+    assert_eq!(report.rounds_committed, 5, "every round committed");
+    assert_eq!(exporter.frames_sent(), 0, "nothing was deliverable");
+    exporter.close();
+    // Undeliverable frames are dropped *visibly*, not silently.
+    let dropped = registry
+        .snapshot()
+        .get("dyncon_export_frames_dropped_total")
+        .and_then(|m| m.value.as_counter())
+        .unwrap_or(0);
+    assert!(dropped > 0, "close() counts the undelivered buffer dropped");
+}
+
+#[test]
+fn exporter_reconnects_after_mid_run_disconnect() {
+    use dyncon_export::frame::EXPORT_MAGIC;
+    use dyncon_export::{ExportConfig, TelemetryExporter};
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let registry = dyncon_metrics::Registry::new();
+    let exporter = TelemetryExporter::start(
+        addr,
+        registry.clone(),
+        ExportConfig::new()
+            .interval(Duration::from_millis(2))
+            .io_timeout(Duration::from_millis(100))
+            .max_backoff(Duration::from_millis(20)),
+    );
+    let read_magic = |stream: &mut std::net::TcpStream| {
+        let mut magic = [0u8; 8];
+        stream.read_exact(&mut magic).unwrap();
+        assert_eq!(magic, EXPORT_MAGIC, "stream re-frames from the magic");
+    };
+    // First connection: verify the stream magic, then hang up mid-run.
+    let (mut conn1, _) = listener.accept().unwrap();
+    read_magic(&mut conn1);
+    drop(conn1);
+    // The exporter must notice the dead socket on a failed write and
+    // come back — the second accept only returns if it reconnects.
+    let (mut conn2, _) = listener.accept().unwrap();
+    read_magic(&mut conn2);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while exporter.reconnects() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(exporter.reconnects() >= 1, "reconnect was counted");
+    // Frames flow again on the new connection.
+    let sent_after_reconnect = exporter.frames_sent();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while exporter.frames_sent() <= sent_after_reconnect && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        exporter.frames_sent() > sent_after_reconnect,
+        "frames keep flowing after the reconnect"
+    );
+    exporter.close();
+}
+
+#[test]
+fn slow_collector_drops_are_bounded_and_counted_without_blocking() {
+    use dyncon_export::{ExportConfig, TelemetryExporter};
+    use std::time::Duration;
+    // The limiting case of a slow collector: one that never completes
+    // the connection at all. Every tick still frames a metrics delta,
+    // so the bounded buffer (2 frames here) must evict and count.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let registry = dyncon_metrics::Registry::new();
+    let ticker = registry.counter("dyncon_test_ticker", "ops", "test traffic");
+    let exporter = TelemetryExporter::start(
+        dead_addr,
+        registry.clone(),
+        ExportConfig::new()
+            .interval(Duration::from_millis(1))
+            .buffer_frames(2)
+            .max_backoff(Duration::from_millis(10)),
+    );
+    // The producing side keeps recording at full speed throughout.
+    for _ in 0..200 {
+        ticker.inc();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let dropped = exporter.frames_dropped();
+    assert!(
+        dropped >= 10,
+        "buffer of 2 under ~200 ticks must evict plenty, got {dropped}"
+    );
+    assert_eq!(exporter.frames_sent(), 0);
+    exporter.close();
+}
+
+#[test]
+fn close_flushes_everything_recorded_before_it() {
+    use dyncon_export::{Collector, ExportConfig, TelemetryExporter};
+    use std::time::{Duration, Instant};
+    let collector = Collector::bind("127.0.0.1:0").unwrap();
+    let registry = dyncon_metrics::Registry::new();
+    let counter = registry.counter("dyncon_test_commits", "ops", "test counter");
+    // An interval far longer than the test: nothing is pushed until
+    // close(), so delivery proves the final drain+flush ordering.
+    let exporter = TelemetryExporter::start(
+        collector.local_addr().to_string(),
+        registry.clone(),
+        ExportConfig::new()
+            .interval(Duration::from_secs(60))
+            .source("flush-test"),
+    );
+    counter.add(41);
+    exporter.close();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let observed = loop {
+        let v = collector
+            .merged_snapshot()
+            .get("dyncon_test_commits")
+            .and_then(|m| m.value.as_counter());
+        if v == Some(41) || Instant::now() > deadline {
+            break v;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(
+        observed,
+        Some(41),
+        "the pre-close counter value arrived via the final flush"
+    );
+    assert_eq!(collector.checksum_failures(), 0);
+    assert_eq!(collector.sources(), vec!["flush-test".to_string()]);
+    collector.close();
+}
